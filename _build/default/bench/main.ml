@@ -1,0 +1,170 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (the rows and
+   series the paper reports, at the default scaled-down simulation
+   length) — this is the reproduction artifact.
+
+   Part 2 runs Bechamel micro-benchmarks of the simulator's hot
+   primitives (merge selection per scheme, routing, cache access,
+   compilation, simulation cycles), one Test per experiment family. *)
+
+module E = Vliw_experiments
+
+let heading title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+let regenerate_all () =
+  let scale = E.Common.Default in
+  heading "Table 1";
+  print_string (E.Table1.render (E.Table1.run ~scale ()));
+  heading "Table 2";
+  print_string (E.Table2.render ());
+  heading "Figure 4";
+  print_string (E.Fig4.render (E.Fig4.run ~scale ()));
+  heading "Figure 5";
+  print_string (E.Fig5.render (E.Fig5.run ()));
+  let fig10 = E.Fig10.run ~scale () in
+  heading "Figure 6";
+  print_string (E.Fig6.render (E.Fig6.of_grid fig10.grid));
+  heading "Figure 9";
+  print_string (E.Fig9.render (E.Fig9.run ()));
+  heading "Figure 10";
+  print_string (E.Fig10.render fig10);
+  heading "Figure 11";
+  print_string (E.Fig11.render (E.Fig11.of_fig10 fig10));
+  heading "Figure 12";
+  print_string (E.Fig12.render (E.Fig12.of_fig10 fig10));
+  heading "Headline claims";
+  print_string (E.Claims.render (E.Claims.of_fig10 fig10));
+  heading "Ablations";
+  print_string (E.Ablations.render (E.Ablations.run ~scale ()));
+  heading "Extension: 8 threads";
+  print_string (E.Ext8.render (E.Ext8.run ~scale ()));
+  heading "Baselines (IMT/BMT vs merging)";
+  print_string (E.Baselines.render (E.Baselines.run ~scale ()));
+  heading "Waste decomposition";
+  print_string (E.Waste.render "LLHH" (E.Waste.run ~scale ()));
+  heading "Sensitivity";
+  print_string (E.Sensitivity.render_all (E.Sensitivity.all ~scale ()));
+  heading "Compiler: block vs trace scheduling";
+  print_string (E.Compiler_cmp.render (E.Compiler_cmp.run ~scale ()))
+
+(* --- Bechamel micro-benchmarks --- *)
+
+open Bechamel
+open Toolkit
+
+let machine = Vliw_isa.Machine.default
+
+let bench_experiments =
+  (* One Test per paper artifact, at Quick scale so the timing loop
+     stays tractable. *)
+  let quick = E.Common.Quick in
+  [
+    Test.make ~name:"table1" (Staged.stage (fun () -> E.Table1.run ~scale:quick ()));
+    Test.make ~name:"fig4" (Staged.stage (fun () -> E.Fig4.run ~scale:quick ()));
+    Test.make ~name:"fig5" (Staged.stage (fun () -> E.Fig5.run ()));
+    Test.make ~name:"fig6" (Staged.stage (fun () -> E.Fig6.run ~scale:quick ()));
+    Test.make ~name:"fig9" (Staged.stage (fun () -> E.Fig9.run ()));
+    Test.make ~name:"ablations"
+      (Staged.stage (fun () -> E.Ablations.run ~scale:quick ~mixes:[ "LLHH" ] ()));
+    Test.make ~name:"fig10-row"
+      (Staged.stage (fun () ->
+           E.Common.run_grid ~scale:quick
+             ~scheme_names:[ "1S"; "3CCC"; "2SC3"; "3SSS" ]
+             ~mix_names:[ "LLHH" ] ()));
+  ]
+
+let bench_primitives =
+  let mix = Vliw_workloads.Mixes.find_exn "LLHH" in
+  let programs =
+    List.map (Vliw_compiler.Program.generate ~seed:1L machine) mix.members
+  in
+  let instrs =
+    Array.of_list
+      (List.map
+         (fun (p : Vliw_compiler.Program.t) -> Some p.blocks.(0).instrs.(0))
+         programs)
+  in
+  let schemes =
+    List.map
+      (fun n -> (n, (Vliw_merge.Catalog.find_exn n).scheme))
+      [ "3CCC"; "C4"; "2SC3"; "3SSS" ]
+  in
+  let select_benches =
+    List.map
+      (fun (name, scheme) ->
+        Test.make ~name:("select-" ^ name)
+          (Staged.stage (fun () ->
+               ignore (Vliw_merge.Engine.select_instrs machine scheme instrs))))
+      schemes
+  in
+  let cache = Vliw_mem.Cache.create machine.dcache in
+  let counter = ref 0 in
+  select_benches
+  @ [
+      Test.make ~name:"cache-access"
+        (Staged.stage (fun () ->
+             incr counter;
+             ignore (Vliw_mem.Cache.access cache (!counter * 64))));
+      Test.make ~name:"compile-program"
+        (Staged.stage (fun () ->
+             ignore
+               (Vliw_compiler.Program.generate ~seed:7L machine
+                  (Vliw_workloads.Benchmarks.find_exn "g721encode"))));
+      Test.make ~name:"simulate-10k-cycles"
+        (Staged.stage (fun () ->
+             let config =
+               Vliw_sim.Config.make (Vliw_merge.Catalog.find_exn "2SC3").scheme
+             in
+             ignore
+               (Vliw_sim.Multitask.run_programs config ~seed:3L
+                  ~schedule:
+                    {
+                      Vliw_sim.Multitask.timeslice = 10_000;
+                      target_instrs = max_int;
+                      max_cycles = 10_000;
+                    }
+                  programs)));
+    ]
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+let run_bechamel ~name tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let grouped = Test.make_grouped ~name ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_bechamel merged =
+  let open Notty_unix in
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  Bechamel_notty.Unit.add Instance.monotonic_clock
+    (Measure.unit Instance.monotonic_clock);
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run merged
+  in
+  eol img |> output_image
+
+let () =
+  let bench_only = Array.length Sys.argv > 1 && Sys.argv.(1) = "--timing-only" in
+  if not bench_only then regenerate_all ();
+  heading "Micro-benchmarks (Bechamel, monotonic clock)";
+  let groups =
+    [ ("experiments", bench_experiments); ("primitives", bench_primitives) ]
+  in
+  List.iter
+    (fun (name, tests) ->
+      Printf.printf "\n-- %s --\n%!" name;
+      print_bechamel (run_bechamel ~name tests))
+    groups

@@ -1,0 +1,408 @@
+(* vliwsim: command-line driver for the thread-merging reproduction.
+
+   Subcommands:
+   - exp: regenerate a paper table/figure (or all of them)
+   - run: one simulation of a scheme on a workload, with ablation flags
+   - schemes: list the scheme catalog with hardware costs
+   - benchmarks: list the benchmark profiles *)
+
+open Cmdliner
+
+module E = Vliw_experiments
+
+let scale_conv =
+  let parse = function
+    | "quick" -> Ok E.Common.Quick
+    | "default" -> Ok E.Common.Default
+    | "full" -> Ok E.Common.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|default|full)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | E.Common.Quick -> "quick"
+      | E.Common.Default -> "default"
+      | E.Common.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  Arg.(
+    value
+    & opt scale_conv E.Common.Default
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Simulation length: $(b,quick) (unit-test sized), $(b,default) \
+           (seconds per run), or $(b,full) (paper-scale, minutes per run).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int64 E.Common.default_seed
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for all generators.")
+
+(* --- exp ------------------------------------------------------------ *)
+
+let run_experiment scale seed csv_dir name =
+  let print = print_string in
+  let fig10 = lazy (E.Fig10.run ~scale ~seed ()) in
+  let export name header rows =
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      Vliw_util.Csv.write ~path ~header rows;
+      Printf.eprintf "wrote %s\n%!" path
+  in
+  let one = function
+    | "table1" ->
+      let rows = E.Table1.run ~scale ~seed () in
+      print (E.Table1.render rows);
+      let header, data = E.Table1.csv_rows rows in
+      export "table1" header data
+    | "table2" -> print (E.Table2.render ())
+    | "fig4" -> print (E.Fig4.render (E.Fig4.run ~scale ~seed ()))
+    | "fig5" ->
+      let points = E.Fig5.run () in
+      print (E.Fig5.render points);
+      let header, data = E.Fig5.csv_rows points in
+      export "fig5" header data
+    | "fig6" -> print (E.Fig6.render (E.Fig6.of_grid (Lazy.force fig10).grid))
+    | "fig9" ->
+      let rows = E.Fig9.run () in
+      print (E.Fig9.render rows);
+      let header, data = E.Fig9.csv_rows rows in
+      export "fig9" header data
+    | "fig10" ->
+      let d = Lazy.force fig10 in
+      print (E.Fig10.render d);
+      let header, data = E.Common.grid_csv d.grid in
+      export "fig10" header data
+    | "fig11" ->
+      let points = E.Fig11.of_fig10 (Lazy.force fig10) in
+      print (E.Fig11.render points);
+      let header, data = E.Fig11.csv_rows points in
+      export "fig11" header data
+    | "fig12" ->
+      let points = E.Fig12.of_fig10 (Lazy.force fig10) in
+      print (E.Fig12.render points);
+      let header, data = E.Fig12.csv_rows points in
+      export "fig12" header data
+    | "claims" -> print (E.Claims.render (E.Claims.of_fig10 (Lazy.force fig10)))
+    | "ablations" -> print (E.Ablations.render (E.Ablations.run ~scale ~seed ()))
+    | "ext8" -> print (E.Ext8.render (E.Ext8.run ~scale ~seed ()))
+    | "baselines" -> print (E.Baselines.render (E.Baselines.run ~scale ~seed ()))
+    | "sensitivity" ->
+      print (E.Sensitivity.render_all (E.Sensitivity.all ~scale ~seed ()))
+    | "replicates" -> print (E.Replicates.render (E.Replicates.run ~scale ()))
+    | "compiler" ->
+      print (E.Compiler_cmp.render (E.Compiler_cmp.run ~scale ~seed ()))
+    | "waste" -> print (E.Waste.render "LLHH" (E.Waste.run ~scale ~seed ()))
+    | "speedup" -> print (E.Speedup.render "LLHH" (E.Speedup.run ~scale ~seed ()))
+    | other ->
+      prerr_endline ("unknown experiment: " ^ other);
+      exit 2
+  in
+  let all =
+    [
+      "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig9"; "fig10"; "fig11";
+      "fig12"; "claims"; "ablations"; "ext8"; "baselines"; "sensitivity";
+      "compiler"; "waste"; "speedup";
+    ]
+  in
+  (match name with
+  | "all" -> List.iter (fun id -> one id; print_newline ()) all
+  | id -> one id);
+  0
+
+let exp_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "One of table1, table2, fig4, fig5, fig6, fig9, fig10, fig11, \
+             fig12, claims, ablations, ext8, baselines, sensitivity, \
+             compiler, waste, speedup, replicates, all.")
+  in
+  let doc = "Regenerate a table or figure from the paper." in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also export the experiment's data as CSV files into DIR.")
+  in
+  Cmd.v (Cmd.info "exp" ~doc)
+    Term.(const run_experiment $ scale_arg $ seed_arg $ csv_arg $ name_arg)
+
+(* --- run ------------------------------------------------------------ *)
+
+let resolve_scheme name =
+  match Vliw_merge.Scheme_name.parse name with
+  | Ok scheme -> scheme
+  | Error msg ->
+    prerr_endline ("unknown scheme " ^ name ^ ": " ^ msg);
+    exit 2
+
+let run_sim scale seed scheme_name mix_name benchmarks perfect fixed_priority
+    no_stall_dmiss fixed_slots trace_len =
+  let scheme = resolve_scheme scheme_name in
+  let mode = match trace_len with None -> `Block | Some n -> `Trace n in
+  let profiles =
+    match benchmarks with
+    | [] ->
+      (match Vliw_workloads.Mixes.find mix_name with
+      | Some mix -> mix.members
+      | None ->
+        prerr_endline ("unknown mix: " ^ mix_name);
+        exit 2)
+    | names ->
+      List.map
+        (fun n ->
+          match Vliw_workloads.Benchmarks.find n with
+          | Some p -> p
+          | None ->
+            prerr_endline ("unknown benchmark: " ^ n);
+            exit 2)
+        names
+  in
+  let routing =
+    if fixed_slots then Vliw_merge.Conflict.Fixed_slots
+    else Vliw_merge.Conflict.Flexible
+  in
+  let config =
+    Vliw_sim.Config.make ~rotate_priority:(not fixed_priority)
+      ~stall_on_dmiss:(not no_stall_dmiss) ~routing scheme
+  in
+  let metrics =
+    Vliw_sim.Multitask.run config ~perfect_mem:perfect ~seed
+      ~schedule:(E.Common.schedule_of_scale scale) ~mode profiles
+  in
+  Format.printf "scheme %s = %s on [%s]@." scheme_name
+    (Vliw_merge.Scheme.to_string scheme)
+    (String.concat ", "
+       (List.map (fun (p : Vliw_compiler.Profile.t) -> p.name) profiles));
+  Format.printf "%a@." Vliw_sim.Metrics.pp metrics;
+  Format.printf "avg threads merged per issuing cycle: %.2f@."
+    (Vliw_sim.Metrics.avg_threads_merged metrics);
+  Array.iter
+    (fun (pt : Vliw_sim.Metrics.per_thread) ->
+      Format.printf "  %-16s ops=%-9d instrs=%d@." pt.name pt.ops pt.instrs)
+    metrics.per_thread;
+  0
+
+let run_cmd =
+  let scheme_arg =
+    Arg.(
+      value & opt string "2SC3"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Merging scheme name (see $(b,schemes)).")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "LLHH"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Table 2 workload mix name.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "benchmarks" ] ~docv:"NAMES"
+          ~doc:"Comma-separated benchmark names (overrides $(b,--mix)).")
+  in
+  let perfect_arg =
+    Arg.(value & flag & info [ "perfect" ] ~doc:"Perfect memory (no cache misses).")
+  in
+  let fixed_arg =
+    Arg.(
+      value & flag
+      & info [ "fixed-priority" ]
+          ~doc:"Disable round-robin priority rotation (ablation).")
+  in
+  let nostall_arg =
+    Arg.(
+      value & flag
+      & info [ "no-stall-dmiss" ]
+          ~doc:"Ideal non-blocking data cache (ablation).")
+  in
+  let fixedslots_arg =
+    Arg.(
+      value & flag
+      & info [ "fixed-slots" ]
+          ~doc:"Remove the SMT routing block: operations keep their \
+                original issue slots (ablation).")
+  in
+  let tracelen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-len" ] ~docv:"N"
+          ~doc:"Compile with N-block trace regions instead of per-block \
+                scheduling.")
+  in
+  let doc = "Simulate one scheme on one workload." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_sim $ scale_arg $ seed_arg $ scheme_arg $ mix_arg $ bench_arg
+      $ perfect_arg $ fixed_arg $ nostall_arg $ fixedslots_arg $ tracelen_arg)
+
+(* --- schemes / benchmarks ------------------------------------------- *)
+
+let list_schemes () =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Name"; "Structure"; "Delay"; "Transistors"; "Description" ]
+  in
+  List.iter
+    (fun (e : Vliw_merge.Catalog.entry) ->
+      Vliw_util.Text_table.add_row table
+        [
+          e.name;
+          Vliw_merge.Scheme.to_string e.scheme;
+          (if e.name = "ST" then "-"
+           else Printf.sprintf "%.1f" (Vliw_cost.Scheme_cost.delay e.scheme));
+          (if e.name = "ST" then "-"
+           else Printf.sprintf "%.0f" (Vliw_cost.Scheme_cost.transistors e.scheme));
+          e.description;
+        ])
+    Vliw_merge.Catalog.all;
+  print_string (Vliw_util.Text_table.render table);
+  0
+
+let schemes_cmd =
+  Cmd.v
+    (Cmd.info "schemes" ~doc:"List the merging-scheme catalog with hardware costs.")
+    Term.(const list_schemes $ const ())
+
+let list_benchmarks () =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Name"; "ILP"; "IPCr"; "IPCp"; "WS(KB)"; "Description" ]
+  in
+  List.iter
+    (fun (p : Vliw_compiler.Profile.t) ->
+      Vliw_util.Text_table.add_row table
+        [
+          p.name;
+          Vliw_compiler.Profile.ilp_letter p.ilp;
+          Printf.sprintf "%.2f" p.target_ipc_real;
+          Printf.sprintf "%.2f" p.target_ipc_perfect;
+          string_of_int p.working_set_kb;
+          p.description;
+        ])
+    Vliw_workloads.Benchmarks.all;
+  print_string (Vliw_util.Text_table.render table);
+  0
+
+let run_trace scheme_name mix_name cycles perfect =
+  let scheme = resolve_scheme scheme_name in
+  let mix =
+    match Vliw_workloads.Mixes.find mix_name with
+    | Some m -> m
+    | None ->
+      prerr_endline ("unknown mix: " ^ mix_name);
+      exit 2
+  in
+  let config = Vliw_sim.Config.make scheme in
+  let n = Vliw_sim.Config.contexts config in
+  let profiles =
+    List.filteri (fun i _ -> i < n) mix.members
+  in
+  let options = { Vliw_sim.Trace.default_options with cycles; perfect_mem = perfect } in
+  print_string (Vliw_sim.Trace.run config ~options profiles);
+  0
+
+let trace_cmd =
+  let scheme_arg =
+    Arg.(
+      value & opt string "2SC3"
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Merging scheme name.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "LLHH"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Table 2 workload mix name.")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to display.")
+  in
+  let perfect_arg =
+    Arg.(value & flag & info [ "perfect" ] ~doc:"Perfect memory.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Show a cycle-by-cycle merge trace (a dynamic Figure 1).")
+    Term.(const run_trace $ scheme_arg $ mix_arg $ cycles_arg $ perfect_arg)
+
+let run_compile bench_name mode_str trace_len dump seed =
+  let profile =
+    match Vliw_workloads.Benchmarks.find bench_name with
+    | Some p -> p
+    | None ->
+      prerr_endline ("unknown benchmark: " ^ bench_name);
+      exit 2
+  in
+  let mode =
+    match mode_str with
+    | "block" -> `Block
+    | "trace" -> `Trace trace_len
+    | other ->
+      prerr_endline ("unknown mode " ^ other ^ " (block|trace)");
+      exit 2
+  in
+  let machine = Vliw_isa.Machine.default in
+  let program = Vliw_compiler.Program.generate ~seed ~mode machine profile in
+  (match Vliw_compiler.Program.validate machine program with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("generated program failed validation: " ^ msg);
+    exit 1);
+  Format.printf "benchmark %s, %s scheduling@." profile.name
+    (match mode with `Block -> "block" | `Trace n -> Printf.sprintf "%d-block trace" n);
+  Format.printf "  regions: %d, instructions: %d, operations: %d@."
+    (Array.length program.blocks) program.total_instrs program.total_ops;
+  Format.printf "  static ops/instruction: %.2f@."
+    (Vliw_compiler.Program.static_ipc program);
+  Format.printf "  code footprint: %d KB@."
+    (program.total_instrs * program.instr_bytes / 1024);
+  if dump then print_string (Vliw_compiler.Asm.to_string program);
+  0
+
+let compile_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "g721encode"
+      & info [ "benchmark" ] ~docv:"NAME" ~doc:"Benchmark profile to compile.")
+  in
+  let mode_arg =
+    Arg.(
+      value & opt string "block"
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Scheduling mode: block or trace.")
+  in
+  let len_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "trace-len" ] ~docv:"N" ~doc:"Blocks per trace region.")
+  in
+  let dump_arg =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print the full program text.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run the synthetic compiler on a benchmark and show the result.")
+    Term.(const run_compile $ bench_arg $ mode_arg $ len_arg $ dump_arg $ seed_arg)
+
+let benchmarks_cmd =
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the Table 1 benchmark profiles.")
+    Term.(const list_benchmarks $ const ())
+
+let () =
+  let doc = "Thread merging schemes for multithreaded clustered VLIW processors" in
+  let info = Cmd.info "vliwsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+          [ exp_cmd; run_cmd; trace_cmd; compile_cmd; schemes_cmd; benchmarks_cmd ]))

@@ -1,0 +1,1 @@
+examples/clustering_study.ml: Format List Printf Vliw_compiler Vliw_isa Vliw_merge Vliw_sim Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+examples/clustering_study.mli:

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Format Vliw_compiler Vliw_merge Vliw_sim Vliw_workloads

@@ -1,0 +1,1 @@
+examples/design_space.ml: Format List Printf Vliw_compiler Vliw_cost Vliw_experiments Vliw_isa Vliw_merge Vliw_sim Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+examples/merge_visualizer.ml: Array Format List String Vliw_isa Vliw_merge

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List String Vliw_compiler Vliw_cost Vliw_isa Vliw_merge Vliw_sim Vliw_workloads

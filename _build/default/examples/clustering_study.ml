@@ -1,0 +1,57 @@
+(* How does the degree of clustering change the merging story?
+
+   The paper fixes a 4x4 machine. This example keeps the total issue
+   width at 16 and varies the cluster count (2x8, 4x4, 8x2), comparing
+   4-thread CSMT, the mixed 2SC3 and 4-thread SMT on the same workload:
+   more clusters means finer merge granularity, so cluster-level merging
+   recovers more of SMT's advantage.
+
+   Run with: dune exec examples/clustering_study.exe *)
+
+let () =
+  let mix = Vliw_workloads.Mixes.find_exn "LLMH" in
+  let schedule =
+    { Vliw_sim.Multitask.timeslice = 20_000; target_instrs = max_int; max_cycles = 150_000 }
+  in
+  let configs =
+    [
+      ( "1 cluster x 16-issue",
+        Vliw_isa.Machine.make ~clusters:1 ~issue_width:16 ~n_lsu:4 ~n_mul:8 () );
+      ( "2 clusters x 8-issue",
+        Vliw_isa.Machine.make ~clusters:2 ~issue_width:8 ~n_lsu:2 ~n_mul:4 () );
+      ("4 clusters x 4-issue", Vliw_isa.Machine.default);
+    ]
+  in
+  let schemes = [ "3CCC"; "2SC3"; "3SSS" ] in
+  let table =
+    Vliw_util.Text_table.create
+      ~header:("Machine" :: schemes @ [ "CSMT gap vs SMT" ])
+  in
+  List.iter
+    (fun (label, machine) ->
+      let rng = Vliw_util.Rng.create 5L in
+      let programs =
+        List.map
+          (fun p ->
+            Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
+              machine p)
+          mix.members
+      in
+      let ipc name =
+        let config =
+          Vliw_sim.Config.make ~machine (Vliw_merge.Catalog.find_exn name).scheme
+        in
+        Vliw_sim.Metrics.ipc
+          (Vliw_sim.Multitask.run_programs config ~seed:3L ~schedule programs)
+      in
+      let values = List.map ipc schemes in
+      let csmt = List.nth values 0 and smt = List.nth values 2 in
+      Vliw_util.Text_table.add_row table
+        (label
+        :: List.map (Printf.sprintf "%.2f") values
+        @ [ Printf.sprintf "%.0f%%" (Vliw_util.Stats.pct_diff smt csmt) ]))
+    configs;
+  Format.printf
+    "Clustering degree vs merging benefit (mix %s, 16 issue slots total)@.%s"
+    mix.name
+    (Vliw_util.Text_table.render table)

@@ -1,0 +1,81 @@
+(* Design-space exploration beyond the paper's 15 hand-picked schemes:
+   enumerate EVERY possible 4-thread merge network, evaluate its
+   hardware cost analytically and its performance on a quick simulation,
+   and report the Pareto front.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module E = Vliw_experiments
+
+let () =
+  let machine = Vliw_isa.Machine.default in
+  let schemes = Vliw_merge.Scheme_space.enumerate_named 4 in
+  Format.printf "Enumerated %d four-thread merge networks (%d tree shapes).@."
+    (List.length schemes)
+    (Vliw_merge.Scheme_space.shapes 4);
+
+  (* Quick performance estimate: one representative mixed workload. *)
+  let mix = Vliw_workloads.Mixes.find_exn "LLMH" in
+  let rng = Vliw_util.Rng.create 99L in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
+      mix.members
+  in
+  let schedule =
+    { Vliw_sim.Multitask.timeslice = 10_000; target_instrs = max_int; max_cycles = 60_000 }
+  in
+  let evaluate (name, scheme) =
+    let config = Vliw_sim.Config.make ~machine scheme in
+    let metrics = Vliw_sim.Multitask.run_programs config ~seed:7L ~schedule programs in
+    ( name,
+      Vliw_sim.Metrics.ipc metrics,
+      Vliw_cost.Scheme_cost.transistors scheme,
+      Vliw_cost.Scheme_cost.delay scheme )
+  in
+  let evaluated = List.map evaluate schemes in
+
+  (* Pareto front on (transistors down, IPC up). *)
+  let points = List.map (fun (n, ipc, trans, _) -> (n, trans, ipc)) evaluated in
+  let front = Vliw_cost.Scheme_cost.pareto_front points in
+  Format.printf "@.Pareto-optimal networks (transistors vs IPC on %s):@." mix.name;
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Structure"; "IPC"; "Transistors"; "Gate delays"; "Catalog name" ]
+  in
+  let catalog_name structure =
+    match
+      List.find_opt
+        (fun (e : Vliw_merge.Catalog.entry) ->
+          Vliw_merge.Scheme.to_string e.scheme = structure)
+        Vliw_merge.Catalog.all
+    with
+    | Some e -> e.name
+    | None -> "-"
+  in
+  List.iter
+    (fun (name, ipc, trans, delay) ->
+      if List.mem name front then
+        Vliw_util.Text_table.add_row table
+          [
+            name;
+            Printf.sprintf "%.2f" ipc;
+            Printf.sprintf "%.0f" trans;
+            Printf.sprintf "%.1f" delay;
+            catalog_name name;
+          ])
+    (List.sort (fun (_, _, t1, _) (_, _, t2, _) -> compare t1 t2) evaluated);
+  print_string (Vliw_util.Text_table.render table);
+
+  (* How do the paper's picks fare? *)
+  Format.printf "@.The paper's named schemes among %d evaluated networks:@."
+    (List.length evaluated);
+  List.iter
+    (fun pick ->
+      let e = Vliw_merge.Catalog.find_exn pick in
+      let structure = Vliw_merge.Scheme.to_string e.scheme in
+      let on_front = List.mem structure front in
+      Format.printf "  %-5s %s -> %s@." pick structure
+        (if on_front then "Pareto-optimal" else "dominated"))
+    [ "C4"; "3CCC"; "2SC3"; "3SSS"; "2SC" ]

@@ -1,0 +1,58 @@
+(* Quickstart: simulate the paper's recommended scheme (2SC3) on one of
+   its workload mixes and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. The machine: the paper's 4-cluster, 4-issue-per-cluster VEX-like
+     processor (64 KB caches, 20-cycle miss penalty). *)
+  let machine = Vliw_isa.Machine.default in
+  Format.printf "Machine: %a@." Vliw_isa.Machine.pp machine;
+
+  (* 2. A merging scheme from the catalog. 2SC3 merges threads 0 and 1
+     at operation level (SMT) and the result with threads 2 and 3 at
+     cluster level (parallel CSMT). *)
+  let entry = Vliw_merge.Catalog.find_exn "2SC3" in
+  Format.printf "Scheme %s: %s@." entry.name
+    (Vliw_merge.Scheme.to_string entry.scheme);
+  Format.printf "  merge-control cost: %.0f transistors, %.1f gate delays@."
+    (Vliw_cost.Scheme_cost.transistors entry.scheme)
+    (Vliw_cost.Scheme_cost.delay entry.scheme);
+
+  (* 3. A workload: Table 2's LLHH mix (two low-ILP threads, two
+     high-ILP threads). *)
+  let mix = Vliw_workloads.Mixes.find_exn "LLHH" in
+  Format.printf "Workload %s: %s@." mix.name
+    (String.concat ", "
+       (List.map (fun (p : Vliw_compiler.Profile.t) -> p.name) mix.members));
+
+  (* 4. Simulate. The multitasking environment compiles each profile to
+     a clustered VLIW program, schedules the threads on the hardware
+     contexts and runs the merge engine every cycle. *)
+  let config = Vliw_sim.Config.make ~machine entry.scheme in
+  let schedule =
+    { Vliw_sim.Multitask.timeslice = 50_000; target_instrs = 1_000_000; max_cycles = 300_000 }
+  in
+  let metrics = Vliw_sim.Multitask.run config ~seed:42L ~schedule mix.members in
+
+  (* 5. Inspect. *)
+  Format.printf "@.%a@." Vliw_sim.Metrics.pp metrics;
+  Format.printf "threads merged per issuing cycle: %.2f@."
+    (Vliw_sim.Metrics.avg_threads_merged metrics);
+  Array.iter
+    (fun (pt : Vliw_sim.Metrics.per_thread) ->
+      Format.printf "  %-14s %7d VLIW instructions, %8d operations@." pt.name
+        pt.instrs pt.ops)
+    metrics.per_thread;
+
+  (* 6. Compare against the two extremes on the same workload. *)
+  Format.printf "@.Against the extremes:@.";
+  List.iter
+    (fun name ->
+      let e = Vliw_merge.Catalog.find_exn name in
+      let config = Vliw_sim.Config.make ~machine e.scheme in
+      let m = Vliw_sim.Multitask.run config ~seed:42L ~schedule mix.members in
+      Format.printf "  %-5s IPC %.2f (%6.0f transistors)@." name
+        (Vliw_sim.Metrics.ipc m)
+        (Vliw_cost.Scheme_cost.transistors e.scheme))
+    [ "3CCC"; "2SC3"; "3SSS" ]

@@ -1,0 +1,1 @@
+lib/compiler/asm.ml: Array Buffer List Printf Program Result String Vliw_isa

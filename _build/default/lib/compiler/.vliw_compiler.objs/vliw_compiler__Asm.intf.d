@@ -1,0 +1,1 @@
+lib/compiler/asm.mli: Profile Program Vliw_isa

@@ -1,0 +1,1 @@
+lib/compiler/bug.ml: Array Dag Fun List Vliw_isa

@@ -1,0 +1,1 @@
+lib/compiler/bug.mli: Dag Vliw_isa

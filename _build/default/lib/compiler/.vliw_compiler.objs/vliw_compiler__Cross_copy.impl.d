@@ -1,0 +1,1 @@
+lib/compiler/cross_copy.ml: Array Dag Hashtbl List Vliw_isa

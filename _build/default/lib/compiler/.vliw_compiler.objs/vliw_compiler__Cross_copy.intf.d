@@ -1,0 +1,1 @@
+lib/compiler/cross_copy.mli: Dag

@@ -1,0 +1,1 @@
+lib/compiler/dag.ml: Array Float List Profile Vliw_isa Vliw_util

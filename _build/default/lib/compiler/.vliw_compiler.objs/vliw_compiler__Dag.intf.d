@@ -1,0 +1,1 @@
+lib/compiler/dag.mli: Profile Vliw_isa Vliw_util

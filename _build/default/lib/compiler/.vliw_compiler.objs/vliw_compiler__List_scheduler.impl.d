@@ -1,0 +1,1 @@
+lib/compiler/list_scheduler.ml: Array Bug Dag Fun List Printf Vliw_isa

@@ -1,0 +1,1 @@
+lib/compiler/list_scheduler.mli: Dag Vliw_isa

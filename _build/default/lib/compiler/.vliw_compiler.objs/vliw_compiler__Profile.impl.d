@@ -1,0 +1,1 @@
+lib/compiler/profile.ml: Format

@@ -1,0 +1,1 @@
+lib/compiler/program.ml: Array Bug Cross_copy Dag Fun List List_scheduler Profile Vliw_isa Vliw_util

@@ -1,0 +1,1 @@
+lib/compiler/program.mli: Profile Vliw_isa

@@ -1,0 +1,217 @@
+module Isa = Vliw_isa
+
+let class_of_name = function
+  | "add" -> Some Isa.Op.Alu
+  | "mpy" -> Some Isa.Op.Mul
+  | "ld" -> Some Isa.Op.Load
+  | "st" -> Some Isa.Op.Store
+  | "br" -> Some Isa.Op.Branch
+  | "mov" -> Some Isa.Op.Copy
+  | _ -> None
+
+let op_to_string (op : Isa.Op.t) =
+  Printf.sprintf "%s#%d" (Isa.Op.class_name op.klass) op.id
+
+let to_string (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "program %s\n" p.profile.name);
+  Array.iteri
+    (fun r (b : Program.block) ->
+      Buffer.add_string buf
+        (Printf.sprintf "region %d fallthrough %d\n" r b.fall_through);
+      Array.iter
+        (fun (idx, target) ->
+          Buffer.add_string buf (Printf.sprintf "  exit %d -> %d\n" idx target))
+        b.exits;
+      Array.iteri
+        (fun i (instr : Isa.Instr.t) ->
+          let cluster ops =
+            if ops = [] then "-" else String.concat " " (List.map op_to_string ops)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %d: %s\n" i
+               (String.concat " | " (Array.to_list (Array.map cluster instr.ops)))))
+        b.instrs)
+    p.blocks;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type raw_region = {
+  mutable raw_fall_through : int;
+  mutable raw_exits : (int * int) list;  (* reversed *)
+  mutable raw_instrs : Isa.Op.t list array list;  (* reversed *)
+}
+
+let parse_op token =
+  match String.index_opt token '#' with
+  | None -> Error (Printf.sprintf "malformed operation %S (expected class#id)" token)
+  | Some i ->
+    let name = String.sub token 0 i in
+    let id_str = String.sub token (i + 1) (String.length token - i - 1) in
+    (match (class_of_name name, int_of_string_opt id_str) with
+    | Some klass, Some id -> Ok (Isa.Op.make klass id)
+    | None, _ -> Error (Printf.sprintf "unknown operation class %S" name)
+    | _, None -> Error (Printf.sprintf "bad operation id %S" id_str))
+
+let parse_cluster text =
+  let text = String.trim text in
+  if text = "-" || text = "" then Ok []
+  else begin
+    let tokens = String.split_on_char ' ' text |> List.filter (fun s -> s <> "") in
+    List.fold_left
+      (fun acc token ->
+        match acc with
+        | Error _ as e -> e
+        | Ok ops ->
+          (match parse_op token with Ok op -> Ok (op :: ops) | Error _ as e -> e))
+      (Ok []) tokens
+    |> Result.map List.rev
+  end
+
+let split_on_string ~sep s =
+  (* Split on a multi-char separator. *)
+  let seplen = String.length sep in
+  let rec go start acc =
+    match
+      let rec find i =
+        if i + seplen > String.length s then None
+        else if String.sub s i seplen = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []
+
+let parse_instr_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "malformed instruction line %S" line)
+  | Some colon ->
+    let body = String.sub line (colon + 1) (String.length line - colon - 1) in
+    let clusters = split_on_string ~sep:"|" body in
+    List.fold_left
+      (fun acc cluster ->
+        match acc with
+        | Error _ as e -> e
+        | Ok cs ->
+          (match parse_cluster cluster with
+          | Ok ops -> Ok (ops :: cs)
+          | Error _ as e -> e))
+      (Ok []) clusters
+    |> Result.map (fun cs -> Array.of_list (List.rev cs))
+
+let parse ~profile ?(machine = Isa.Machine.default) text =
+  let lines = String.split_on_char '\n' text in
+  let regions = ref [] in
+  let current = ref None in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let flush_current () =
+    match !current with Some r -> regions := r :: !regions | None -> ()
+  in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      let fail msg = fail (Printf.sprintf "line %d: %s" (lineno + 1) msg) in
+      if !error <> None || line = "" || String.length line = 0 then ()
+      else if String.length line >= 8 && String.sub line 0 8 = "program " then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "region " then begin
+        flush_current ();
+        match String.split_on_char ' ' line with
+        | [ "region"; _; "fallthrough"; ft ] ->
+          (match int_of_string_opt ft with
+          | Some ft ->
+            current :=
+              Some { raw_fall_through = ft; raw_exits = []; raw_instrs = [] }
+          | None -> fail "bad fall-through")
+        | _ -> fail "malformed region header"
+      end
+      else begin
+        match !current with
+        | None -> fail "content before any region header"
+        | Some r ->
+          if String.length line >= 5 && String.sub line 0 5 = "exit " then begin
+            match String.split_on_char ' ' line with
+            | [ "exit"; idx; "->"; target ] ->
+              (match (int_of_string_opt idx, int_of_string_opt target) with
+              | Some idx, Some target -> r.raw_exits <- (idx, target) :: r.raw_exits
+              | _ -> fail "bad exit")
+            | _ -> fail "malformed exit line"
+          end
+          else begin
+            match parse_instr_line line with
+            | Ok clusters -> r.raw_instrs <- clusters :: r.raw_instrs
+            | Error msg -> fail msg
+          end
+      end)
+    lines;
+  flush_current ();
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let regions = List.rev !regions in
+    if regions = [] then Error "no regions"
+    else begin
+      let instr_bytes = 4 * Isa.Machine.total_issue machine in
+      let next_addr = ref 0 in
+      let blocks =
+        List.map
+          (fun r ->
+            let instrs =
+              List.rev r.raw_instrs
+              |> List.map (fun clusters ->
+                     let addr = !next_addr in
+                     next_addr := !next_addr + instr_bytes;
+                     Isa.Instr.of_cluster_ops ~addr clusters)
+              |> Array.of_list
+            in
+            {
+              Program.instrs;
+              exits = Array.of_list (List.rev r.raw_exits);
+              fall_through = r.raw_fall_through;
+            })
+          regions
+        |> Array.of_list
+      in
+      let total_ops =
+        Array.fold_left
+          (fun acc (b : Program.block) ->
+            Array.fold_left (fun acc i -> acc + Isa.Instr.op_count i) acc b.instrs)
+          0 blocks
+      in
+      let total_instrs =
+        Array.fold_left
+          (fun acc (b : Program.block) -> acc + Array.length b.instrs)
+          0 blocks
+      in
+      let program =
+        {
+          Program.profile;
+          blocks;
+          entry = 0;
+          instr_bytes;
+          mode = `Block;
+          total_ops;
+          total_instrs;
+        }
+      in
+      match Program.validate machine program with
+      | Ok () -> Ok program
+      | Error msg -> Error ("invalid program: " ^ msg)
+    end
+
+let roundtrip_equal (a : Program.t) (b : Program.t) =
+  let block_equal (x : Program.block) (y : Program.block) =
+    x.fall_through = y.fall_through
+    && x.exits = y.exits
+    && Array.length x.instrs = Array.length y.instrs
+    && Array.for_all2
+         (fun (i : Isa.Instr.t) (j : Isa.Instr.t) -> i.ops = j.ops)
+         x.instrs y.instrs
+  in
+  a.entry = b.entry
+  && Array.length a.blocks = Array.length b.blocks
+  && Array.for_all2 block_equal a.blocks b.blocks

@@ -1,0 +1,36 @@
+(** Textual format for compiled programs.
+
+    A human-readable dump/parse round-trip for {!Program.t}: useful for
+    inspecting what the synthetic compiler produced, for diffing
+    schedules across compiler modes, and for hand-writing small kernels
+    to feed the simulator (see [examples/custom_kernel.ml]).
+
+    Format (one region per [region] header, one instruction per line;
+    clusters separated by [|]; operations as [class#id] with classes
+    add/mpy/ld/st/br/mov; [-] for an empty cluster):
+
+    {v
+    program dotprod
+    region 0 fallthrough 1
+      exit 3 -> 2
+      0: ld#0 add#1 | - | mpy#2 | -
+      1: - | add#3 | - | -
+      ...
+    v} *)
+
+val to_string : Program.t -> string
+
+val parse :
+  profile:Profile.t ->
+  ?machine:Vliw_isa.Machine.t ->
+  string ->
+  (Program.t, string) result
+(** Parses a dump back into a program. The [profile] supplies the
+    dynamic parameters (branch probability, memory behaviour) that the
+    text format does not carry; instructions are re-addressed
+    sequentially. The result is validated against [machine] (default
+    machine if omitted). *)
+
+val roundtrip_equal : Program.t -> Program.t -> bool
+(** Structural equality of the parts the format preserves (instructions,
+    exits, fall-throughs, entry). *)

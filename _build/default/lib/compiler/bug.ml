@@ -1,0 +1,96 @@
+(* Bottom-Up-Greedy-style cluster assignment, concentration-first.
+
+   Real clustered compilers keep dependence chains on as few clusters as
+   possible (inter-cluster moves are expensive) and only open another
+   cluster when the current ones would lengthen the schedule. We model
+   that with a capacity budget per cluster derived from the DAG's
+   critical-path length: a cluster accepts operations until its issue
+   slots (or its fixed LSU/multiplier slots) would saturate over the
+   estimated schedule, then the next cluster in [perm] order opens.
+
+   [perm] varies from block to block (different regions of a program get
+   different allocations), which is what gives co-scheduled threads the
+   cluster-usage diversity cluster-level merging exploits. Narrow blocks
+   therefore occupy one dense cluster; wide blocks spread over all. *)
+
+let fill_factor = 0.16
+
+let assign ?perm (m : Vliw_isa.Machine.t) (dag : Dag.t) =
+  let n = Dag.size dag in
+  let perm =
+    match perm with
+    | Some p ->
+      if Array.length p <> m.clusters then
+        invalid_arg "Bug.assign: permutation arity mismatch";
+      p
+    | None -> Array.init m.clusters Fun.id
+  in
+  if n = 0 then [||]
+  else begin
+    let first_id = dag.nodes.(0).id in
+    let height = Dag.critical_height dag in
+    let sched_len = Array.fold_left max 1 height in
+    let cap_of units =
+      max 1 (int_of_float (ceil (fill_factor *. float_of_int (sched_len * units))))
+    in
+    let cap_total = cap_of m.issue_width in
+    let cap_mem = cap_of (max 1 m.n_lsu) in
+    let cap_mul = cap_of (max 1 m.n_mul) in
+    let assignment = Array.make n 0 in
+    let load = Array.make m.clusters 0 in
+    let mem_load = Array.make m.clusters 0 in
+    let mul_load = Array.make m.clusters 0 in
+    let has_capacity klass c =
+      load.(c) < cap_total
+      &&
+      match (klass : Vliw_isa.Op.op_class) with
+      | Load | Store -> mem_load.(c) < cap_mem
+      | Mul -> mul_load.(c) < cap_mul
+      | Alu | Branch | Copy -> true
+    in
+    let affinity i c =
+      List.fold_left
+        (fun acc pred ->
+          let pi = pred - first_id in
+          (* Live-in predecessors (earlier blocks) carry no affinity. *)
+          if pi >= 0 && pi < n && assignment.(pi) = c then acc + 1 else acc)
+        0 dag.nodes.(i).preds
+    in
+    for i = 0 to n - 1 do
+      let klass = dag.nodes.(i).klass in
+      (* Candidates in perm order; prefer highest affinity among clusters
+         with remaining capacity, then the earliest such cluster. *)
+      let best = ref (-1) and best_aff = ref (-1) in
+      Array.iter
+        (fun c ->
+          if has_capacity klass c then begin
+            let a = affinity i c in
+            if a > !best_aff then begin
+              best := c;
+              best_aff := a
+            end
+          end)
+        perm;
+      let c =
+        if !best >= 0 then !best
+        else begin
+          (* All clusters over budget: fall back to the least loaded. *)
+          let least = ref perm.(0) in
+          Array.iter (fun c -> if load.(c) < load.(!least) then least := c) perm;
+          !least
+        end
+      in
+      assignment.(i) <- c;
+      load.(c) <- load.(c) + 1;
+      (match klass with
+      | Load | Store -> mem_load.(c) <- mem_load.(c) + 1
+      | Mul -> mul_load.(c) <- mul_load.(c) + 1
+      | Alu | Branch | Copy -> ())
+    done;
+    assignment
+  end
+
+let cluster_loads (m : Vliw_isa.Machine.t) (dag : Dag.t) assignment =
+  let load = Array.make m.clusters 0 in
+  Array.iteri (fun i _ -> load.(assignment.(i)) <- load.(assignment.(i)) + 1) dag.nodes;
+  load

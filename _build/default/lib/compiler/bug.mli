@@ -1,0 +1,20 @@
+(** Bottom-Up Greedy cluster assignment (after Ellis' Bulldog; the
+    algorithm the VEX compiler uses, §5.1).
+
+    A light-weight re-implementation: operations are visited in
+    topological order and placed concentration-first — a cluster accepts
+    operations (preferring the cluster of their predecessors) until its
+    issue or fixed LSU/multiplier capacity would saturate over the
+    estimated schedule length, and only then does the next cluster in
+    [perm] order open. Narrow (low-ILP) blocks therefore occupy one
+    dense cluster while wide blocks spread over all clusters, and the
+    per-block permutation gives co-scheduled threads the cluster-usage
+    diversity that cluster-level merging exploits. *)
+
+val assign : ?perm:int array -> Vliw_isa.Machine.t -> Dag.t -> int array
+(** [assign ?perm m dag] maps each node index (not id) to a cluster of
+    [m]. [perm] is the cluster-opening order (default: identity); it
+    must be a permutation of [0 .. clusters-1]. *)
+
+val cluster_loads : Vliw_isa.Machine.t -> Dag.t -> int array -> int array
+(** Ops per cluster under an assignment (for balance diagnostics). *)

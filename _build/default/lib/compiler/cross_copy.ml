@@ -1,0 +1,56 @@
+let insert (dag : Dag.t) assignment =
+  let n = Dag.size dag in
+  if n = 0 then (dag, assignment)
+  else begin
+    let first_id = dag.nodes.(0).id in
+    let out_nodes = ref [] in
+    let out_clusters = ref [] in
+    let next = ref first_id in
+    let emit klass preds cluster level =
+      let id = !next in
+      incr next;
+      out_nodes := { Dag.id; klass; preds; level } :: !out_nodes;
+      out_clusters := cluster :: !out_clusters;
+      id
+    in
+    let new_id_of = Array.make n (-1) in
+    let copy_memo = Hashtbl.create 16 in
+    for i = 0 to n - 1 do
+      let node = dag.nodes.(i) in
+      let c = assignment.(i) in
+      let new_preds =
+        List.map
+          (fun p ->
+            let pi = p - first_id in
+            if pi < 0 || pi >= n then
+              (* Live-in values are assumed available on every cluster
+                 (the register allocator of a real compiler broadcasts
+                 long-lived values; we do not charge copies for them). *)
+              p
+            else begin
+            let pc = assignment.(pi) in
+            if pc = c then new_id_of.(pi)
+            else begin
+              match Hashtbl.find_opt copy_memo (pi, c) with
+              | Some cid -> cid
+              | None ->
+                let cid =
+                  emit Vliw_isa.Op.Copy [ new_id_of.(pi) ] pc node.level
+                in
+                Hashtbl.add copy_memo (pi, c) cid;
+                cid
+            end
+            end)
+          node.preds
+      in
+      new_id_of.(i) <- emit node.klass new_preds c node.level
+    done;
+    ( { Dag.nodes = Array.of_list (List.rev !out_nodes); live_in = dag.live_in },
+      Array.of_list (List.rev !out_clusters) )
+  end
+
+let copy_count (dag : Dag.t) =
+  Array.fold_left
+    (fun acc (node : Dag.node) ->
+      if node.klass = Vliw_isa.Op.Copy then acc + 1 else acc)
+    0 dag.nodes

@@ -1,0 +1,21 @@
+(** Inter-cluster copy insertion.
+
+    Clustered VLIWs have no shared register file: a value produced on one
+    cluster and consumed on another needs an explicit copy operation
+    (Bulldog/BUG inserts these; VEX code is full of them). For every
+    dependence edge that crosses clusters, this pass inserts one
+    single-cycle [Copy] operation on the source cluster per (producer,
+    destination cluster) pair, shared by all consumers on that cluster.
+
+    Copies consume issue slots and lengthen dependence chains — the real
+    cost of spreading code, and the reason merged instructions of
+    multi-cluster code occupy more clusters than their useful operations
+    alone would. *)
+
+val insert : Dag.t -> int array -> Dag.t * int array
+(** [insert dag assignment] returns the augmented DAG (ids renumbered,
+    still topologically ordered, branch still last) and the matching
+    cluster assignment. *)
+
+val copy_count : Dag.t -> int
+(** Number of [Copy] nodes (diagnostics and tests). *)

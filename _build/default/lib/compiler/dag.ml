@@ -1,0 +1,153 @@
+type node = {
+  id : int;
+  klass : Vliw_isa.Op.op_class;
+  preds : int list;
+  level : int;
+}
+
+type t = { nodes : node array; live_in : int list }
+
+let size t = Array.length t.nodes
+
+let n_levels t =
+  Array.fold_left (fun acc n -> max acc (n.level + 1)) 0 t.nodes
+
+let op_of_node n = Vliw_isa.Op.make n.klass n.id
+
+module Rng = Vliw_util.Rng
+
+(* Draw an operation class from the profile mix. Branches are handled
+   separately (exactly one per block, at the end). *)
+let draw_class rng (p : Profile.t) =
+  let r = Rng.float rng 1.0 in
+  if r < p.frac_mem then
+    if Rng.bernoulli rng p.store_frac then Vliw_isa.Op.Store else Vliw_isa.Op.Load
+  else if r < p.frac_mem +. p.frac_mul then Vliw_isa.Op.Mul
+  else Vliw_isa.Op.Alu
+
+(* Narrow (serial) code carries its dependence chain across block
+   boundaries almost surely; wide code starts mostly fresh work. *)
+let live_in_consume_prob (p : Profile.t) =
+  min 0.9 (0.4 +. (0.6 /. p.dag_parallelism))
+
+let generate rng (p : Profile.t) ~with_branch ~first_id ?(live_in = []) () =
+  let live_in_arr = Array.of_list live_in in
+  let consume_prob = live_in_consume_prob p in
+  let body_ops =
+    let mean = float_of_int p.block_ops_mean in
+    let n = int_of_float (Float.round (Rng.gaussian rng ~mu:mean ~sigma:(mean /. 4.0))) in
+    max 1 n
+  in
+  let nodes = ref [] in
+  let made = ref 0 in
+  let level = ref 0 in
+  let prev_level_ids = ref [] in
+  while !made < body_ops do
+    let width =
+      let w =
+        Rng.gaussian rng ~mu:p.dag_parallelism ~sigma:(p.dag_parallelism /. 3.0)
+      in
+      max 1 (int_of_float (Float.round w))
+    in
+    let width = min width (body_ops - !made) in
+    let this_level = ref [] in
+    for _ = 1 to width do
+      let id = first_id + !made in
+      let preds =
+        if !level = 0 then begin
+          (* Entry operations may consume live-in values from the
+             predecessor block. *)
+          if Array.length live_in_arr > 0 && Rng.bernoulli rng consume_prob
+          then [ Rng.choose rng live_in_arr ]
+          else []
+        end
+        else begin
+          let pick () = Rng.choose rng (Array.of_list !prev_level_ids) in
+          let p1 = pick () in
+          if Rng.bernoulli rng 0.35 && List.length !prev_level_ids > 1 then begin
+            let p2 = pick () in
+            if p2 = p1 then [ p1 ] else [ p1; p2 ]
+          end
+          else [ p1 ]
+        end
+      in
+      let klass = draw_class rng p in
+      nodes := { id; klass; preds; level = !level } :: !nodes;
+      this_level := id :: !this_level;
+      incr made
+    done;
+    prev_level_ids := !this_level;
+    incr level
+  done;
+  if with_branch then begin
+    let id = first_id + !made in
+    let preds =
+      match !prev_level_ids with
+      | [] -> []
+      | ids -> [ List.hd ids ]
+    in
+    nodes := { id; klass = Vliw_isa.Op.Branch; preds; level = !level } :: !nodes
+  end;
+  { nodes = Array.of_list (List.rev !nodes); live_in }
+
+let last_levels t =
+  let depth = n_levels t in
+  Array.to_list t.nodes
+  |> List.filter_map (fun n ->
+         if n.klass <> Vliw_isa.Op.Branch && n.level >= depth - 2 then Some n.id
+         else None)
+
+let live_out t = List.length (last_levels t)
+
+let critical_height t =
+  let n = Array.length t.nodes in
+  let first_id = if n = 0 then 0 else t.nodes.(0).id in
+  let height = Array.make n 1 in
+  (* Nodes are topologically ordered, so a reverse sweep suffices.
+     Live-in predecessors are outside the array and ignored. *)
+  for i = n - 1 downto 0 do
+    let node = t.nodes.(i) in
+    List.iter
+      (fun pred ->
+        let pi = pred - first_id in
+        if pi >= 0 then height.(pi) <- max height.(pi) (height.(i) + 1))
+      node.preds
+  done;
+  height
+
+let validate t =
+  let n = Array.length t.nodes in
+  let first_id = if n = 0 then 0 else t.nodes.(0).id in
+  let rec check i =
+    if i >= n then Ok ()
+    else begin
+      let node = t.nodes.(i) in
+      let pred_ok p =
+        (p >= first_id && p < node.id) || (p < first_id && List.mem p t.live_in)
+      in
+      if node.id <> first_id + i then Error "ids must be consecutive"
+      else if not (List.for_all pred_ok node.preds) then
+        Error "predecessors must precede their node or be declared live-in"
+      else if node.klass = Vliw_isa.Op.Branch && i <> n - 1 then
+        Error "branch must be the last node"
+      else check (i + 1)
+    end
+  in
+  check 0
+
+let concat dags =
+  match dags with
+  | [] -> { nodes = [||]; live_in = [] }
+  | first :: _ ->
+    let nodes = Array.concat (List.map (fun d -> d.nodes) dags) in
+    let first_id = if Array.length nodes = 0 then 0 else nodes.(0).id in
+    let last_id = first_id + Array.length nodes - 1 in
+    (* Edges into the merged region stay live-in; edges between the
+       merged blocks become internal. *)
+    let live_in =
+      List.concat_map (fun d -> d.live_in) dags
+      |> List.filter (fun id -> id < first_id || id > last_id)
+      |> List.sort_uniq compare
+    in
+    ignore first;
+    { nodes; live_in }

@@ -1,0 +1,64 @@
+(** Dependence DAGs for basic blocks.
+
+    A layered random DAG: operations at level 0 are independent (or
+    consume live-in values produced by a predecessor block); an operation
+    at level [l] depends on one or more operations at earlier levels.
+    Level widths are drawn around the profile's [dag_parallelism], which
+    is what ultimately controls the ILP the list scheduler can extract.
+    A block optionally ends with a branch operation that depends on late
+    operations, so it is scheduled last.
+
+    Predecessor ids smaller than the block's [first_id] reference
+    operations of earlier blocks ([live_in]); schedulers treat them as
+    available unless blocks are merged into one region (trace
+    scheduling), where they become ordinary edges. *)
+
+type node = {
+  id : int;
+  klass : Vliw_isa.Op.op_class;
+  preds : int list;  (** Ids of operations this one depends on. *)
+  level : int;
+}
+
+type t = {
+  nodes : node array;
+  live_in : int list;  (** External ids the block may depend on. *)
+}
+
+val generate :
+  Vliw_util.Rng.t ->
+  Profile.t ->
+  with_branch:bool ->
+  first_id:int ->
+  ?live_in:int list ->
+  unit ->
+  t
+(** Random DAG for one basic block; node ids start at [first_id] and are
+    topologically ordered (in-block predecessor ids are always smaller).
+    Level-0 operations consume values from [live_in] with moderate
+    probability, creating cross-block dependence chains. *)
+
+val size : t -> int
+
+val n_levels : t -> int
+
+val live_out : t -> int
+(** Number of candidate live-out values (operations of the last two
+    levels) — what a successor block may consume. *)
+
+val critical_height : t -> int array
+(** For each node, the height of the longest dependence chain rooted at
+    it (used as list-scheduling priority). Live-in edges contribute
+    nothing. *)
+
+val validate : t -> (unit, string) result
+(** Topological id order, in-block predecessors smaller than their node,
+    external predecessors declared in [live_in], at most one branch and
+    only as the last node. *)
+
+val op_of_node : node -> Vliw_isa.Op.t
+
+val concat : t list -> t
+(** Merge consecutive blocks' DAGs into one region (ids must be globally
+    consecutive across the inputs, as {!Program} produces them);
+    formerly-external edges between the inputs become internal. *)

@@ -1,0 +1,186 @@
+module Isa = Vliw_isa
+module Rng = Vliw_util.Rng
+
+type mode = [ `Block | `Trace of int ]
+
+type block = {
+  instrs : Isa.Instr.t array;
+  exits : (int * int) array;
+  fall_through : int;
+}
+
+type t = {
+  profile : Profile.t;
+  blocks : block array;
+  entry : int;
+  instr_bytes : int;
+  mode : mode;
+  total_ops : int;
+  total_instrs : int;
+}
+
+(* One VLIW instruction occupies 4 bytes per issue slot, like VEX's
+   32-bit syllables. *)
+let instr_bytes_of (m : Isa.Machine.t) = 4 * Isa.Machine.total_issue m
+
+(* Values a successor block may consume: the last few non-branch
+   operations of the region. *)
+let live_out_ids (dag : Dag.t) =
+  let ids = ref [] in
+  let n = Dag.size dag in
+  let taken = ref 0 in
+  let i = ref (n - 1) in
+  while !taken < 6 && !i >= 0 do
+    let node = dag.nodes.(!i) in
+    if node.klass <> Isa.Op.Branch then begin
+      ids := node.id :: !ids;
+      incr taken
+    end;
+    decr i
+  done;
+  !ids
+
+let generate ~seed ?(mode = `Block) (m : Isa.Machine.t) (p : Profile.t) =
+  (match Profile.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Program.generate: " ^ p.name ^ ": " ^ msg));
+  let blocks_per_region =
+    match mode with
+    | `Block -> 1
+    | `Trace n ->
+      if n < 1 then invalid_arg "Program.generate: trace length must be >= 1";
+      n
+  in
+  let rng = Rng.create seed in
+  let dag_rng = Rng.split rng in
+  let cfg_rng = Rng.split rng in
+  let instr_bytes = instr_bytes_of m in
+  let n_regions = max 1 (p.static_blocks / blocks_per_region) in
+  let hot_count = max 1 (n_regions / 5) in
+  let next_id = ref 0 in
+  let next_addr = ref 0 in
+  let live = ref [] in
+  let build_region () =
+    (* Generate the region's basic blocks, chained by live values. *)
+    let sub_dags =
+      List.init blocks_per_region (fun _ ->
+          let dag =
+            Dag.generate dag_rng p ~with_branch:true ~first_id:!next_id
+              ~live_in:!live ()
+          in
+          next_id := !next_id + Dag.size dag;
+          live := live_out_ids dag;
+          dag)
+    in
+    let region = Dag.concat sub_dags in
+    (* Each region gets its own cluster-opening order: different regions
+       of a real program get different allocations, so a thread's
+       cluster usage varies over time — the decorrelation that lets
+       cluster-level merging recover from collisions. *)
+    let perm = Array.init m.clusters Fun.id in
+    Rng.shuffle cfg_rng perm;
+    let assignment = Bug.assign ~perm m region in
+    let region, assignment = Cross_copy.insert region assignment in
+    next_id := region.nodes.(Dag.size region - 1).id + 1;
+    live := live_out_ids region;
+    let instrs =
+      List_scheduler.schedule m region ~assignment ~base_addr:!next_addr
+        ~instr_bytes
+    in
+    next_addr := !next_addr + (Array.length instrs * instr_bytes);
+    instrs
+  in
+  let pick_target () =
+    if Rng.bernoulli cfg_rng p.hot_frac then Rng.int cfg_rng hot_count
+    else Rng.int cfg_rng n_regions
+  in
+  let blocks =
+    Array.init n_regions (fun r ->
+        let instrs = build_region () in
+        let exits = ref [] in
+        Array.iteri
+          (fun idx instr ->
+            if Isa.Instr.has_branch instr then
+              exits := (idx, pick_target ()) :: !exits)
+          instrs;
+        {
+          instrs;
+          exits = Array.of_list (List.rev !exits);
+          fall_through = (r + 1) mod n_regions;
+        })
+  in
+  let total_ops =
+    Array.fold_left
+      (fun acc b ->
+        Array.fold_left (fun acc i -> acc + Isa.Instr.op_count i) acc b.instrs)
+      0 blocks
+  in
+  let total_instrs =
+    Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 blocks
+  in
+  { profile = p; blocks; entry = 0; instr_bytes; mode; total_ops; total_instrs }
+
+let exit_target b pc =
+  Array.fold_left
+    (fun acc (idx, target) -> if idx = pc then Some target else acc)
+    None b.exits
+
+let block_of_addr t addr =
+  let n = Array.length t.blocks in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let b = t.blocks.(i) in
+      let lo = b.instrs.(0).addr in
+      let hi = lo + (Array.length b.instrs * t.instr_bytes) in
+      if addr >= lo && addr < hi then Some i else go (i + 1)
+    end
+  in
+  go 0
+
+let static_ipc t = float_of_int t.total_ops /. float_of_int (max 1 t.total_instrs)
+
+let validate m t =
+  let n = Array.length t.blocks in
+  if n = 0 then Error "no blocks"
+  else begin
+    let expected_addr = ref t.blocks.(0).instrs.(0).addr in
+    let check_block b =
+      let n_instrs = Array.length b.instrs in
+      if n_instrs = 0 then Error "empty region"
+      else if Array.length b.exits = 0 then Error "region without exits"
+      else if b.fall_through < 0 || b.fall_through >= n then Error "bad fall-through"
+      else begin
+        let branch_instrs =
+          Array.to_list b.instrs
+          |> List.mapi (fun i instr -> (i, Isa.Instr.has_branch instr))
+          |> List.filter_map (fun (i, has) -> if has then Some i else None)
+        in
+        let exit_indices = Array.to_list (Array.map fst b.exits) in
+        if exit_indices <> branch_instrs then
+          Error "exits and branch instructions must coincide"
+        else if List.exists (fun (_, tgt) -> tgt < 0 || tgt >= n) (Array.to_list b.exits)
+        then Error "bad exit target"
+        else if fst b.exits.(Array.length b.exits - 1) <> n_instrs - 1 then
+          Error "final exit must be in the last instruction"
+        else if not (Array.for_all (Isa.Instr.well_formed m) b.instrs) then
+          Error "ill-formed instruction"
+        else begin
+          let addr_ok =
+            Array.for_all
+              (fun (instr : Isa.Instr.t) ->
+                let ok = instr.addr = !expected_addr in
+                expected_addr := !expected_addr + t.instr_bytes;
+                ok)
+              b.instrs
+          in
+          if addr_ok then Ok () else Error "non-consecutive addresses"
+        end
+      end
+    in
+    let rec go i =
+      if i >= n then Ok ()
+      else match check_block t.blocks.(i) with Ok () -> go (i + 1) | Error _ as e -> e
+    in
+    go 0
+  end

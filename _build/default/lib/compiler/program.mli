@@ -1,0 +1,62 @@
+(** Whole synthetic programs: scheduled code regions plus control flow.
+
+    A program is the static artifact the "compiler" hands to the
+    simulator. Each region is an array of VLIW instructions laid out at
+    consecutive addresses with one or more branch exits; successive
+    blocks are chained by live-in/live-out dataflow. A small "hot set"
+    of regions receives most taken branches, giving the looping
+    behaviour (and ICache locality) of real media kernels.
+
+    Two scheduling modes:
+    - [`Block]: every basic block is scheduled alone (one exit per
+      region, in its last instruction);
+    - [`Trace n]: runs of [n] consecutive blocks are merged and
+      scheduled as one region (Trace-Scheduling-style: operations may be
+      speculated above earlier exits, stores and branches may not), so a
+      region carries [n] exits. Better single-thread schedules, at the
+      price of wasted speculated work on side exits. *)
+
+type mode = [ `Block | `Trace of int ]
+
+type block = {
+  instrs : Vliw_isa.Instr.t array;
+  exits : (int * int) array;
+      (** (instruction index, target region), ascending by index; each
+          such instruction contains exactly one branch operation. The
+          last instruction always holds the final exit. *)
+  fall_through : int;  (** Region executed after the final exit falls through. *)
+}
+
+type t = {
+  profile : Profile.t;
+  blocks : block array;
+  entry : int;
+  instr_bytes : int;
+  mode : mode;
+  total_ops : int;  (** Static operation count over all regions. *)
+  total_instrs : int;  (** Static instruction count over all regions. *)
+}
+
+val generate : seed:int64 -> ?mode:mode -> Vliw_isa.Machine.t -> Profile.t -> t
+(** Deterministic program for a profile: [static_blocks] basic-block
+    DAGs chained by live values, BUG cluster assignment, inter-cluster
+    copy insertion, list scheduling per region, sequential address
+    layout and hot-set-biased branch targets. Default mode [`Block]. *)
+
+val exit_target : block -> int -> int option
+(** [exit_target b pc] is the taken target of the exit at instruction
+    [pc], if that instruction is an exit. *)
+
+val block_of_addr : t -> int -> int option
+(** Reverse address lookup (diagnostics). *)
+
+val static_ipc : t -> float
+(** Static operations per instruction — the schedule density, an upper
+    bound on achievable single-thread IPC with perfect memory and
+    never-taken branches. *)
+
+val validate : Vliw_isa.Machine.t -> t -> (unit, string) result
+(** Every instruction well-formed; every exit points at a
+    branch-carrying instruction and a valid region; branch-carrying
+    instructions and exits are in bijection; the last instruction holds
+    an exit; addresses are consecutive. *)

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Hashtbl List Printf Scheme String

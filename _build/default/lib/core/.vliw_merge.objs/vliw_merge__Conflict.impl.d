@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array List Packet Routing Scheme_kind Vliw_isa

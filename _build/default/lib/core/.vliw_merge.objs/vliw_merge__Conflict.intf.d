@@ -1,0 +1,1 @@
+lib/core/conflict.mli: Packet Scheme_kind Vliw_isa

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Conflict List Option Packet Scheme

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Conflict Packet Scheme Vliw_isa

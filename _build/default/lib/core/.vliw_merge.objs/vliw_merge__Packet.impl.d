@@ -1,0 +1,1 @@
+lib/core/packet.ml: Array Format List String Vliw_isa

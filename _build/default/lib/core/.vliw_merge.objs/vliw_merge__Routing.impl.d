@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Format List Packet Printf Vliw_isa

@@ -1,0 +1,1 @@
+lib/core/routing.mli: Format Packet Vliw_isa

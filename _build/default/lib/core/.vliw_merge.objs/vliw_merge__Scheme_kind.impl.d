@@ -1,0 +1,1 @@
+lib/core/scheme_kind.ml: Format

@@ -1,0 +1,1 @@
+lib/core/scheme_name.ml: Catalog Char List Printf Scheme Scheme_kind String

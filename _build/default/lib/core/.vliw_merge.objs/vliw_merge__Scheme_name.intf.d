@@ -1,0 +1,1 @@
+lib/core/scheme_name.mli: Scheme

@@ -1,0 +1,1 @@
+lib/core/scheme_space.ml: List Scheme Scheme_kind

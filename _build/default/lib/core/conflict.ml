@@ -1,0 +1,72 @@
+type routing_mode = Flexible | Fixed_slots
+
+let csmt_compatible (a : Packet.t) (b : Packet.t) = a.mask land b.mask = 0
+
+let smt_compatible (m : Vliw_isa.Machine.t) (a : Packet.t) (b : Packet.t) =
+  let clusters = Array.length a.clusters in
+  let rec check c =
+    if c >= clusters then true
+    else begin
+      let ops = Packet.ops_in a c @ Packet.ops_in b c in
+      Vliw_isa.Instr.fits_cluster m ops && check (c + 1)
+    end
+  in
+  check 0
+
+(* Fixed-slot mode: every operation is pinned to the slot it occupies in
+   its own thread's instruction (no routing block). Two packets merge
+   only if, on every shared cluster, those pinned slots do not collide.
+   Each thread's pinned slots are the deterministic greedy layout of its
+   operations in isolation. *)
+let thread_slot_mask (m : Vliw_isa.Machine.t) entries thread =
+  let ops =
+    List.filter_map
+      (fun (e : Packet.entry) -> if e.thread = thread then Some e else None)
+      entries
+  in
+  match
+    Routing.route m
+      {
+        Packet.clusters = [| ops |];
+        threads = 1 lsl thread;
+        mask = (if ops = [] then 0 else 1);
+      }
+  with
+  | None -> None
+  | Some routed ->
+    let mask = ref 0 in
+    Array.iteri (fun s slot -> if slot <> None then mask := !mask lor (1 lsl s)) routed.(0);
+    Some !mask
+
+let cluster_slot_mask m (p : Packet.t) c =
+  List.fold_left
+    (fun acc thread ->
+      match acc with
+      | None -> None
+      | Some acc_mask ->
+        (match thread_slot_mask m p.clusters.(c) thread with
+        | None -> None
+        | Some mask -> Some (acc_mask lor mask)))
+    (Some 0) (Packet.cluster_threads p c)
+
+let smt_compatible_fixed (m : Vliw_isa.Machine.t) (a : Packet.t) (b : Packet.t) =
+  let clusters = Array.length a.clusters in
+  let rec check c =
+    if c >= clusters then true
+    else begin
+      let shared = a.mask land b.mask land (1 lsl c) <> 0 in
+      (if not shared then true
+       else
+         match (cluster_slot_mask m a c, cluster_slot_mask m b c) with
+         | Some ma, Some mb -> ma land mb = 0
+         | None, _ | _, None -> false)
+      && check (c + 1)
+    end
+  in
+  check 0
+
+let compatible m ?(routing = Flexible) kind a b =
+  match ((kind : Scheme_kind.t), routing) with
+  | Csmt, _ -> csmt_compatible a b
+  | Smt, Flexible -> smt_compatible m a b
+  | Smt, Fixed_slots -> smt_compatible_fixed m a b

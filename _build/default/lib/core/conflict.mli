@@ -1,0 +1,36 @@
+(** Resource-conflict checks — the two merge granularities of the paper.
+
+    CSMT checks at cluster level: two packets may merge only when they use
+    disjoint clusters (§2.1). SMT checks at operation level: packets may
+    share a cluster as long as the combined operations still satisfy the
+    cluster's slot constraints (fixed slots for memory/multiply/branch,
+    free slots for ALU ops).
+
+    The [Fixed_slots] routing mode is an ablation: it removes the SMT
+    routing block, pinning each operation to the slot it occupies in its
+    own thread's instruction, so operation-level merging succeeds only
+    when pinned slots happen not to collide. It quantifies how much of
+    SMT's advantage the routing hardware buys. *)
+
+type routing_mode = Flexible | Fixed_slots
+
+val csmt_compatible : Packet.t -> Packet.t -> bool
+(** Cluster-usage masks are disjoint. *)
+
+val smt_compatible : Vliw_isa.Machine.t -> Packet.t -> Packet.t -> bool
+(** The union satisfies every cluster's slot constraints (with full
+    routing flexibility). *)
+
+val smt_compatible_fixed : Vliw_isa.Machine.t -> Packet.t -> Packet.t -> bool
+(** Operation-level check without a routing block. Strictly stronger
+    than {!smt_compatible}. *)
+
+val compatible :
+  Vliw_isa.Machine.t ->
+  ?routing:routing_mode ->
+  Scheme_kind.t ->
+  Packet.t ->
+  Packet.t ->
+  bool
+(** Dispatch on the merge kind; [routing] (default [Flexible]) selects
+    the SMT check variant. *)

@@ -1,0 +1,33 @@
+type selection = { packet : Packet.t option; issued : int list }
+
+let rec eval m ~routing ~rotation ~n avail = function
+  | Scheme.Thread i ->
+    let hw = (i + rotation) mod n in
+    avail.(hw)
+  | Scheme.Merge { kind; impl = _; inputs } ->
+    let packets = List.filter_map (eval m ~routing ~rotation ~n avail) inputs in
+    (match packets with
+    | [] -> None
+    | first :: rest ->
+      let merge acc p =
+        if Conflict.compatible m ~routing kind acc p then Packet.union acc p
+        else acc
+      in
+      Some (List.fold_left merge first rest))
+
+let select m ?(routing = Conflict.Flexible) scheme ?(rotation = 0) avail =
+  let n = Scheme.n_threads scheme in
+  assert (Array.length avail >= n);
+  let rotation = ((rotation mod n) + n) mod n in
+  match eval m ~routing ~rotation ~n avail scheme with
+  | None -> { packet = None; issued = [] }
+  | Some p -> { packet = Some p; issued = Packet.thread_list p }
+
+let select_instrs m ?routing scheme ?rotation instrs =
+  let avail =
+    Array.mapi
+      (fun thread instr ->
+        Option.map (fun i -> Packet.of_instr ~thread i) instr)
+      instrs
+  in
+  select m ?routing scheme ?rotation avail

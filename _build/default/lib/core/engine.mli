@@ -1,0 +1,43 @@
+(** The merge engine: per-cycle thread selection and packet construction.
+
+    Each cycle, every non-stalled thread offers its next VLIW instruction;
+    the engine evaluates the scheme tree bottom-up and returns the merged
+    execution packet together with the set of threads it issues.
+
+    Semantics (DESIGN.md §4): a serial merge node folds over its inputs,
+    skipping any input whose packet conflicts with the accumulated packet
+    — exactly the cascading logic of the serial implementations in the
+    paper's reference [7]. A parallel CSMT node selects the same set as
+    the equivalent serial cascade (the paper states the implementations
+    are functionally equivalent; they differ only in hardware cost).
+    Stalled threads (input [None]) are transparent to the fold.
+
+    Fairness: [rotation] remaps scheme input port [i] to hardware thread
+    [(i + rotation) mod n]; the simulator advances it round-robin so no
+    thread permanently owns the highest-priority port. *)
+
+type selection = {
+  packet : Packet.t option;  (** Merged packet, [None] when nothing issues. *)
+  issued : int list;  (** Hardware thread ids issued this cycle, ascending. *)
+}
+
+val select :
+  Vliw_isa.Machine.t ->
+  ?routing:Conflict.routing_mode ->
+  Scheme.t ->
+  ?rotation:int ->
+  Packet.t option array ->
+  selection
+(** [select m scheme ~rotation avail] with [avail] indexed by hardware
+    thread id; [avail] must have at least {!Scheme.n_threads}[ scheme]
+    entries. [routing] (default [Flexible]) selects the SMT conflict
+    check variant. *)
+
+val select_instrs :
+  Vliw_isa.Machine.t ->
+  ?routing:Conflict.routing_mode ->
+  Scheme.t ->
+  ?rotation:int ->
+  Vliw_isa.Instr.t option array ->
+  selection
+(** Convenience wrapper turning instructions into packets first. *)

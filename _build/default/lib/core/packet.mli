@@ -1,0 +1,35 @@
+(** Execution packets: thread-tagged merge candidates.
+
+    A packet is either a single thread's VLIW instruction or the result of
+    merging several; it remembers which thread contributed each operation
+    so the routing stage can steer operations, and so tests can check the
+    CSMT invariant (one thread per cluster). Packets are the atomic unit
+    of merging: they combine in their entirety or not at all. *)
+
+type entry = { thread : int; op : Vliw_isa.Op.t }
+
+type t = {
+  clusters : entry list array;  (** Per-cluster tagged operations. *)
+  threads : int;  (** Bitmask of contributing hardware threads. *)
+  mask : int;  (** Bitmask of occupied clusters. *)
+}
+
+val of_instr : thread:int -> Vliw_isa.Instr.t -> t
+(** Wrap one thread's instruction. *)
+
+val union : t -> t -> t
+(** Structural union; callers must have established compatibility first. *)
+
+val op_count : t -> int
+
+val thread_list : t -> int list
+(** Contributing threads, ascending. *)
+
+val cluster_threads : t -> int -> int list
+(** Distinct threads with operations on the given cluster, ascending. *)
+
+val ops_in : t -> int -> Vliw_isa.Op.t list
+
+val is_empty : t -> bool
+
+val pp : Vliw_isa.Machine.t -> Format.formatter -> t -> unit

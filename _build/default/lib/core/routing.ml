@@ -1,0 +1,71 @@
+type slot = Packet.entry option
+
+type routed = slot array array
+
+(* Fixed-slot classes claim their dedicated slots first (memory, multiply,
+   branch have disjoint slot ranges); ALU operations then fill any free
+   slot. Because ALU capability is universal, this greedy order is optimal:
+   it succeeds whenever Instr.fits_cluster holds. *)
+let route_cluster (m : Vliw_isa.Machine.t) entries =
+  let slots = Array.make m.issue_width None in
+  let claim pred e =
+    let rec find s =
+      if s >= m.issue_width then false
+      else if slots.(s) = None && pred s then begin
+        slots.(s) <- Some e;
+        true
+      end
+      else find (s + 1)
+    in
+    find 0
+  in
+  let fixed, alus =
+    List.partition
+      (fun (e : Packet.entry) ->
+        match e.op.klass with
+        | Vliw_isa.Op.Alu | Vliw_isa.Op.Copy -> false
+        | _ -> true)
+      entries
+  in
+  let ok_fixed =
+    List.for_all
+      (fun (e : Packet.entry) ->
+        claim (fun s -> Vliw_isa.Machine.slot_allows m ~slot:s e.op.klass) e)
+      fixed
+  in
+  let ok_alu = List.for_all (fun e -> claim (fun _ -> true) e) alus in
+  if ok_fixed && ok_alu then Some slots else None
+
+let route m (p : Packet.t) =
+  let n = Array.length p.clusters in
+  let out = Array.make n [||] in
+  let rec go c =
+    if c >= n then Some out
+    else
+      match route_cluster m p.clusters.(c) with
+      | Some slots ->
+        out.(c) <- slots;
+        go (c + 1)
+      | None -> None
+  in
+  go 0
+
+let occupancy routed =
+  Array.fold_left
+    (fun acc slots ->
+      Array.fold_left (fun acc s -> if s = None then acc else acc + 1) acc slots)
+    0 routed
+
+let pp _m ppf routed =
+  Array.iteri
+    (fun c slots ->
+      if c > 0 then Format.fprintf ppf " |";
+      Array.iter
+        (fun slot ->
+          match slot with
+          | None -> Format.fprintf ppf " %7s" "-"
+          | Some (e : Packet.entry) ->
+            Format.fprintf ppf " %7s"
+              (Printf.sprintf "%s[%d]" (Vliw_isa.Op.class_name e.op.klass) e.thread))
+        slots)
+    routed

@@ -1,0 +1,25 @@
+(** Operation routing — the routing block / multiplexers of Figures 2–3.
+
+    After the thread merge control selects which packets to merge, the
+    routing stage steers each operation to a concrete issue slot. For
+    pure CSMT merges this degenerates to the per-cluster N-to-1 mux (each
+    cluster carries one thread's operations, already slot-feasible); for
+    SMT merges operations from several threads share a cluster and must be
+    re-slotted around the fixed memory/multiply/branch slots. *)
+
+type slot = Packet.entry option
+
+type routed = slot array array
+(** [clusters x issue_width]; [None] is a NOP slot. *)
+
+val route : Vliw_isa.Machine.t -> Packet.t -> routed option
+(** Slot assignment for a packet, or [None] if some cluster cannot satisfy
+    its constraints. Merge engines only route packets whose compatibility
+    was established, for which routing always succeeds (tested as an
+    invariant). *)
+
+val occupancy : routed -> int
+(** Number of filled slots. *)
+
+val pp : Vliw_isa.Machine.t -> Format.formatter -> routed -> unit
+(** Figure-1-style rendering with thread tags, e.g. "ld[0]". *)

@@ -1,0 +1,96 @@
+let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+(* Parse "<digits>" starting at [i]; returns (value, next index). *)
+let read_int s i =
+  let n = String.length s in
+  let rec go j acc =
+    if j < n && s.[j] >= '0' && s.[j] <= '9' then
+      go (j + 1) ((acc * 10) + Char.code s.[j] - Char.code '0')
+    else (acc, j)
+  in
+  if i < n && s.[i] >= '0' && s.[i] <= '9' then Some (go i 0) else None
+
+let parse_cascade name =
+  (* "<levels><letter[arity]>..." — build left to right, consuming fresh
+     thread ids as inputs. *)
+  match read_int name 0 with
+  | None -> fail "expected a leading level count in %S" name
+  | Some (levels, start) ->
+    if levels < 1 then fail "level count must be positive in %S" name
+    else begin
+      let next_thread = ref 0 in
+      let fresh () =
+        let t = Scheme.thread !next_thread in
+        incr next_thread;
+        t
+      in
+      let rec go i level acc =
+        if level > levels then
+          if i = String.length name then Ok acc
+          else fail "trailing characters in %S" name
+        else if i >= String.length name then
+          fail "%S declares %d levels but lists fewer" name levels
+        else begin
+          match Scheme_kind.of_char name.[i] with
+          | None -> fail "unknown merge kind %C in %S" name.[i] name
+          | Some kind ->
+            let arity, next_i =
+              match read_int name (i + 1) with
+              | Some (k, j) -> (k, j)
+              | None -> (2, i + 1)
+            in
+            if arity < 2 then fail "parallel arity must be >= 2 in %S" name
+            else begin
+              let acc' =
+                match (kind, arity) with
+                | _, 2 ->
+                  (* Serial binary stage. *)
+                  Ok
+                    (match kind with
+                    | Scheme_kind.Smt -> Scheme.smt acc (fresh ())
+                    | Scheme_kind.Csmt -> Scheme.csmt acc (fresh ()))
+                | Scheme_kind.Csmt, k ->
+                  Ok
+                    (Scheme.csmt_parallel
+                       (acc :: List.init (k - 1) (fun _ -> fresh ())))
+                | Scheme_kind.Smt, _ ->
+                  fail "parallel SMT blocks are not implementable (%S)" name
+              in
+              match acc' with
+              | Error _ as e -> e
+              | Ok acc' -> go next_i (level + 1) acc'
+            end
+        end
+      in
+      go start 1 (fresh ())
+    end
+
+let parse name =
+  let name = String.uppercase_ascii (String.trim name) in
+  (* The catalog (which includes the tree schemes and the baselines)
+     takes precedence, so paper names always mean the paper's networks. *)
+  match Catalog.find name with
+  | Some entry -> Ok entry.scheme
+  | None ->
+    if name = "" then Error "empty scheme name"
+    else if name.[0] = 'C' then begin
+      (* "C<k>": one parallel CSMT block. *)
+      match read_int name 1 with
+      | Some (k, j) when j = String.length name ->
+        if k >= 2 then Ok (Scheme.csmt_par k)
+        else Error "parallel arity must be >= 2"
+      | _ -> fail "cannot parse scheme name %S" name
+    end
+    else begin
+      match parse_cascade name with
+      | Ok scheme ->
+        (match Scheme.validate scheme with
+        | Ok () -> Ok scheme
+        | Error msg -> Error msg)
+      | Error _ as e -> e
+    end
+
+let parse_exn name =
+  match parse name with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Scheme_name.parse_exn: " ^ msg)

@@ -1,0 +1,21 @@
+(** Parser for the paper's scheme-name notation, generalised to any
+    thread count.
+
+    Grammar (§4.1): the leading digit is the number of cascade levels;
+    each following letter is the merge kind at that level ('S' = SMT,
+    'C' = CSMT); a digit after a letter makes that level a parallel
+    block absorbing that many inputs at once (so "2SC3" is an SMT pair
+    whose result enters a 3-input parallel CSMT along with two more
+    threads). "C<k>" alone is a single k-input parallel CSMT block;
+    "1S"/"1C" are the two-thread baselines; "ST" is the single-threaded
+    machine. The four balanced-tree names of Figure 8 (2CC, 2SS, 2CS,
+    2SC) are recognised specially, since the flat notation cannot
+    express trees — the catalog is consulted first, so every name the
+    paper uses parses to exactly the catalog's structure.
+
+    Examples beyond the catalog: "7SSSSSSS" (8-thread SMT cascade),
+    "2SC7" (the 2SC3 recipe at 8 threads), "C6", "4SCCC". *)
+
+val parse : string -> (Scheme.t, string) result
+
+val parse_exn : string -> Scheme.t

@@ -1,0 +1,112 @@
+(* Enumeration of all merge trees over ordered leaves.
+
+   A "shape" is a tree with n ordered leaves where every internal node
+   has at least two children (children partition the leaf sequence into
+   contiguous runs). Each internal node is then decorated with a block
+   kind. Serial nodes with more than two children are expressed as
+   nested binary merges elsewhere in the library, so to avoid generating
+   the same cascade twice we restrict serial nodes to exactly two
+   children and allow n-ary nodes only for parallel CSMT. *)
+
+let rec shapes n =
+  (* Super-Catalan recurrence via compositions: number of trees with >=2
+     children per internal node over n ordered leaves. *)
+  if n <= 1 then 1
+  else begin
+    (* Sum over first-level compositions of n into k >= 2 parts. The
+       first part is capped at n-1 so the recursion only sees strictly
+       smaller arguments. *)
+    let total = ref 0 in
+    let rec compositions remaining parts acc =
+      if remaining = 0 then begin
+        if parts >= 2 then total := !total + acc
+      end
+      else begin
+        let cap = if parts = 0 then remaining - 1 else remaining in
+        for first = 1 to cap do
+          compositions (remaining - first) (parts + 1) (acc * shapes first)
+        done
+      end
+    in
+    compositions n 0 1;
+    !total
+  end
+
+let rec count_nodes = function
+  | Scheme.Thread _ -> 0
+  | Scheme.Merge { inputs; _ } ->
+    List.fold_left (fun acc i -> acc + count_nodes i) 1 inputs
+
+(* All ways to split the leaf interval [lo, hi) into k >= 2 contiguous
+   non-empty parts, for every k. *)
+let splits lo hi =
+  (* Returns the list of partitions, each a list of (lo, hi) intervals
+     with at least two intervals. *)
+  let n = hi - lo in
+  if n < 2 then []
+  else begin
+    let rec parts start =
+      (* All decompositions of [start, hi) into >= 1 intervals. *)
+      if start >= hi then [ [] ]
+      else
+        List.concat_map
+          (fun mid ->
+            List.map (fun rest -> (start, mid) :: rest) (parts mid))
+          (List.init (hi - start) (fun i -> start + i + 1))
+    in
+    List.filter (fun p -> List.length p >= 2) (parts lo)
+  end
+
+let rec trees lo hi =
+  if hi - lo = 1 then [ Scheme.Thread lo ]
+  else
+    List.concat_map
+      (fun partition ->
+        (* Cartesian product of child trees. *)
+        let child_choices = List.map (fun (l, h) -> trees l h) partition in
+        let rec product = function
+          | [] -> [ [] ]
+          | choices :: rest ->
+            let tails = product rest in
+            List.concat_map
+              (fun c -> List.map (fun t -> c :: t) tails)
+              choices
+        in
+        let combos = product child_choices in
+        List.concat_map
+          (fun children ->
+            let k = List.length children in
+            let serial_kinds =
+              if k = 2 then
+                [
+                  Scheme.Merge
+                    { kind = Scheme_kind.Smt; impl = Scheme.Serial; inputs = children };
+                  Scheme.Merge
+                    { kind = Scheme_kind.Csmt; impl = Scheme.Serial; inputs = children };
+                ]
+              else []
+            in
+            Scheme.Merge
+              { kind = Scheme_kind.Csmt; impl = Scheme.Parallel; inputs = children }
+            :: serial_kinds)
+          combos)
+      (splits lo hi)
+
+let enumerate ?max_nodes n =
+  assert (n >= 1);
+  let all = trees 0 n in
+  let all =
+    match max_nodes with
+    | None -> all
+    | Some k -> List.filter (fun s -> count_nodes s <= k) all
+  in
+  List.iter
+    (fun s ->
+      match Scheme.validate s with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Scheme_space: generated invalid scheme: " ^ msg))
+    all;
+  all
+
+let enumerate_named n =
+  List.map (fun s -> (Scheme.to_string s, s)) (enumerate n)

@@ -1,0 +1,28 @@
+(** Exhaustive merge-scheme design-space enumeration.
+
+    The paper hand-picks 15 four-thread schemes (Figure 8); this module
+    generates the complete space: every tree over the ordered thread
+    ports whose internal nodes are serial SMT, serial CSMT or parallel
+    CSMT blocks. Used by the design-space explorer example and by the
+    8-thread extension experiment (the paper stops at 4 threads "for
+    space reasons").
+
+    Thread order is fixed (T0..Tn-1, left to right): the OS assigns
+    software threads to hardware contexts arbitrarily and priority
+    rotates, so schemes differing only by a permutation of thread ports
+    are equivalent. *)
+
+val shapes : int -> int
+(** Number of distinct tree shapes over n ordered leaves
+    (super-Catalan/Schröder numbers: 1, 1, 3, 11, 45, ...). *)
+
+val enumerate : ?max_nodes:int -> int -> Scheme.t list
+(** [enumerate n] lists every scheme over [n] threads; [max_nodes]
+    bounds the number of merge blocks (default: unbounded). All results
+    satisfy {!Scheme.validate}. Grows quickly: 4 threads yield a few
+    hundred schemes, 5 threads a few thousand. *)
+
+val enumerate_named : int -> (string * Scheme.t) list
+(** {!enumerate} plus generated names in the paper's naming spirit
+    (structure strings, since the paper's flat names cannot express every
+    tree). *)

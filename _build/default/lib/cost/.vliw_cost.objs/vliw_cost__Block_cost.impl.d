@@ -1,0 +1,1 @@
+lib/cost/block_cost.ml:

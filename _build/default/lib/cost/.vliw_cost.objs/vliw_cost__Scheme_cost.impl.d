@@ -1,0 +1,1 @@
+lib/cost/scheme_cost.ml: Block_cost List Vliw_isa Vliw_merge

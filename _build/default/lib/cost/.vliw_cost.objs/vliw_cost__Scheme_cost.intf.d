@@ -1,0 +1,1 @@
+lib/cost/scheme_cost.mli: Block_cost Vliw_isa Vliw_merge

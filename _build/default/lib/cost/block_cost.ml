@@ -1,0 +1,70 @@
+type params = {
+  smt_select_base : float;
+  smt_select_per_width : float;
+  smt_routing_base : float;
+  smt_routing_per_width : float;
+  smt_trans_base : float;
+  smt_trans_per_width : float;
+  csmt_select_base : float;
+  csmt_select_per_width : float;
+  csmt_trans_base : float;
+  csmt_trans_per_width : float;
+  cpl_delay_base : float;
+  cpl_delay_per_log : float;
+  cpl_trans_per_subset : float;
+  cpl_trans_per_width : float;
+}
+
+let default =
+  {
+    smt_select_base = 6.0;
+    smt_select_per_width = 2.0;
+    smt_routing_base = 10.0;
+    smt_routing_per_width = 2.0;
+    smt_trans_base = 4000.0;
+    smt_trans_per_width = 600.0;
+    csmt_select_base = 4.0;
+    csmt_select_per_width = 0.5;
+    csmt_trans_base = 220.0;
+    csmt_trans_per_width = 40.0;
+    cpl_delay_base = 3.0;
+    cpl_delay_per_log = 2.0;
+    cpl_trans_per_subset = 100.0;
+    cpl_trans_per_width = 60.0;
+  }
+
+let extra width = float_of_int (max 0 (width - 2))
+
+let smt_select_delay p ~width = p.smt_select_base +. (p.smt_select_per_width *. extra width)
+
+let smt_routing_delay p ~width =
+  p.smt_routing_base +. (p.smt_routing_per_width *. extra width)
+
+let smt_transistors p ~width = p.smt_trans_base +. (p.smt_trans_per_width *. extra width)
+
+let csmt_select_delay p ~width =
+  p.csmt_select_base +. (p.csmt_select_per_width *. extra width)
+
+let csmt_transistors p ~width = p.csmt_trans_base +. (p.csmt_trans_per_width *. extra width)
+
+let ceil_log2 k =
+  let rec go acc n = if n >= k then acc else go (acc + 1) (n * 2) in
+  go 0 1
+
+let csmt_parallel_delay p ~inputs =
+  p.cpl_delay_base +. (p.cpl_delay_per_log *. float_of_int (ceil_log2 inputs))
+
+let csmt_parallel_transistors p ~inputs ~width =
+  let subsets = float_of_int ((1 lsl (inputs - 1)) - 1) in
+  (p.cpl_trans_per_subset *. subsets) +. (p.cpl_trans_per_width *. float_of_int width)
+
+(* The routing block / per-cluster N-to-1 muxes (Figures 2-3). The paper
+   treats this as a fixed cost identical for SMT and CSMT (the wire and
+   mux area depend only on thread count and datapath width, following the
+   interconnect methodology of its reference [12]), so it cancels out of
+   scheme comparisons; it is provided for completeness. *)
+let routing_area_per_thread_slot = 90.0
+
+let routing_block_transistors ~threads ~clusters ~issue_width =
+  routing_area_per_thread_slot
+  *. float_of_int (threads * clusters * issue_width)

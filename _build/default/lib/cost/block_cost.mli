@@ -1,0 +1,63 @@
+(** Analytic cost model for individual merge-control blocks.
+
+    The paper takes its numbers from gate-level designs in its reference
+    [7] (Gupta et al., DSD'07), which are not reproducible from the text;
+    this is a transparent re-derivation calibrated to the magnitudes and
+    orderings of Figures 5 and 9. Two quantities per block: transistor
+    count (area) and gate delay. SMT merge control has two delay
+    components — conflict/select logic and routing-signal generation —
+    because routing signals can be computed in parallel with downstream
+    merge-select logic (the §4.2 overlap that makes 3SCC/2SC3 as fast as
+    1S).
+
+    [width] is the number of threads entering a block (accumulated packet
+    width plus new input): wider packets mean wider comparators, so cost
+    grows with cascade depth. *)
+
+type params = {
+  smt_select_base : float;
+  smt_select_per_width : float;
+  smt_routing_base : float;
+  smt_routing_per_width : float;
+  smt_trans_base : float;
+  smt_trans_per_width : float;
+  csmt_select_base : float;
+  csmt_select_per_width : float;
+  csmt_trans_base : float;
+  csmt_trans_per_width : float;
+  cpl_delay_base : float;
+  cpl_delay_per_log : float;
+  cpl_trans_per_subset : float;
+  cpl_trans_per_width : float;
+}
+
+val default : params
+(** Calibrated against the paper's Figure 5 (merge control cost vs thread
+    count) and Figure 9 (per-scheme cost). *)
+
+val smt_select_delay : params -> width:int -> float
+(** Operation-level conflict check and thread selection. *)
+
+val smt_routing_delay : params -> width:int -> float
+(** Routing-signal generation, overlappable with downstream selects. *)
+
+val smt_transistors : params -> width:int -> float
+
+val csmt_select_delay : params -> width:int -> float
+(** Serial cluster-level stage (mask AND + OR-reduce + update). *)
+
+val csmt_transistors : params -> width:int -> float
+
+val csmt_parallel_delay : params -> inputs:int -> float
+(** Parallel CSMT block over [inputs] inputs: all subset selections
+    checked at once, delay logarithmic in the input count. *)
+
+val csmt_parallel_transistors : params -> inputs:int -> width:int -> float
+(** Exponential in the input count (2^(k-1) candidate subsets). *)
+
+val routing_block_transistors :
+  threads:int -> clusters:int -> issue_width:int -> float
+(** Area of the routing block / per-cluster muxes — the same for SMT and
+    CSMT merging at equal thread count (2.2 of the paper, following the
+    interconnect model of its reference [12]); excluded from the
+    per-scheme comparisons because it cancels out. *)

@@ -1,0 +1,105 @@
+module Scheme = Vliw_merge.Scheme
+module Kind = Vliw_merge.Scheme_kind
+
+type t = {
+  select_finish : float;
+  routing_finish : float;
+  transistors : float;
+  width : int;
+}
+
+let leaf = { select_finish = 0.0; routing_finish = 0.0; transistors = 0.0; width = 1 }
+
+let rec eval_node p = function
+  | Scheme.Thread _ -> leaf
+  | Scheme.Merge { kind; impl = Scheme.Parallel; inputs } ->
+    (* Parallel blocks only exist for CSMT (Scheme.validate enforces it). *)
+    assert (kind = Kind.Csmt);
+    let children = List.map (eval_node p) inputs in
+    let k = List.length inputs in
+    let width = List.fold_left (fun acc c -> acc + c.width) 0 children in
+    let sel_in = List.fold_left (fun acc c -> max acc c.select_finish) 0.0 children in
+    let route_in = List.fold_left (fun acc c -> max acc c.routing_finish) 0.0 children in
+    let trans_in = List.fold_left (fun acc c -> acc +. c.transistors) 0.0 children in
+    {
+      select_finish = sel_in +. Block_cost.csmt_parallel_delay p ~inputs:k;
+      routing_finish = route_in;
+      transistors =
+        trans_in +. Block_cost.csmt_parallel_transistors p ~inputs:k ~width;
+      width;
+    }
+  | Scheme.Merge { kind; impl = Scheme.Serial; inputs } ->
+    (* A serial node is a cascade: each stage merges the accumulated
+       packet with the next input, so stage cost grows with the
+       accumulated width. *)
+    (match List.map (eval_node p) inputs with
+    | [] -> assert false
+    | first :: rest ->
+      let stage acc child =
+        let width = acc.width + child.width in
+        let start = max acc.select_finish child.select_finish in
+        match kind with
+        | Kind.Csmt ->
+          {
+            select_finish = start +. Block_cost.csmt_select_delay p ~width;
+            routing_finish = max acc.routing_finish child.routing_finish;
+            transistors =
+              acc.transistors +. child.transistors
+              +. Block_cost.csmt_transistors p ~width;
+            width;
+          }
+        | Kind.Smt ->
+          let select_finish = start +. Block_cost.smt_select_delay p ~width in
+          {
+            select_finish;
+            routing_finish =
+              max
+                (max acc.routing_finish child.routing_finish)
+                (select_finish +. Block_cost.smt_routing_delay p ~width);
+            transistors =
+              acc.transistors +. child.transistors
+              +. Block_cost.smt_transistors p ~width;
+            width;
+          }
+      in
+      List.fold_left stage first rest)
+
+let eval ?(params = Block_cost.default) scheme = eval_node params scheme
+
+let delay ?params scheme =
+  let c = eval ?params scheme in
+  max c.select_finish c.routing_finish
+
+let transistors ?params scheme = (eval ?params scheme).transistors
+
+let of_scheme ?params scheme =
+  let c = eval ?params scheme in
+  (max c.select_finish c.routing_finish, c.transistors)
+
+let smt_cascade_cost ?params n = of_scheme ?params (Scheme.smt_cascade n)
+
+let csmt_serial_cost ?params n = of_scheme ?params (Scheme.csmt_cascade n)
+
+let csmt_parallel_cost ?params n =
+  if n = 2 then of_scheme ?params (Scheme.csmt_cascade 2)
+  else of_scheme ?params (Scheme.csmt_par n)
+
+let pareto_front points =
+  let dominated (name, cost, value) =
+    List.exists
+      (fun (name', cost', value') ->
+        name' <> name
+        && cost' <= cost && value' >= value
+        && (cost' < cost || value' > value))
+      points
+  in
+  List.filter_map
+    (fun p -> if dominated p then None else Some (let name, _, _ = p in name))
+    points
+
+let total_transistors ?(params = Block_cost.default)
+    ?(machine = Vliw_isa.Machine.default) scheme =
+  transistors ~params scheme
+  +. Block_cost.routing_block_transistors
+       ~threads:(Vliw_merge.Scheme.n_threads scheme)
+       ~clusters:machine.clusters ~issue_width:machine.issue_width

@@ -1,0 +1,44 @@
+(** Cost of a whole merge network, composed over the scheme tree.
+
+    Delay composition follows §4.2: merge-select logic chains along the
+    tree (a serial node folds its inputs, widening the packet at each
+    stage), while SMT routing-signal generation overlaps with downstream
+    select logic — the final delay is the later of the last select and
+    the last routing-signal completion. Transistors simply add up. *)
+
+type t = {
+  select_finish : float;  (** When the final thread selection settles. *)
+  routing_finish : float;  (** When the last routing signals settle. *)
+  transistors : float;
+  width : int;  (** Threads entering downstream logic. *)
+}
+
+val eval : ?params:Block_cost.params -> Vliw_merge.Scheme.t -> t
+
+val delay : ?params:Block_cost.params -> Vliw_merge.Scheme.t -> float
+(** [max select_finish routing_finish]. *)
+
+val transistors : ?params:Block_cost.params -> Vliw_merge.Scheme.t -> float
+
+val smt_cascade_cost : ?params:Block_cost.params -> int -> float * float
+(** [(delay, transistors)] of an n-thread serial SMT merge control
+    (Figure 5's "SMT" series). *)
+
+val csmt_serial_cost : ?params:Block_cost.params -> int -> float * float
+(** Figure 5's "CSMT SL" series. *)
+
+val csmt_parallel_cost : ?params:Block_cost.params -> int -> float * float
+(** Figure 5's "CSMT PL" series. *)
+
+val pareto_front : (string * float * float) list -> string list
+(** [pareto_front points] with [(name, cost, value)]: names of points not
+    dominated by any other (lower cost and higher value). Used by the
+    design-space exploration example. *)
+
+val total_transistors :
+  ?params:Block_cost.params ->
+  ?machine:Vliw_isa.Machine.t ->
+  Vliw_merge.Scheme.t ->
+  float
+(** Merge control plus the (scheme-independent) routing block / muxes —
+    the full merging hardware of Figures 2-3. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Common Int64 List Printf Vliw_compiler Vliw_isa Vliw_merge Vliw_sim Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Fig10 Printf String Vliw_util

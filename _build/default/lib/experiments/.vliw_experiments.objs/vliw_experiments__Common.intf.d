@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Vliw_compiler Vliw_sim

@@ -1,0 +1,1 @@
+lib/experiments/compiler_cmp.ml: Common List Printf Vliw_compiler Vliw_merge Vliw_sim Vliw_util Vliw_workloads

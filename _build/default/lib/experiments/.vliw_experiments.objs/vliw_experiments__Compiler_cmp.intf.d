@@ -1,0 +1,1 @@
+lib/experiments/compiler_cmp.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/ext8.ml: Array Common Int64 List Printf Vliw_compiler Vliw_cost Vliw_isa Vliw_merge Vliw_sim Vliw_util Vliw_workloads

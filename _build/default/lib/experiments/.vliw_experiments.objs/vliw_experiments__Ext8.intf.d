@@ -1,0 +1,1 @@
+lib/experiments/ext8.mli: Common Vliw_merge

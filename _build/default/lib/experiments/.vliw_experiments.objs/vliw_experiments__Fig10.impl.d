@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Common List Printf Vliw_merge Vliw_util

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Fig10 List Printf Vliw_cost Vliw_merge Vliw_util

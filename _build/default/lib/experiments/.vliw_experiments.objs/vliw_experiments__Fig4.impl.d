@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Common Printf Vliw_util

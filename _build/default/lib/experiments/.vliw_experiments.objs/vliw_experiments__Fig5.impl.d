@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: List Printf Vliw_cost Vliw_util

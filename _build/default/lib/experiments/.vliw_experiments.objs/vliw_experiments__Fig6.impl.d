@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Common List Printf Vliw_util

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: List Printf Vliw_cost Vliw_merge Vliw_util

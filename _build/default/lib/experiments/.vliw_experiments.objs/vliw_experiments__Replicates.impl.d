@@ -1,0 +1,1 @@
+lib/experiments/replicates.ml: Array Claims Common Fig10 List Printf String Vliw_util

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Common Int64 List Printf String Vliw_compiler Vliw_isa Vliw_merge Vliw_sim Vliw_util Vliw_workloads

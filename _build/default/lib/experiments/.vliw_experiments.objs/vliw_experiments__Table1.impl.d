@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Common List Printf Vliw_compiler Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: List Vliw_compiler Vliw_util Vliw_workloads

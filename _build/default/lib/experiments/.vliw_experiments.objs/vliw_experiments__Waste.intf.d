@@ -1,0 +1,1 @@
+lib/experiments/waste.mli: Common

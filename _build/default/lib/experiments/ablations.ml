@@ -1,0 +1,83 @@
+type variant = {
+  label : string;
+  rotate_priority : bool;
+  stall_on_dmiss : bool;
+  routing : Vliw_merge.Conflict.routing_mode;
+}
+
+let baseline =
+  {
+    label = "baseline";
+    rotate_priority = true;
+    stall_on_dmiss = true;
+    routing = Vliw_merge.Conflict.Flexible;
+  }
+
+let variants =
+  [
+    baseline;
+    { baseline with label = "no-rotation"; rotate_priority = false };
+    { baseline with label = "nonblocking-dmiss"; stall_on_dmiss = false };
+    {
+      baseline with
+      label = "fixed-slot-smt";
+      routing = Vliw_merge.Conflict.Fixed_slots;
+    };
+  ]
+
+type row = { variant : string; ipc_by_scheme : (string * float) list }
+
+let run ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(schemes = [ "3CCC"; "2SC3"; "3SSS" ]) ?(mixes = [ "LLLL"; "LLHH"; "HHHH" ]) () =
+  let schedule = Common.schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  (* Compile each mix once; all variants and schemes share the code. *)
+  let programs_of_mix =
+    List.map
+      (fun mix_name ->
+        let mix = Vliw_workloads.Mixes.find_exn mix_name in
+        let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+        List.map
+          (fun p ->
+            Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
+              machine p)
+          mix.members)
+      mixes
+  in
+  List.map
+    (fun v ->
+      let ipc_by_scheme =
+        List.map
+          (fun scheme_name ->
+            let entry = Vliw_merge.Catalog.find_exn scheme_name in
+            let config =
+              Vliw_sim.Config.make ~machine ~rotate_priority:v.rotate_priority
+                ~stall_on_dmiss:v.stall_on_dmiss ~routing:v.routing entry.scheme
+            in
+            let ipcs =
+              List.map
+                (fun programs ->
+                  Vliw_sim.Metrics.ipc
+                    (Vliw_sim.Multitask.run_programs config ~seed ~schedule programs))
+                programs_of_mix
+            in
+            (scheme_name, Vliw_util.Stats.mean (Array.of_list ipcs)))
+          schemes
+      in
+      { variant = v.label; ipc_by_scheme })
+    variants
+
+let render rows =
+  match rows with
+  | [] -> "(no ablation rows)\n"
+  | first :: _ ->
+    let schemes = List.map fst first.ipc_by_scheme in
+    let table = Vliw_util.Text_table.create ~header:("Variant" :: schemes) in
+    List.iter
+      (fun r ->
+        Vliw_util.Text_table.add_row table
+          (r.variant
+          :: List.map (fun (_, ipc) -> Printf.sprintf "%.2f" ipc) r.ipc_by_scheme))
+      rows;
+    "Ablations: average IPC (LLLL, LLHH, HHHH) under design variants\n"
+    ^ Vliw_util.Text_table.render table

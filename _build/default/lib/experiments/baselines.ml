@@ -1,0 +1,66 @@
+type row = { label : string; avg_ipc : float; avg_vertical_waste : float }
+
+let configs () =
+  let scheme name = (Vliw_merge.Catalog.find_exn name).scheme in
+  let four_contexts = scheme "3SSS" in
+  [
+    ("single-thread", Vliw_sim.Config.make (scheme "ST"));
+    ("IMT (4 ctx)", Vliw_sim.Config.make ~policy:Vliw_sim.Policy.Imt four_contexts);
+    ( "BMT (4 ctx)",
+      Vliw_sim.Config.make ~policy:Vliw_sim.Policy.default_bmt four_contexts );
+    ("CSMT 3CCC", Vliw_sim.Config.make (scheme "3CCC"));
+    ("mixed 2SC3", Vliw_sim.Config.make (scheme "2SC3"));
+    ("SMT 3SSS", Vliw_sim.Config.make (scheme "3SSS"));
+  ]
+
+let run ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(mixes = Vliw_workloads.Mixes.names) () =
+  let schedule = Common.schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  let programs_of_mix =
+    List.map
+      (fun mix_name ->
+        let mix = Vliw_workloads.Mixes.find_exn mix_name in
+        let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+        List.map
+          (fun p ->
+            Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
+              machine p)
+          mix.members)
+      mixes
+  in
+  List.map
+    (fun (label, config) ->
+      let metrics =
+        List.map
+          (fun programs ->
+            Vliw_sim.Multitask.run_programs config ~seed ~schedule programs)
+          programs_of_mix
+      in
+      {
+        label;
+        avg_ipc =
+          Vliw_util.Stats.mean
+            (Array.of_list (List.map Vliw_sim.Metrics.ipc metrics));
+        avg_vertical_waste =
+          Vliw_util.Stats.mean
+            (Array.of_list (List.map Vliw_sim.Metrics.vertical_waste metrics));
+      })
+    (configs ())
+
+let render rows =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Technique"; "Avg IPC"; "Vertical waste" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row table
+        [
+          r.label;
+          Printf.sprintf "%.2f" r.avg_ipc;
+          Printf.sprintf "%.1f%%" (100.0 *. r.avg_vertical_waste);
+        ])
+    rows;
+  "Baselines: multithreading techniques on the Table 2 mixes\n"
+  ^ Vliw_util.Text_table.render table

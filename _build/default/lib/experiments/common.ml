@@ -1,0 +1,94 @@
+type scale = Quick | Default | Full
+
+let schedule_of_scale = function
+  | Quick ->
+    { Vliw_sim.Multitask.timeslice = 5_000; target_instrs = 15_000; max_cycles = 40_000 }
+  | Default ->
+    (* Effectively a fixed 400k-cycle horizon: the instruction target is
+       unreachable within it, so every scheme sees the same cycle budget
+       and rates compare without truncation bias. *)
+    { Vliw_sim.Multitask.timeslice = 50_000; target_instrs = 1_000_000; max_cycles = 400_000 }
+  | Full ->
+    {
+      Vliw_sim.Multitask.timeslice = 1_000_000;
+      target_instrs = 5_000_000;
+      max_cycles = 20_000_000;
+    }
+
+let default_seed = 0xC5EEDL
+
+let single_thread_ipc ?(scale = Default) ?(seed = default_seed) ~perfect profile =
+  let config = Vliw_sim.Config.make (Vliw_merge.Scheme.thread 0) in
+  let metrics =
+    Vliw_sim.Multitask.run config ~perfect_mem:perfect ~seed
+      ~schedule:(schedule_of_scale scale) [ profile ]
+  in
+  Vliw_sim.Metrics.ipc metrics
+
+type grid = {
+  scheme_names : string list;
+  mix_names : string list;
+  ipc : float array array;
+}
+
+let run_grid ?(scale = Default) ?(seed = default_seed) ?scheme_names ?mix_names () =
+  let scheme_names =
+    match scheme_names with
+    | Some names -> names
+    | None -> List.map (fun (e : Vliw_merge.Catalog.entry) -> e.name) Vliw_merge.Catalog.four_thread
+  in
+  let mix_names =
+    match mix_names with Some names -> names | None -> Vliw_workloads.Mixes.names
+  in
+  let schedule = schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  let ipc =
+    Array.of_list
+      (List.map
+         (fun mix_name ->
+           let mix = Vliw_workloads.Mixes.find_exn mix_name in
+           (* Compile once per mix; every scheme sees identical programs. *)
+           let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+           let programs =
+             List.map
+               (fun p ->
+                 Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
+                   machine p)
+               mix.members
+           in
+           Array.of_list
+             (List.map
+                (fun scheme_name ->
+                  let entry = Vliw_merge.Catalog.find_exn scheme_name in
+                  let config = Vliw_sim.Config.make ~machine entry.scheme in
+                  let metrics =
+                    Vliw_sim.Multitask.run_programs config ~seed ~schedule programs
+                  in
+                  Vliw_sim.Metrics.ipc metrics)
+                scheme_names))
+         mix_names)
+  in
+  { scheme_names; mix_names; ipc }
+
+let scheme_index grid name =
+  let rec find i = function
+    | [] -> invalid_arg ("grid: unknown scheme " ^ name)
+    | x :: rest -> if x = name then i else find (i + 1) rest
+  in
+  find 0 grid.scheme_names
+
+let grid_column grid name =
+  let j = scheme_index grid name in
+  Array.map (fun row -> row.(j)) grid.ipc
+
+let grid_average grid name = Vliw_util.Stats.mean (grid_column grid name)
+
+let grid_csv grid =
+  let header = "mix" :: grid.scheme_names in
+  let rows =
+    List.mapi
+      (fun i mix ->
+        mix :: Array.to_list (Array.map (Printf.sprintf "%.4f") grid.ipc.(i)))
+      grid.mix_names
+  in
+  (header, rows)

@@ -1,0 +1,41 @@
+(** Shared experiment infrastructure: scales, seeds, and the simulation
+    grid all performance figures draw from. *)
+
+type scale = Quick | Default | Full
+
+val schedule_of_scale : scale -> Vliw_sim.Multitask.schedule
+(** Quick: unit-test sized. Default: seconds per simulation, stable
+    rates. Full: the paper's parameters scaled to minutes per
+    simulation. *)
+
+val default_seed : int64
+
+val single_thread_ipc :
+  ?scale:scale -> ?seed:int64 -> perfect:bool -> Vliw_compiler.Profile.t -> float
+(** Single-thread IPC of one benchmark on the default machine. *)
+
+type grid = {
+  scheme_names : string list;
+  mix_names : string list;
+  ipc : float array array;  (** [ipc.(mix).(scheme)]. *)
+}
+
+val run_grid :
+  ?scale:scale ->
+  ?seed:int64 ->
+  ?scheme_names:string list ->
+  ?mix_names:string list ->
+  unit ->
+  grid
+(** IPC of every (mix, scheme) pair; programs are compiled once per mix
+    and shared across schemes so scheme comparisons see identical code.
+    Defaults: all 4-thread schemes of the catalog, all Table 2 mixes. *)
+
+val grid_column : grid -> string -> float array
+(** IPC across mixes for one scheme. *)
+
+val grid_average : grid -> string -> float
+(** Mean IPC across mixes for one scheme. *)
+
+val grid_csv : grid -> string list * string list list
+(** CSV header and rows (mix per row, scheme per column). *)

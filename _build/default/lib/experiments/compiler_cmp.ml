@@ -1,0 +1,78 @@
+type bench_row = { name : string; block_ipc : float; trace_ipc : float }
+
+type ladder_row = { scheme : string; block_ipc : float; trace_ipc : float }
+
+type data = {
+  trace_len : int;
+  benches : bench_row list;
+  ladder : ladder_row list;
+}
+
+let run ?(scale = Common.Default) ?(seed = Common.default_seed) ?(trace_len = 4)
+    () =
+  let schedule = Common.schedule_of_scale scale in
+  let single mode profile =
+    let config = Vliw_sim.Config.make (Vliw_merge.Scheme.thread 0) in
+    Vliw_sim.Metrics.ipc
+      (Vliw_sim.Multitask.run config ~perfect_mem:true ~seed ~schedule ~mode
+         [ profile ])
+  in
+  let benches =
+    List.map
+      (fun (p : Vliw_compiler.Profile.t) ->
+        {
+          name = p.name;
+          block_ipc = single `Block p;
+          trace_ipc = single (`Trace trace_len) p;
+        })
+      Vliw_workloads.Benchmarks.all
+  in
+  let mix = Vliw_workloads.Mixes.find_exn "LLHH" in
+  let ladder_entry scheme_name =
+    let config =
+      Vliw_sim.Config.make (Vliw_merge.Catalog.find_exn scheme_name).scheme
+    in
+    let ipc mode =
+      Vliw_sim.Metrics.ipc
+        (Vliw_sim.Multitask.run config ~seed ~schedule ~mode mix.members)
+    in
+    { scheme = scheme_name; block_ipc = ipc `Block; trace_ipc = ipc (`Trace trace_len) }
+  in
+  {
+    trace_len;
+    benches;
+    ladder = List.map ladder_entry [ "3CCC"; "2SC3"; "3SSS" ];
+  }
+
+let render d =
+  let b = Vliw_util.Text_table.create ~header:[ "Benchmark"; "Block"; "Trace"; "gain" ] in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row b
+        [
+          r.name;
+          Printf.sprintf "%.2f" r.block_ipc;
+          Printf.sprintf "%.2f" r.trace_ipc;
+          Printf.sprintf "%+.0f%%" (Vliw_util.Stats.pct_diff r.trace_ipc r.block_ipc);
+        ])
+    d.benches;
+  let l =
+    Vliw_util.Text_table.create ~header:[ "Scheme (LLHH)"; "Block"; "Trace"; "gain" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row l
+        [
+          r.scheme;
+          Printf.sprintf "%.2f" r.block_ipc;
+          Printf.sprintf "%.2f" r.trace_ipc;
+          Printf.sprintf "%+.0f%%" (Vliw_util.Stats.pct_diff r.trace_ipc r.block_ipc);
+        ])
+    d.ladder;
+  Printf.sprintf
+    "Compiler comparison: block scheduling vs trace scheduling (%d-block regions)\n\n\
+     Single-thread IPC, perfect memory:\n%s\n\
+     Merging-scheme ladder:\n%s"
+    d.trace_len
+    (Vliw_util.Text_table.render b)
+    (Vliw_util.Text_table.render l)

@@ -1,0 +1,103 @@
+module S = Vliw_merge.Scheme
+
+type entry = { name : string; scheme : S.t; description : string }
+
+let t = S.thread
+
+let schemes =
+  [
+    {
+      name = "C8";
+      scheme = S.csmt_par 8;
+      description = "8-input parallel CSMT block";
+    };
+    {
+      name = "CSMT8";
+      scheme = S.csmt_cascade 8;
+      description = "8-thread serial CSMT cascade";
+    };
+    {
+      name = "2SC7";
+      scheme =
+        S.csmt_parallel (S.smt (t 0) (t 1) :: List.init 6 (fun i -> t (i + 2)));
+      description = "one SMT pair, rest merged by parallel CSMT (2SC3 scaled)";
+    };
+    {
+      name = "SP4C";
+      scheme =
+        S.csmt_parallel
+          [ S.smt (t 0) (t 1); S.smt (t 2) (t 3); S.smt (t 4) (t 5); S.smt (t 6) (t 7) ];
+      description = "four SMT pairs merged by a 4-input parallel CSMT";
+    };
+    {
+      name = "4SC5";
+      scheme =
+        (let smt4 = S.smt (S.smt (S.smt (t 0) (t 1)) (t 2)) (t 3) in
+         S.csmt_parallel (smt4 :: List.init 4 (fun i -> t (i + 4))));
+      description = "4-thread SMT cascade, rest merged by parallel CSMT";
+    };
+    {
+      name = "SMT8";
+      scheme = S.smt_cascade 8;
+      description = "8-thread serial SMT cascade";
+    };
+  ]
+
+type row = { name : string; delay : float; transistors : float; avg_ipc : float }
+
+let doubled_mixes () =
+  List.map
+    (fun (mix : Vliw_workloads.Mixes.t) ->
+      (mix.name ^ "x2", mix.members @ mix.members))
+    Vliw_workloads.Mixes.all
+
+let run ?(scale = Common.Default) ?(seed = Common.default_seed) () =
+  let schedule = Common.schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  let workloads =
+    List.map
+      (fun (name, members) ->
+        let rng = Vliw_util.Rng.create (Int64.add seed 0x8E37L) in
+        ( name,
+          List.map
+            (fun p ->
+              Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
+                machine p)
+            members ))
+      (doubled_mixes ())
+  in
+  List.map
+    (fun e ->
+      let config = Vliw_sim.Config.make ~machine e.scheme in
+      let ipcs =
+        List.map
+          (fun (_, programs) ->
+            Vliw_sim.Metrics.ipc
+              (Vliw_sim.Multitask.run_programs config ~seed ~schedule programs))
+          workloads
+      in
+      {
+        name = e.name;
+        delay = Vliw_cost.Scheme_cost.delay e.scheme;
+        transistors = Vliw_cost.Scheme_cost.transistors e.scheme;
+        avg_ipc = Vliw_util.Stats.mean (Array.of_list ipcs);
+      })
+    schemes
+
+let render rows =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Scheme"; "Gate delays"; "Transistors"; "Avg IPC" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row table
+        [
+          r.name;
+          Printf.sprintf "%.1f" r.delay;
+          Printf.sprintf "%.0f" r.transistors;
+          Printf.sprintf "%.2f" r.avg_ipc;
+        ])
+    rows;
+  "Extension: 8-thread merging schemes (cost model + doubled Table 2 mixes)\n"
+  ^ Vliw_util.Text_table.render table

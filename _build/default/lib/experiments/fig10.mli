@@ -1,0 +1,26 @@
+(** Figure 10: per-mix IPC for every merging scheme.
+
+    The paper groups schemes whose performance differs by less than 1%
+    (e.g. 3CCC with C4); we simulate every scheme individually, report
+    the paper's groups as member averages and expose the within-group
+    spread so the grouping claim itself is checkable. *)
+
+type data = {
+  grid : Common.grid;  (** All 4-thread schemes plus 1S. *)
+  groups : (string * string list) list;  (** Paper legend groups. *)
+}
+
+val run : ?scale:Common.scale -> ?seed:int64 -> unit -> data
+
+val group_ipc : data -> string -> float array
+(** Per-mix IPC of a group (average over members). *)
+
+val group_average : data -> string -> float
+
+val group_spread : data -> string -> float
+(** Maximum relative IPC difference between group members on any mix —
+    the paper reports < 1%. *)
+
+val scheme_average : data -> string -> float
+
+val render : data -> string

@@ -1,0 +1,57 @@
+type point = {
+  threads : int;
+  smt : float * float;
+  csmt_serial : float * float;
+  csmt_parallel : float * float;
+}
+
+let run ?params () =
+  List.init 7 (fun i ->
+      let n = i + 2 in
+      {
+        threads = n;
+        smt = Vliw_cost.Scheme_cost.smt_cascade_cost ?params n;
+        csmt_serial = Vliw_cost.Scheme_cost.csmt_serial_cost ?params n;
+        csmt_parallel = Vliw_cost.Scheme_cost.csmt_parallel_cost ?params n;
+      })
+
+let render points =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:
+        [
+          "Threads";
+          "SMT delay";
+          "SMT trans";
+          "CSMT SL delay";
+          "CSMT SL trans";
+          "CSMT PL delay";
+          "CSMT PL trans";
+        ]
+  in
+  List.iter
+    (fun p ->
+      let sd, st = p.smt and cd, ct = p.csmt_serial and pd, pt = p.csmt_parallel in
+      Vliw_util.Text_table.add_row table
+        [
+          string_of_int p.threads;
+          Printf.sprintf "%.0f" sd;
+          Printf.sprintf "%.0f" st;
+          Printf.sprintf "%.0f" cd;
+          Printf.sprintf "%.0f" ct;
+          Printf.sprintf "%.0f" pd;
+          Printf.sprintf "%.0f" pt;
+        ])
+    points;
+  "Figure 5: thread merge control cost vs number of threads\n"
+  ^ Vliw_util.Text_table.render table
+
+let csv_rows points =
+  ( [ "threads"; "smt_delay"; "smt_transistors"; "csmt_sl_delay";
+      "csmt_sl_transistors"; "csmt_pl_delay"; "csmt_pl_transistors" ],
+    List.map
+      (fun p ->
+        let sd, st = p.smt and cd, ct = p.csmt_serial and pd, pt = p.csmt_parallel in
+        string_of_int p.threads
+        :: List.map (Printf.sprintf "%.2f") [ sd; st; cd; ct; pd; pt ])
+      points )

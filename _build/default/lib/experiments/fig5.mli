@@ -1,0 +1,16 @@
+(** Figure 5: thread-merge-control cost versus thread count (2–8) for
+    SMT, serial CSMT ("CSMT SL") and parallel CSMT ("CSMT PL"). *)
+
+type point = {
+  threads : int;
+  smt : float * float;  (** (gate delays, transistors). *)
+  csmt_serial : float * float;
+  csmt_parallel : float * float;
+}
+
+val run : ?params:Vliw_cost.Block_cost.params -> unit -> point list
+(** Thread counts 2 to 8 as in the paper. *)
+
+val render : point list -> string
+
+val csv_rows : point list -> string list * string list list

@@ -1,0 +1,38 @@
+type row = { name : string; delay : float; transistors : float }
+
+let run ?params () =
+  List.filter_map
+    (fun (e : Vliw_merge.Catalog.entry) ->
+      if e.name = "ST" then None
+      else
+        Some
+          {
+            name = e.name;
+            delay = Vliw_cost.Scheme_cost.delay ?params e.scheme;
+            transistors = Vliw_cost.Scheme_cost.transistors ?params e.scheme;
+          })
+    Vliw_merge.Catalog.all
+
+let render rows =
+  let table =
+    Vliw_util.Text_table.create ~header:[ "Scheme"; "Gate delays"; "Transistors" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row table
+        [ r.name; Printf.sprintf "%.1f" r.delay; Printf.sprintf "%.0f" r.transistors ])
+    rows;
+  let chart =
+    Vliw_util.Ascii_chart.bar_chart
+      (List.map (fun r -> (r.name, r.delay)) rows)
+  in
+  "Figure 9: merging hardware cost per scheme\n"
+  ^ Vliw_util.Text_table.render table
+  ^ "\nGate delays:\n" ^ chart
+
+let csv_rows rows =
+  ( [ "scheme"; "gate_delays"; "transistors" ],
+    List.map
+      (fun r ->
+        [ r.name; Printf.sprintf "%.2f" r.delay; Printf.sprintf "%.0f" r.transistors ])
+      rows )

@@ -1,0 +1,10 @@
+(** Figure 9: merging-hardware cost (gate delays and transistors) for
+    every scheme, in the paper's cost-ascending order. *)
+
+type row = { name : string; delay : float; transistors : float }
+
+val run : ?params:Vliw_cost.Block_cost.params -> unit -> row list
+
+val render : row list -> string
+
+val csv_rows : row list -> string list * string list list

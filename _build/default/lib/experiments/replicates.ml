@@ -1,0 +1,49 @@
+type stat = { mean : float; sd : float }
+
+type t = {
+  n : int;
+  smt4_over_smt2 : stat;
+  smt_over_csmt : stat;
+  sc3_over_csmt4 : stat;
+  sc3_over_smt2 : stat;
+  sc3_below_smt4 : stat;
+}
+
+let default_seeds = [ 11L; 222L; 3333L; 44444L; 555555L ]
+
+let stat xs =
+  let arr = Array.of_list xs in
+  { mean = Vliw_util.Stats.mean arr; sd = Vliw_util.Stats.stddev arr }
+
+let run ?(scale = Common.Default) ?(seeds = default_seeds) () =
+  let claims =
+    List.map
+      (fun seed ->
+        Claims.of_fig10
+          (Fig10.run ~scale ~seed ()))
+      seeds
+  in
+  let pick f = stat (List.map f claims) in
+  {
+    n = List.length seeds;
+    smt4_over_smt2 = pick (fun (c : Claims.t) -> c.smt4_over_smt2_pct);
+    smt_over_csmt = pick (fun c -> c.smt_over_csmt_pct);
+    sc3_over_csmt4 = pick (fun c -> c.scheme_2sc3_over_csmt4_pct);
+    sc3_over_smt2 = pick (fun c -> c.scheme_2sc3_over_smt2_pct);
+    sc3_below_smt4 = pick (fun c -> c.scheme_2sc3_below_smt4_pct);
+  }
+
+let render t =
+  let line label paper s =
+    Printf.sprintf "  %-22s %+6.1f%% +/- %4.1f  (paper %s)" label s.mean s.sd paper
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "Headline claims over %d seeds (mean +/- sd):" t.n;
+      line "4T SMT vs 2T SMT:" "+61%" t.smt4_over_smt2;
+      line "4T SMT vs 4T CSMT:" "+27%" t.smt_over_csmt;
+      line "2SC3 vs 4T CSMT:" "+14%" t.sc3_over_csmt4;
+      line "2SC3 vs 2T SMT:" "+45%" t.sc3_over_smt2;
+      line "2SC3 vs 4T SMT:" "-11%" t.sc3_below_smt4;
+      "";
+    ]

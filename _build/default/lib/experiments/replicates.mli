@@ -1,0 +1,19 @@
+(** Statistical replication: the headline claims across independent
+    seeds, reported as mean +/- standard deviation. Guards against a
+    conclusion that holds for one random workload instantiation only. *)
+
+type stat = { mean : float; sd : float }
+
+type t = {
+  n : int;
+  smt4_over_smt2 : stat;
+  smt_over_csmt : stat;
+  sc3_over_csmt4 : stat;
+  sc3_over_smt2 : stat;
+  sc3_below_smt4 : stat;
+}
+
+val run : ?scale:Common.scale -> ?seeds:int64 list -> unit -> t
+(** Default: five seeds. *)
+
+val render : t -> string

@@ -1,0 +1,134 @@
+type point = { param : string; csmt : float; mixed : float; smt : float }
+
+type sweep = { title : string; points : point list }
+
+let schemes = [ "3CCC"; "2SC3"; "3SSS" ]
+
+let measure ~machine ~schedule ~seed mix_name =
+  let mix = Vliw_workloads.Mixes.find_exn mix_name in
+  let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
+      mix.members
+  in
+  List.map
+    (fun name ->
+      let config =
+        Vliw_sim.Config.make ~machine (Vliw_merge.Catalog.find_exn name).scheme
+      in
+      Vliw_sim.Metrics.ipc
+        (Vliw_sim.Multitask.run_programs config ~seed ~schedule programs))
+    schemes
+
+let point ~machine ~schedule ~seed ~mix param =
+  match measure ~machine ~schedule ~seed mix with
+  | [ csmt; mixed; smt ] -> { param; csmt; mixed; smt }
+  | _ -> assert false
+
+let miss_penalty ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(mix = "LLHH") () =
+  let schedule = Common.schedule_of_scale scale in
+  {
+    title = "DCache/ICache miss penalty (paper: 20 cycles)";
+    points =
+      List.map
+        (fun p ->
+          let machine = { Vliw_isa.Machine.default with miss_penalty = p } in
+          point ~machine ~schedule ~seed ~mix (Printf.sprintf "%d cycles" p))
+        [ 10; 20; 40; 80 ];
+  }
+
+let dcache_size ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(mix = "LLHH") () =
+  let schedule = Common.schedule_of_scale scale in
+  {
+    title = "DCache size (paper: 64 KB)";
+    points =
+      List.map
+        (fun kb ->
+          let machine =
+            {
+              Vliw_isa.Machine.default with
+              dcache = { Vliw_isa.Machine.default.dcache with size_bytes = kb * 1024 };
+            }
+          in
+          point ~machine ~schedule ~seed ~mix (Printf.sprintf "%d KB" kb))
+        [ 16; 32; 64; 128 ];
+  }
+
+let branch_penalty ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(mix = "LLHH") () =
+  let schedule = Common.schedule_of_scale scale in
+  {
+    title = "Taken-branch penalty (paper: 2 cycles)";
+    points =
+      List.map
+        (fun p ->
+          let machine = { Vliw_isa.Machine.default with branch_penalty = p } in
+          point ~machine ~schedule ~seed ~mix (Printf.sprintf "%d cycles" p))
+        [ 0; 2; 4; 8 ];
+  }
+
+let timeslice ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(mix = "LLHH") () =
+  let base = Common.schedule_of_scale scale in
+  {
+    title = "OS timeslice (paper: 1M cycles at full scale)";
+    points =
+      List.map
+        (fun ts ->
+          let schedule = { base with Vliw_sim.Multitask.timeslice = ts } in
+          point ~machine:Vliw_isa.Machine.default ~schedule ~seed ~mix
+            (Printf.sprintf "%dk cycles" (ts / 1000)))
+        [ 10_000; 50_000; 200_000 ];
+  }
+
+let predictor ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?(mix = "LLHH") () =
+  let schedule = Common.schedule_of_scale scale in
+  {
+    title = "Branch predictor (paper: none, fall-through predicted)";
+    points =
+      List.map
+        (fun (label, p) ->
+          let machine = { Vliw_isa.Machine.default with predictor = p } in
+          point ~machine ~schedule ~seed ~mix label)
+        [
+          ("none", Vliw_isa.Machine.No_predictor);
+          ("bimodal 512", Vliw_isa.Machine.Bimodal 512);
+          ("bimodal 4096", Vliw_isa.Machine.Bimodal 4096);
+        ];
+  }
+
+let all ?scale ?seed ?mix () =
+  [
+    miss_penalty ?scale ?seed ?mix ();
+    dcache_size ?scale ?seed ?mix ();
+    branch_penalty ?scale ?seed ?mix ();
+    timeslice ?scale ?seed ?mix ();
+    predictor ?scale ?seed ?mix ();
+  ]
+
+let render sweep =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Value"; "3CCC"; "2SC3"; "3SSS"; "2SC3 vs CSMT" ]
+  in
+  List.iter
+    (fun p ->
+      Vliw_util.Text_table.add_row table
+        [
+          p.param;
+          Printf.sprintf "%.2f" p.csmt;
+          Printf.sprintf "%.2f" p.mixed;
+          Printf.sprintf "%.2f" p.smt;
+          Printf.sprintf "%+.0f%%" (Vliw_util.Stats.pct_diff p.mixed p.csmt);
+        ])
+    sweep.points;
+  sweep.title ^ "\n" ^ Vliw_util.Text_table.render table
+
+let render_all sweeps =
+  "Sensitivity sweeps (mix LLHH)\n\n"
+  ^ String.concat "\n" (List.map render sweeps)

@@ -1,0 +1,39 @@
+(** Sensitivity sweeps: how robust are the paper's conclusions to the
+    fixed parameters of its setup (§5.1)?
+
+    Each sweep varies one machine or OS parameter and reports the IPC of
+    the three pivotal schemes (4-thread CSMT, the mixed 2SC3, 4-thread
+    SMT) plus the 2SC3-vs-CSMT advantage, on a representative mixed
+    workload. *)
+
+type point = {
+  param : string;  (** Rendered parameter value, e.g. "40 cycles". *)
+  csmt : float;
+  mixed : float;
+  smt : float;
+}
+
+type sweep = { title : string; points : point list }
+
+val miss_penalty : ?scale:Common.scale -> ?seed:int64 -> ?mix:string -> unit -> sweep
+(** Miss penalty 10 / 20 (paper) / 40 / 80 cycles. *)
+
+val dcache_size : ?scale:Common.scale -> ?seed:int64 -> ?mix:string -> unit -> sweep
+(** DCache 16 / 32 / 64 (paper) / 128 KB. *)
+
+val branch_penalty : ?scale:Common.scale -> ?seed:int64 -> ?mix:string -> unit -> sweep
+(** Taken-branch penalty 0 / 2 (paper) / 4 / 8 cycles. *)
+
+val timeslice : ?scale:Common.scale -> ?seed:int64 -> ?mix:string -> unit -> sweep
+(** OS timeslice 10k / 50k / 200k cycles (at Default scale). *)
+
+val predictor : ?scale:Common.scale -> ?seed:int64 -> ?mix:string -> unit -> sweep
+(** None (paper) / bimodal 512 / bimodal 4096 branch predictor — an
+    extension: a predictor shrinks the branch bubbles multithreading
+    would otherwise fill. *)
+
+val all : ?scale:Common.scale -> ?seed:int64 -> ?mix:string -> unit -> sweep list
+
+val render : sweep -> string
+
+val render_all : sweep list -> string

@@ -1,0 +1,69 @@
+type row = {
+  scheme : string;
+  weighted_speedup : float;
+  fairness : float;
+  ipc : float;
+}
+
+let run ?(scale = Common.Default) ?(seed = Common.default_seed) ?(mix = "LLHH")
+    ?(schemes = [ "1S"; "3CCC"; "2SC3"; "3SSS" ]) () =
+  let schedule = Common.schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  let members = (Vliw_workloads.Mixes.find_exn mix).members in
+  let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
+      members
+  in
+  (* Solo baseline: each thread alone on the machine, same programs. *)
+  let solo_ipc =
+    List.map
+      (fun program ->
+        let config = Vliw_sim.Config.make ~machine (Vliw_merge.Scheme.thread 0) in
+        let m = Vliw_sim.Multitask.run_programs config ~seed ~schedule [ program ] in
+        (* One thread: per-thread ops over the run's cycles. *)
+        float_of_int m.per_thread.(0).ops /. float_of_int (max 1 m.cycles))
+      programs
+  in
+  List.map
+    (fun name ->
+      let config =
+        Vliw_sim.Config.make ~machine (Vliw_merge.Scheme_name.parse_exn name)
+      in
+      let m = Vliw_sim.Multitask.run_programs config ~seed ~schedule programs in
+      let mt_ipc =
+        Array.to_list m.per_thread
+        |> List.map (fun (pt : Vliw_sim.Metrics.per_thread) ->
+               float_of_int pt.ops /. float_of_int (max 1 m.cycles))
+      in
+      let ratios = List.map2 (fun mt solo -> mt /. solo) mt_ipc solo_ipc in
+      let weighted_speedup = List.fold_left ( +. ) 0.0 ratios in
+      let fairness =
+        let mn = List.fold_left min infinity ratios in
+        let mx = List.fold_left max 0.0 ratios in
+        if mx <= 0.0 then 0.0 else mn /. mx
+      in
+      { scheme = name; weighted_speedup; fairness; ipc = Vliw_sim.Metrics.ipc m })
+    schemes
+
+let render mix rows =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Scheme"; "IPC"; "Weighted speedup"; "Fairness" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row table
+        [
+          r.scheme;
+          Printf.sprintf "%.2f" r.ipc;
+          Printf.sprintf "%.2f" r.weighted_speedup;
+          Printf.sprintf "%.2f" r.fairness;
+        ])
+    rows;
+  Printf.sprintf
+    "Weighted speedup and fairness on %s (vs each thread running alone)\n%s"
+    mix
+    (Vliw_util.Text_table.render table)

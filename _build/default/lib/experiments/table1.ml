@@ -1,0 +1,65 @@
+type row = {
+  profile : Vliw_compiler.Profile.t;
+  ipc_real : float;
+  ipc_perfect : float;
+}
+
+let run ?scale ?seed () =
+  List.map
+    (fun profile ->
+      {
+        profile;
+        ipc_real = Common.single_thread_ipc ?scale ?seed ~perfect:false profile;
+        ipc_perfect = Common.single_thread_ipc ?scale ?seed ~perfect:true profile;
+      })
+    Vliw_workloads.Benchmarks.all
+
+let render rows =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:
+        [ "Benchmark"; "ILP"; "Description"; "IPCr"; "paper"; "IPCp"; "paper" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row table
+        [
+          r.profile.name;
+          Vliw_compiler.Profile.ilp_letter r.profile.ilp;
+          r.profile.description;
+          Printf.sprintf "%.2f" r.ipc_real;
+          Printf.sprintf "%.2f" r.profile.target_ipc_real;
+          Printf.sprintf "%.2f" r.ipc_perfect;
+          Printf.sprintf "%.2f" r.profile.target_ipc_perfect;
+        ])
+    rows;
+  "Table 1: benchmarks, single-thread IPC with real and perfect memory\n"
+  ^ Vliw_util.Text_table.render table
+
+let max_rel_error rows =
+  List.fold_left
+    (fun acc r ->
+      let e1 =
+        abs_float (r.ipc_real -. r.profile.target_ipc_real)
+        /. r.profile.target_ipc_real
+      in
+      let e2 =
+        abs_float (r.ipc_perfect -. r.profile.target_ipc_perfect)
+        /. r.profile.target_ipc_perfect
+      in
+      max acc (max e1 e2))
+    0.0 rows
+
+let csv_rows rows =
+  ( [ "benchmark"; "ilp"; "ipc_real"; "paper_ipc_real"; "ipc_perfect"; "paper_ipc_perfect" ],
+    List.map
+      (fun r ->
+        [
+          r.profile.name;
+          Vliw_compiler.Profile.ilp_letter r.profile.ilp;
+          Printf.sprintf "%.4f" r.ipc_real;
+          Printf.sprintf "%.2f" r.profile.target_ipc_real;
+          Printf.sprintf "%.4f" r.ipc_perfect;
+          Printf.sprintf "%.2f" r.profile.target_ipc_perfect;
+        ])
+      rows )

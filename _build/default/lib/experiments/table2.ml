@@ -1,0 +1,12 @@
+let render () =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "ILP Comb"; "Thread 0"; "Thread 1"; "Thread 2"; "Thread 3" ]
+  in
+  List.iter
+    (fun (mix : Vliw_workloads.Mixes.t) ->
+      Vliw_util.Text_table.add_row table
+        (mix.name
+        :: List.map (fun (p : Vliw_compiler.Profile.t) -> p.name) mix.members))
+    Vliw_workloads.Mixes.all;
+  "Table 2: workload configurations\n" ^ Vliw_util.Text_table.render table

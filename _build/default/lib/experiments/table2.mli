@@ -1,0 +1,4 @@
+(** Table 2: the workload configurations (static data, rendered for
+    completeness and checked for label consistency). *)
+
+val render : unit -> string

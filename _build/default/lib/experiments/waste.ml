@@ -1,0 +1,53 @@
+type row = {
+  scheme : string;
+  ipc : float;
+  vertical : float;
+  horizontal : float;
+  merge_degree : float;
+}
+
+let run ?(scale = Common.Default) ?(seed = Common.default_seed) ?(mix = "LLHH")
+    ?(schemes = [ "ST"; "1S"; "3CCC"; "2SC3"; "3SSS" ]) () =
+  let schedule = Common.schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  let members = (Vliw_workloads.Mixes.find_exn mix).members in
+  let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
+      members
+  in
+  List.map
+    (fun name ->
+      let config =
+        Vliw_sim.Config.make ~machine (Vliw_merge.Scheme_name.parse_exn name)
+      in
+      let m = Vliw_sim.Multitask.run_programs config ~seed ~schedule programs in
+      {
+        scheme = name;
+        ipc = Vliw_sim.Metrics.ipc m;
+        vertical = Vliw_sim.Metrics.vertical_waste m;
+        horizontal = Vliw_sim.Metrics.horizontal_waste m;
+        merge_degree = Vliw_sim.Metrics.avg_threads_merged m;
+      })
+    schemes
+
+let render mix rows =
+  let table =
+    Vliw_util.Text_table.create
+      ~header:[ "Scheme"; "IPC"; "Vertical waste"; "Horizontal waste"; "Merge degree" ]
+  in
+  List.iter
+    (fun r ->
+      Vliw_util.Text_table.add_row table
+        [
+          r.scheme;
+          Printf.sprintf "%.2f" r.ipc;
+          Printf.sprintf "%.1f%%" (100.0 *. r.vertical);
+          Printf.sprintf "%.1f%%" (100.0 *. r.horizontal);
+          Printf.sprintf "%.2f" r.merge_degree;
+        ])
+    rows;
+  Printf.sprintf "Issue-waste decomposition on %s\n%s" mix
+    (Vliw_util.Text_table.render table)

@@ -1,0 +1,80 @@
+type t = { ops : Op.t list array; addr : int }
+
+let make ~clusters ~addr = { ops = Array.make clusters []; addr }
+
+let of_cluster_ops ~addr ops = { ops; addr }
+
+let cluster_mask t =
+  let mask = ref 0 in
+  Array.iteri (fun c ops -> if ops <> [] then mask := !mask lor (1 lsl c)) t.ops;
+  !mask
+
+let op_count t = Array.fold_left (fun acc ops -> acc + List.length ops) 0 t.ops
+
+let ops_in t c = t.ops.(c)
+
+let is_empty t = Array.for_all (fun ops -> ops = []) t.ops
+
+let has_branch t =
+  Array.exists (List.exists (fun (op : Op.t) -> op.klass = Op.Branch)) t.ops
+
+let mem_ops t =
+  Array.fold_left
+    (fun acc ops -> acc @ List.filter Op.is_mem ops)
+    [] t.ops
+
+let class_counts ops ~mem ~mul ~branch ~alu =
+  let count (op : Op.t) =
+    match op.klass with
+    | Op.Load | Op.Store -> incr mem
+    | Op.Mul -> incr mul
+    | Op.Branch -> incr branch
+    | Op.Alu | Op.Copy -> incr alu
+  in
+  List.iter count ops
+
+let fits_cluster (m : Machine.t) ops =
+  let mem = ref 0 and mul = ref 0 and branch = ref 0 and alu = ref 0 in
+  class_counts ops ~mem ~mul ~branch ~alu;
+  !mem <= m.n_lsu && !mul <= m.n_mul && !branch <= m.n_branch
+  && !mem + !mul + !branch + !alu <= m.issue_width
+
+let well_formed (m : Machine.t) t =
+  Array.length t.ops = m.clusters && Array.for_all (fits_cluster m) t.ops
+
+(* Greedy slot assignment for display: fixed-slot classes claim their
+   dedicated slots, ALU operations fill whatever is left. *)
+let slot_layout (m : Machine.t) ops =
+  let slots = Array.make m.issue_width None in
+  let place pred op =
+    let rec find s =
+      if s >= m.issue_width then None
+      else if slots.(s) = None && pred s then Some s
+      else find (s + 1)
+    in
+    match find 0 with
+    | Some s -> slots.(s) <- Some op
+    | None -> ()
+  in
+  let flexible (op : Op.t) =
+    match op.klass with Op.Alu | Op.Copy -> true | _ -> false
+  in
+  let fixed, alus = List.partition (fun op -> not (flexible op)) ops in
+  List.iter
+    (fun (op : Op.t) -> place (fun s -> Machine.slot_allows m ~slot:s op.klass) op)
+    fixed;
+  List.iter (fun op -> place (fun _ -> true) op) alus;
+  slots
+
+let pp m ppf t =
+  Array.iteri
+    (fun c ops ->
+      if c > 0 then Format.fprintf ppf " |";
+      let slots = slot_layout m ops in
+      Array.iter
+        (fun slot ->
+          match slot with
+          | None -> Format.fprintf ppf " %4s" "-"
+          | Some (op : Op.t) -> Format.fprintf ppf " %4s" (Op.class_name op.klass))
+        slots)
+    t.ops

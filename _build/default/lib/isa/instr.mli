@@ -1,0 +1,48 @@
+(** VLIW instructions.
+
+    An instruction is one "very long word": for each cluster, the (possibly
+    empty) list of operations the compiler scheduled there for the same
+    cycle. Instructions are the unit of merging — the paper's VLIW
+    semantics forbid issuing only part of an instruction. *)
+
+type t = {
+  ops : Op.t list array;  (** Per-cluster operations; length = clusters. *)
+  addr : int;  (** Static byte address, used for ICache lookups. *)
+}
+
+val make : clusters:int -> addr:int -> t
+(** Empty instruction (explicit NOP in every slot). *)
+
+val of_cluster_ops : addr:int -> Op.t list array -> t
+
+val cluster_mask : t -> int
+(** Bitmask of clusters holding at least one operation. *)
+
+val op_count : t -> int
+(** Total operations (issue-slot demand). *)
+
+val ops_in : t -> int -> Op.t list
+(** Operations scheduled on the given cluster. *)
+
+val is_empty : t -> bool
+
+val has_branch : t -> bool
+
+val mem_ops : t -> Op.t list
+(** All loads and stores, in cluster order. *)
+
+val class_counts : Op.t list -> mem:int ref -> mul:int ref -> branch:int ref -> alu:int ref -> unit
+(** Accumulate per-class counts of an operation list. *)
+
+val fits_cluster : Machine.t -> Op.t list -> bool
+(** Whether an operation multiset satisfies one cluster's slot constraints:
+    mem ops <= LSUs, muls <= multipliers, branches <= branch slots, total
+    <= issue width. *)
+
+val well_formed : Machine.t -> t -> bool
+(** Every cluster of the instruction individually satisfies
+    {!fits_cluster} and the cluster count matches the machine. *)
+
+val pp : Machine.t -> Format.formatter -> t -> unit
+(** Renders like the paper's Figure 1: one cell per issue slot, "-" for
+    empty slots, clusters separated by "|". *)

@@ -1,0 +1,81 @@
+type cache_geom = { size_bytes : int; ways : int; line_bytes : int }
+
+type predictor = No_predictor | Bimodal of int
+
+type t = {
+  clusters : int;
+  issue_width : int;
+  n_lsu : int;
+  n_mul : int;
+  n_branch : int;
+  alu_latency : int;
+  mul_latency : int;
+  mem_latency : int;
+  branch_penalty : int;
+  predictor : predictor;
+  icache : cache_geom;
+  dcache : cache_geom;
+  miss_penalty : int;
+}
+
+let default_cache = { size_bytes = 64 * 1024; ways = 4; line_bytes = 64 }
+
+let default =
+  {
+    clusters = 4;
+    issue_width = 4;
+    n_lsu = 1;
+    n_mul = 2;
+    n_branch = 1;
+    alu_latency = 1;
+    mul_latency = 2;
+    mem_latency = 2;
+    branch_penalty = 2;
+    predictor = No_predictor;
+    icache = default_cache;
+    dcache = default_cache;
+    miss_penalty = 20;
+  }
+
+let validate m =
+  if m.clusters <= 0 then Error "clusters must be positive"
+  else if m.issue_width <= 0 then Error "issue_width must be positive"
+  else if m.n_lsu < 0 || m.n_mul < 0 || m.n_branch < 0 then
+    Error "unit counts must be non-negative"
+  else if m.n_lsu + m.n_mul > m.issue_width then
+    Error "memory and multiply slots do not fit in the issue width"
+  else if m.n_branch > 1 then Error "at most one branch slot per cluster"
+  else if m.n_branch = 1 && m.issue_width - 1 < m.n_lsu + m.n_mul && m.issue_width < m.n_lsu + m.n_mul + 1
+  then Error "branch slot collides with fixed slots"
+  else Ok ()
+
+let make ?(clusters = default.clusters) ?(issue_width = default.issue_width)
+    ?(n_lsu = default.n_lsu) ?(n_mul = default.n_mul)
+    ?(n_branch = default.n_branch) () =
+  let m = { default with clusters; issue_width; n_lsu; n_mul; n_branch } in
+  match validate m with Ok () -> m | Error msg -> invalid_arg ("Machine.make: " ^ msg)
+
+let total_issue m = m.clusters * m.issue_width
+
+(* Slot layout within a cluster: [0, n_lsu) memory, [n_lsu, n_lsu + n_mul)
+   multiply, the last slot branch, ALU anywhere. The branch slot may
+   coincide with a multiply slot only on machines too narrow to separate
+   them; [validate] rejects those. *)
+let slot_allows m ~slot k =
+  match (k : Op.op_class) with
+  | Alu | Copy -> slot >= 0 && slot < m.issue_width
+  | Load | Store -> slot >= 0 && slot < m.n_lsu
+  | Mul -> slot >= m.n_lsu && slot < m.n_lsu + m.n_mul
+  | Branch -> m.n_branch > 0 && slot = m.issue_width - 1
+
+let latency m = function
+  | Op.Alu | Op.Branch | Op.Copy -> m.alu_latency
+  | Op.Mul -> m.mul_latency
+  | Op.Load | Op.Store -> m.mem_latency
+
+let pp ppf m =
+  Format.fprintf ppf
+    "%d-cluster x %d-issue (lsu=%d mul=%d br=%d; I$=%dKB/%dw D$=%dKB/%dw miss=%dcyc)"
+    m.clusters m.issue_width m.n_lsu m.n_mul m.n_branch
+    (m.icache.size_bytes / 1024) m.icache.ways (m.dcache.size_bytes / 1024)
+    m.dcache.ways m.miss_penalty

@@ -1,0 +1,70 @@
+(** Clustered VLIW machine configuration.
+
+    The default configuration mirrors the paper's experimental setup
+    (§5.1): 4 clusters, 4-issue per cluster (16-issue total); per cluster
+    as many ALUs as issue slots, 2 multipliers and 1 load/store unit; one
+    branch slot per cluster; multiply and memory latency of 2 cycles,
+    everything else single-cycle; no branch predictor, 2-cycle taken
+    branch penalty; 64 KB 4-way ICache and DCache with a 20-cycle miss
+    penalty. *)
+
+type cache_geom = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+type predictor =
+  | No_predictor
+      (** The paper's machine: fall-through is always predicted, every
+          taken branch pays [branch_penalty]. *)
+  | Bimodal of int
+      (** Extension: a table of 2-bit saturating counters with the given
+          number of entries (power of two); only mispredictions pay the
+          penalty. *)
+
+type t = {
+  clusters : int;
+  issue_width : int;  (** Issue slots per cluster. *)
+  n_lsu : int;  (** Memory-capable slots per cluster. *)
+  n_mul : int;  (** Multiply-capable slots per cluster. *)
+  n_branch : int;  (** Branch-capable slots per cluster. *)
+  alu_latency : int;
+  mul_latency : int;
+  mem_latency : int;
+  branch_penalty : int;  (** Squash cycles after a mispredicted branch. *)
+  predictor : predictor;
+  icache : cache_geom;
+  dcache : cache_geom;
+  miss_penalty : int;  (** Cycles a thread stalls on a cache miss. *)
+}
+
+val default : t
+(** The paper's 16-issue, 4-cluster machine. *)
+
+val make :
+  ?clusters:int ->
+  ?issue_width:int ->
+  ?n_lsu:int ->
+  ?n_mul:int ->
+  ?n_branch:int ->
+  unit ->
+  t
+(** Variant of {!default} with selected structural parameters overridden;
+    validates the slot layout. *)
+
+val total_issue : t -> int
+(** [clusters * issue_width]. *)
+
+val slot_allows : t -> slot:int -> Op.op_class -> bool
+(** Whether [slot] (0-based within a cluster) may hold an operation of the
+    given class. Slot layout: memory slots first, then multiply slots,
+    branch in the last slot, ALU anywhere. *)
+
+val latency : t -> Op.op_class -> int
+
+val validate : t -> (unit, string) result
+(** Structural sanity: positive dimensions and fixed-slot ranges that fit
+    in the issue width. *)
+
+val pp : Format.formatter -> t -> unit

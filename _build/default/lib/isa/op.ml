@@ -1,0 +1,24 @@
+type op_class = Alu | Mul | Load | Store | Branch | Copy
+
+type t = { klass : op_class; id : int }
+
+let make klass id = { klass; id }
+
+let is_mem op =
+  match op.klass with Load | Store -> true | Alu | Mul | Branch | Copy -> false
+
+let class_name = function
+  | Alu -> "add"
+  | Mul -> "mpy"
+  | Load -> "ld"
+  | Store -> "st"
+  | Branch -> "br"
+  | Copy -> "mov"
+
+let all_classes = [ Alu; Mul; Load; Store; Branch; Copy ]
+
+let equal_class (a : op_class) (b : op_class) = a = b
+
+let pp_class ppf k = Format.pp_print_string ppf (class_name k)
+
+let pp ppf op = Format.fprintf ppf "%s#%d" (class_name op.klass) op.id

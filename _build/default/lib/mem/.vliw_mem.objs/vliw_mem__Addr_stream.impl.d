@@ -1,0 +1,1 @@
+lib/mem/addr_stream.ml: Vliw_util

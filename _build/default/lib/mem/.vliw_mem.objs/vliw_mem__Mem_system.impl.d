@@ -1,0 +1,1 @@
+lib/mem/mem_system.ml: Cache Vliw_isa

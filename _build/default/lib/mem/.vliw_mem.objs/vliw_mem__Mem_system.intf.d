@@ -1,0 +1,1 @@
+lib/mem/mem_system.mli: Vliw_isa

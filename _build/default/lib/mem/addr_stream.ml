@@ -1,0 +1,42 @@
+module Rng = Vliw_util.Rng
+
+(* Two-region locality model: a small hot region (stack, hot arrays) that
+   a 64 KB cache retains, walked with a 4-byte stride, and a cold region
+   of [working_set_bytes] addressed uniformly at random. [seq_frac] is
+   the probability of a hot access, so the single-thread miss rate is
+   approximately (1 - seq_frac) * (1 - cache/working_set); co-scheduled
+   threads additionally evict each other's hot regions. *)
+
+type t = {
+  rng : Rng.t;
+  hot_bytes : int;
+  cold_bytes : int;
+  seq_frac : float;
+  base : int;
+  mutable seq_ptr : int;
+}
+
+let hot_region_cap = 16 * 1024
+
+let create ~seed ~working_set_bytes ~seq_frac ~region_base =
+  let ws = max 256 working_set_bytes in
+  {
+    rng = Rng.create seed;
+    hot_bytes = min hot_region_cap ws;
+    cold_bytes = ws;
+    seq_frac;
+    base = region_base;
+    seq_ptr = 0;
+  }
+
+let next t =
+  if Rng.bernoulli t.rng t.seq_frac then begin
+    t.seq_ptr <- (t.seq_ptr + 4) mod t.hot_bytes;
+    t.base + t.seq_ptr
+  end
+  else begin
+    let off = Rng.int t.rng (t.cold_bytes / 4) * 4 in
+    t.base + off
+  end
+
+let region_base t = t.base

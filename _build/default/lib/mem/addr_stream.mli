@@ -1,0 +1,24 @@
+(** Synthetic per-thread data-address generators.
+
+    Two-region locality model: with probability [seq_frac] the access
+    walks a small hot region (cache-resident for a single thread), and
+    otherwise it addresses the full working set uniformly at random, so
+    the single-thread miss rate is approximately
+    [(1 - seq_frac) * (1 - cache_bytes / working_set_bytes)]. Each
+    thread's stream lives in a disjoint address region, so co-scheduled
+    threads compete for cache capacity without aliasing, as distinct
+    processes would. *)
+
+type t
+
+val create :
+  seed:int64 ->
+  working_set_bytes:int ->
+  seq_frac:float ->
+  region_base:int ->
+  t
+
+val next : t -> int
+(** Next data address (4-byte aligned, within the region). *)
+
+val region_base : t -> int

@@ -1,0 +1,90 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_shift : int;
+  tags : int array;  (* sets * ways, -1 = invalid *)
+  stamps : int array;  (* LRU timestamps, parallel to tags *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (g : Vliw_isa.Machine.cache_geom) =
+  if not (is_pow2 g.line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  let sets = g.size_bytes / (g.line_bytes * g.ways) in
+  if sets <= 0 then invalid_arg "Cache.create: geometry yields no sets";
+  {
+    sets;
+    ways = g.ways;
+    line_shift = log2 g.line_bytes;
+    tags = Array.make (sets * g.ways) (-1);
+    stamps = Array.make (sets * g.ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let locate t addr =
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  (set * t.ways, tag)
+
+let find t base tag =
+  let rec go w =
+    if w >= t.ways then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr =
+  let base, tag = locate t addr in
+  find t base tag <> None
+
+let access t addr =
+  let base, tag = locate t addr in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  match find t base tag with
+  | Some idx ->
+    t.stamps.(idx) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict the least recently used way (empty ways have stamp 0). *)
+    let victim = ref base in
+    for w = 1 to t.ways - 1 do
+      if t.stamps.(base + w) < t.stamps.(!victim) then victim := base + w
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock;
+    false
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let accesses t = t.accesses
+
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let n_sets t = t.sets
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%d accesses, %d misses (%.2f%%)" t.accesses t.misses
+    (100.0 *. miss_rate t)

@@ -1,0 +1,34 @@
+type t = {
+  icache : Cache.t;
+  dcache : Cache.t;
+  perfect : bool;
+  miss_penalty : int;
+}
+
+let create ?(perfect = false) (m : Vliw_isa.Machine.t) =
+  {
+    icache = Cache.create m.icache;
+    dcache = Cache.create m.dcache;
+    perfect;
+    miss_penalty = m.miss_penalty;
+  }
+
+let perfect t = t.perfect
+
+let ifetch t addr =
+  if t.perfect then 0
+  else if Cache.access t.icache addr then 0
+  else t.miss_penalty
+
+let daccess t addr =
+  if t.perfect then 0
+  else if Cache.access t.dcache addr then 0
+  else t.miss_penalty
+
+let icache_stats t = (Cache.accesses t.icache, Cache.misses t.icache)
+
+let dcache_stats t = (Cache.accesses t.dcache, Cache.misses t.dcache)
+
+let reset_stats t =
+  Cache.reset_stats t.icache;
+  Cache.reset_stats t.dcache

@@ -1,0 +1,26 @@
+(** The processor's memory system: ICache + DCache + miss penalty.
+
+    Matches §5.1: 64 KB, 4-way, 20-cycle miss penalty for both caches.
+    Caches are shared by all hardware threads (tagged disjoint address
+    regions create capacity interference). A [perfect] memory system
+    never misses — used to measure the paper's IPCp column. *)
+
+type t
+
+val create : ?perfect:bool -> Vliw_isa.Machine.t -> t
+
+val perfect : t -> bool
+
+val ifetch : t -> int -> int
+(** [ifetch t addr] returns the stall in cycles (0 on hit,
+    [miss_penalty] on miss). *)
+
+val daccess : t -> int -> int
+(** Same for a data access. *)
+
+val icache_stats : t -> int * int
+(** accesses, misses. *)
+
+val dcache_stats : t -> int * int
+
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/sim/config.ml: Policy Vliw_isa Vliw_merge

@@ -1,0 +1,1 @@
+lib/sim/config.mli: Policy Vliw_isa Vliw_merge

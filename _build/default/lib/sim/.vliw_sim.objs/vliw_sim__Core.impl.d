@@ -1,0 +1,1 @@
+lib/sim/core.ml: Array Config List Metrics Option Policy Predictor Thread_state Vliw_compiler Vliw_isa Vliw_mem Vliw_merge Vliw_util

@@ -1,0 +1,1 @@
+lib/sim/core.mli: Config Metrics Thread_state Vliw_mem Vliw_merge

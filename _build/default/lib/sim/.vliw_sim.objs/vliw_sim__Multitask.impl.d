@@ -1,0 +1,1 @@
+lib/sim/multitask.ml: Array Config Core Fun Int64 List Thread_state Vliw_compiler Vliw_mem Vliw_util

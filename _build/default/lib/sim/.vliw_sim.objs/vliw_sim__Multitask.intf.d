@@ -1,0 +1,1 @@
+lib/sim/multitask.mli: Config Metrics Vliw_compiler

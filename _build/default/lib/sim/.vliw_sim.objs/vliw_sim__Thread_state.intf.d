@@ -1,0 +1,1 @@
+lib/sim/thread_state.mli: Vliw_compiler Vliw_isa Vliw_mem Vliw_util

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Config Core Format List Printf String Thread_state Vliw_compiler Vliw_isa Vliw_mem Vliw_merge Vliw_util

@@ -1,0 +1,18 @@
+type t = {
+  machine : Vliw_isa.Machine.t;
+  scheme : Vliw_merge.Scheme.t;
+  rotate_priority : bool;
+  stall_on_dmiss : bool;
+  routing : Vliw_merge.Conflict.routing_mode;
+  policy : Policy.t;
+}
+
+let make ?(machine = Vliw_isa.Machine.default) ?(rotate_priority = true)
+    ?(stall_on_dmiss = true) ?(routing = Vliw_merge.Conflict.Flexible)
+    ?(policy = Policy.Merged) scheme =
+  (match Vliw_merge.Scheme.validate scheme with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Config.make: invalid scheme: " ^ msg));
+  { machine; scheme; rotate_priority; stall_on_dmiss; routing; policy }
+
+let contexts t = Vliw_merge.Scheme.n_threads t.scheme

@@ -1,0 +1,31 @@
+(** Simulator configuration knobs (machine, scheme, ablation switches). *)
+
+type t = {
+  machine : Vliw_isa.Machine.t;
+  scheme : Vliw_merge.Scheme.t;
+  rotate_priority : bool;
+      (** Round-robin remapping of hardware threads to scheme input ports
+          (the fairness mechanism; [false] pins thread 0 to the highest
+          priority port — an ablation). *)
+  stall_on_dmiss : bool;
+      (** Blocking data-cache misses (the paper's model). [false] models
+          an ideal non-blocking memory pipeline — an ablation. *)
+  routing : Vliw_merge.Conflict.routing_mode;
+      (** SMT conflict-check variant; [Fixed_slots] removes the routing
+          block — an ablation. *)
+  policy : Policy.t;
+      (** Issue policy; [Imt] and [Bmt] ignore the merge network and use
+          the scheme only for its thread-context count. *)
+}
+
+val make :
+  ?machine:Vliw_isa.Machine.t ->
+  ?rotate_priority:bool ->
+  ?stall_on_dmiss:bool ->
+  ?routing:Vliw_merge.Conflict.routing_mode ->
+  ?policy:Policy.t ->
+  Vliw_merge.Scheme.t ->
+  t
+
+val contexts : t -> int
+(** Hardware thread contexts = scheme input ports. *)

@@ -1,0 +1,218 @@
+module Isa = Vliw_isa
+module Merge = Vliw_merge
+module Mem = Vliw_mem
+
+type t = {
+  config : Config.t;
+  mem : Mem.Mem_system.t;
+  predictor : Predictor.t;
+  n : int;
+  mutable contexts : Thread_state.t option array;
+  mutable cycle : int;
+  mutable ops : int;
+  mutable instrs : int;
+  mutable vertical : int;
+  issue_hist : int array;
+  avail : Merge.Packet.t option array;  (* scratch, reused every cycle *)
+  mutable bmt_current : int;  (* thread owning the pipeline under BMT *)
+  mutable switch_stall_until : int;  (* BMT context-switch bubble *)
+}
+
+let create config mem =
+  let n = Config.contexts config in
+  {
+    config;
+    mem;
+    predictor = Predictor.create config.Config.machine.predictor;
+    n;
+    contexts = Array.make n None;
+    cycle = 0;
+    ops = 0;
+    instrs = 0;
+    vertical = 0;
+    issue_hist = Array.make (n + 1) 0;
+    avail = Array.make n None;
+    bmt_current = 0;
+    switch_stall_until = 0;
+  }
+
+let install t contexts =
+  if Array.length contexts <> t.n then
+    invalid_arg "Core.install: context count mismatch";
+  t.contexts <- contexts
+
+(* Fetch the thread's next instruction if needed; an ICache miss stalls
+   the thread and yields no candidate this cycle. *)
+let candidate t (th : Thread_state.t) =
+  if Thread_state.stalled th ~now:t.cycle then None
+  else begin
+    match th.pending with
+    | Some instr -> Some instr
+    | None ->
+      let instr = Thread_state.current_instr th in
+      th.pending <- Some instr;
+      let stall = Mem.Mem_system.ifetch t.mem instr.addr in
+      if stall > 0 then begin
+        th.resume_at <- t.cycle + stall;
+        None
+      end
+      else Some instr
+  end
+
+let retire t (th : Thread_state.t) (instr : Isa.Instr.t) =
+  th.instrs_retired <- th.instrs_retired + 1;
+  th.ops_retired <- th.ops_retired + Isa.Instr.op_count instr;
+  let stall = ref 0 in
+  List.iter
+    (fun (_ : Isa.Op.t) ->
+      let addr = Mem.Addr_stream.next th.addr_stream in
+      let s = Mem.Mem_system.daccess t.mem addr in
+      if t.config.stall_on_dmiss then stall := !stall + s)
+    (Isa.Instr.mem_ops instr);
+  if Isa.Instr.has_branch instr then begin
+    let taken =
+      Vliw_util.Rng.bernoulli th.ctrl_rng th.program.profile.taken_prob
+    in
+    let target =
+      match
+        Vliw_compiler.Program.exit_target th.program.blocks.(th.block) th.pc
+      with
+      | Some target -> target
+      | None -> assert false (* every branch instruction is an exit *)
+    in
+    let correct =
+      Predictor.predict_and_update t.predictor ~addr:instr.addr ~taken
+    in
+    if not correct then stall := !stall + t.config.machine.branch_penalty;
+    if taken then Thread_state.jump_taken th ~target
+    else Thread_state.advance_fall_through th
+  end
+  else Thread_state.advance_fall_through th;
+  th.pending <- None;
+  th.resume_at <- t.cycle + 1 + !stall
+
+(* Round-robin search for the first thread with a candidate, starting
+   at [start]. *)
+let first_ready t start =
+  let rec go i =
+    if i >= t.n then None
+    else begin
+      let hw = (start + i) mod t.n in
+      match t.avail.(hw) with Some p -> Some (hw, p) | None -> go (i + 1)
+    end
+  in
+  go 0
+
+let select_policy t ~rotation : Merge.Engine.selection =
+  match t.config.policy with
+  | Policy.Merged ->
+    Merge.Engine.select t.config.machine ~routing:t.config.routing
+      t.config.scheme ~rotation t.avail
+  | Policy.Imt ->
+    (* One thread per cycle, round-robin with stalled-thread skipping. *)
+    (match first_ready t (t.cycle mod t.n) with
+    | None -> { packet = None; issued = [] }
+    | Some (hw, p) -> { packet = Some p; issued = [ hw ] })
+  | Policy.Bmt { switch_penalty } ->
+    if t.cycle < t.switch_stall_until then { packet = None; issued = [] }
+    else begin
+      match t.avail.(t.bmt_current) with
+      | Some p -> { packet = Some p; issued = [ t.bmt_current ] }
+      | None ->
+        (* The running thread blocked: switch to the next ready one. *)
+        (match first_ready t ((t.bmt_current + 1) mod t.n) with
+        | Some (hw, p) when hw <> t.bmt_current ->
+          t.bmt_current <- hw;
+          if switch_penalty = 0 then { packet = Some p; issued = [ hw ] }
+          else begin
+            t.switch_stall_until <- t.cycle + switch_penalty;
+            { packet = None; issued = [] }
+          end
+        | Some (hw, p) -> { packet = Some p; issued = [ hw ] }
+        | None -> { packet = None; issued = [] })
+    end
+
+type cycle_record = {
+  cycle : int;
+  candidates : (int * Merge.Packet.t) list;
+  issued : int list;
+  packet : Merge.Packet.t option;
+}
+
+let step_record t =
+  for i = 0 to t.n - 1 do
+    t.avail.(i) <-
+      (match t.contexts.(i) with
+      | None -> None
+      | Some th ->
+        (match candidate t th with
+        | None -> None
+        | Some instr -> Some (Merge.Packet.of_instr ~thread:i instr)))
+  done;
+  let rotation = if t.config.rotate_priority then t.cycle mod t.n else 0 in
+  let sel = select_policy t ~rotation in
+  let issued_ops = ref 0 in
+  List.iter
+    (fun hw ->
+      match t.contexts.(hw) with
+      | None -> assert false
+      | Some th ->
+        let instr = Option.get th.pending in
+        issued_ops := !issued_ops + Isa.Instr.op_count instr;
+        retire t th instr)
+    sel.issued;
+  t.ops <- t.ops + !issued_ops;
+  t.instrs <- t.instrs + List.length sel.issued;
+  t.issue_hist.(List.length sel.issued) <-
+    t.issue_hist.(List.length sel.issued) + 1;
+  if !issued_ops = 0 then t.vertical <- t.vertical + 1;
+  let record =
+    {
+      cycle = t.cycle;
+      candidates =
+        Array.to_list t.avail
+        |> List.mapi (fun i p -> (i, p))
+        |> List.filter_map (fun (i, p) -> Option.map (fun p -> (i, p)) p);
+      issued = sel.issued;
+      packet = sel.packet;
+    }
+  in
+  t.cycle <- t.cycle + 1;
+  record
+
+let step t = ignore (step_record t)
+
+let cycle (t : t) = t.cycle
+
+let ops_issued t = t.ops
+
+let instrs_issued t = t.instrs
+
+let issue_hist t = Array.copy t.issue_hist
+
+let vertical_waste_cycles t = t.vertical
+
+let metrics t ~all_threads : Metrics.t =
+  let ia, im = Mem.Mem_system.icache_stats t.mem in
+  let da, dm = Mem.Mem_system.dcache_stats t.mem in
+  {
+    cycles = t.cycle;
+    ops = t.ops;
+    instrs = t.instrs;
+    issue_hist = Array.copy t.issue_hist;
+    vertical_waste_cycles = t.vertical;
+    slots_offered = t.cycle * Isa.Machine.total_issue t.config.machine;
+    icache_accesses = ia;
+    icache_misses = im;
+    dcache_accesses = da;
+    dcache_misses = dm;
+    per_thread =
+      Array.map
+        (fun (th : Thread_state.t) ->
+          {
+            Metrics.name = Thread_state.name th;
+            ops = th.ops_retired;
+            instrs = th.instrs_retired;
+          })
+        all_threads;
+  }

@@ -1,0 +1,47 @@
+(** The multithreaded clustered-VLIW core: the per-cycle pipeline loop.
+
+    Each cycle: every resident, non-stalled thread offers its next VLIW
+    instruction (fetching through the ICache the first time); the merge
+    engine evaluates the scheme and selects the packet to issue; issued
+    threads retire their instruction — data accesses go through the
+    DCache (a miss blocks the thread for the miss penalty), a taken
+    block-ending branch redirects the thread and pays the squash penalty.
+    Thread-to-port priority rotates round-robin when configured. *)
+
+type t
+
+val create : Config.t -> Vliw_mem.Mem_system.t -> t
+
+val install : t -> Thread_state.t option array -> unit
+(** Set the threads resident on the hardware contexts; the array length
+    must equal {!Config.contexts}. *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+type cycle_record = {
+  cycle : int;
+  candidates : (int * Vliw_merge.Packet.t) list;
+      (** Threads that offered an instruction this cycle. *)
+  issued : int list;
+  packet : Vliw_merge.Packet.t option;  (** The merged execution packet. *)
+}
+
+val step_record : t -> cycle_record
+(** Like {!step} but reports what happened — used by the trace
+    inspector. *)
+
+val cycle : t -> int
+
+val ops_issued : t -> int
+
+val instrs_issued : t -> int
+
+val issue_hist : t -> int array
+
+val vertical_waste_cycles : t -> int
+
+val metrics :
+  t -> all_threads:Thread_state.t array -> Metrics.t
+(** Snapshot including memory-system statistics and per-thread
+    counters. *)

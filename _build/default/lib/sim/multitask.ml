@@ -1,0 +1,65 @@
+module Rng = Vliw_util.Rng
+
+type schedule = { timeslice : int; target_instrs : int; max_cycles : int }
+
+let paper_schedule =
+  { timeslice = 1_000_000; target_instrs = 100_000_000; max_cycles = max_int }
+
+let default_schedule =
+  { timeslice = 50_000; target_instrs = 400_000; max_cycles = 1_500_000 }
+
+let quick_schedule =
+  { timeslice = 5_000; target_instrs = 20_000; max_cycles = 60_000 }
+
+let resident_set rng n_contexts threads =
+  let n_threads = Array.length threads in
+  if n_threads <= n_contexts then
+    Array.init n_contexts (fun i -> if i < n_threads then Some threads.(i) else None)
+  else begin
+    (* Random sample without replacement (paper: replacement threads are
+       picked at random after the context switch). *)
+    let order = Array.init n_threads Fun.id in
+    Rng.shuffle rng order;
+    Array.init n_contexts (fun i -> Some threads.(order.(i)))
+  end
+
+let run_programs config ?(perfect_mem = false) ?(seed = 0x5EEDL)
+    ?(schedule = default_schedule) programs =
+  let rng = Rng.create seed in
+  let os_rng = Rng.split rng in
+  let threads =
+    Array.of_list
+      (List.mapi
+         (fun id program ->
+           Thread_state.create ~id ~seed:(Rng.next_int64 rng) program)
+         programs)
+  in
+  let mem = Vliw_mem.Mem_system.create ~perfect:perfect_mem config.Config.machine in
+  let core = Core.create config mem in
+  let n_contexts = Config.contexts config in
+  let done_ () =
+    Array.exists (fun th -> th.Thread_state.instrs_retired >= schedule.target_instrs) threads
+  in
+  let finished = ref false in
+  while (not !finished) && Core.cycle core < schedule.max_cycles do
+    Core.install core (resident_set os_rng n_contexts threads);
+    let slice_end = min schedule.max_cycles (Core.cycle core + schedule.timeslice) in
+    while (not !finished) && Core.cycle core < slice_end do
+      Core.step core;
+      (* Check the termination condition sparsely; it scans all threads. *)
+      if Core.cycle core land 0xFFF = 0 && done_ () then finished := true
+    done;
+    if done_ () then finished := true
+  done;
+  Core.metrics core ~all_threads:threads
+
+let run config ?perfect_mem ?(seed = 0x5EEDL) ?schedule ?mode profiles =
+  let rng = Rng.create (Int64.add seed 0x9E37L) in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate ~seed:(Rng.next_int64 rng) ?mode
+          config.Config.machine p)
+      profiles
+  in
+  run_programs config ?perfect_mem ~seed ?schedule programs

@@ -1,0 +1,14 @@
+type t = Merged | Imt | Bmt of { switch_penalty : int }
+
+let default_bmt = Bmt { switch_penalty = 1 }
+
+let to_string = function
+  | Merged -> "merged"
+  | Imt -> "imt"
+  | Bmt { switch_penalty } -> Printf.sprintf "bmt(switch=%d)" switch_penalty
+
+let of_string = function
+  | "merged" -> Ok Merged
+  | "imt" -> Ok Imt
+  | "bmt" -> Ok default_bmt
+  | s -> Error (Printf.sprintf "unknown policy %S (merged|imt|bmt)" s)

@@ -1,0 +1,24 @@
+(** Issue policies: the paper's merging schemes plus the classic
+    multithreading baselines it positions itself against (§1).
+
+    - [Merged]: the merge network selects and combines instructions from
+      several threads each cycle (SMT/CSMT/mixed, §2).
+    - [Imt]: interleaved multithreading — one thread issues per cycle,
+      round-robin over ready threads (Tera/HEP style with stalled-thread
+      skipping); converts vertical waste only.
+    - [Bmt]: block multithreading — the current thread runs until it
+      blocks on a long-latency event, then the core switches to the next
+      ready thread, paying a switch penalty. *)
+
+type t =
+  | Merged
+  | Imt
+  | Bmt of { switch_penalty : int }
+
+val default_bmt : t
+(** 1-cycle switch penalty. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** "merged" | "imt" | "bmt" (default penalty). *)

@@ -1,0 +1,20 @@
+(** Branch predictor models.
+
+    The paper's machine predicts fall-through always (every taken branch
+    pays the squash penalty). The bimodal extension keeps a table of
+    2-bit saturating counters indexed by instruction address, shared by
+    all hardware threads (aliasing included), and charges the penalty
+    only on mispredictions — used by the sensitivity extension to ask
+    how much of the multithreading benefit a predictor would erode. *)
+
+type t
+
+val create : Vliw_isa.Machine.predictor -> t
+
+val predict_and_update : t -> addr:int -> taken:bool -> bool
+(** [predict_and_update t ~addr ~taken] returns whether the prediction
+    was correct, updating predictor state with the actual outcome. With
+    [No_predictor], the prediction is always "not taken". *)
+
+val accuracy : t -> float
+(** Fraction of correct predictions so far (1.0 when never asked). *)

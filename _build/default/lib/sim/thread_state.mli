@@ -1,0 +1,36 @@
+(** A software thread: a program instance with its dynamic state.
+
+    Thread state persists across OS context switches; the multitasking
+    scheduler moves threads on and off hardware contexts without losing
+    their position or counters. *)
+
+type t = {
+  id : int;
+  program : Vliw_compiler.Program.t;
+  addr_stream : Vliw_mem.Addr_stream.t;
+  ctrl_rng : Vliw_util.Rng.t;  (** Branch-outcome draws. *)
+  mutable block : int;
+  mutable pc : int;  (** Instruction index within the block. *)
+  mutable resume_at : int;  (** First cycle the thread may issue again. *)
+  mutable pending : Vliw_isa.Instr.t option;
+      (** Fetched instruction waiting to issue. *)
+  mutable instrs_retired : int;
+  mutable ops_retired : int;
+}
+
+val create : id:int -> seed:int64 -> Vliw_compiler.Program.t -> t
+(** Fresh thread at the program entry; the address stream gets a region
+    disjoint from every other thread id. *)
+
+val current_instr : t -> Vliw_isa.Instr.t
+
+val stalled : t -> now:int -> bool
+
+val advance_fall_through : t -> unit
+(** Move to the next instruction (or the fall-through block after the
+    last one). *)
+
+val jump_taken : t -> target:int -> unit
+(** Move to the head of the given region (a taken exit). *)
+
+val name : t -> string

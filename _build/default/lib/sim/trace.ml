@@ -1,0 +1,84 @@
+module Rng = Vliw_util.Rng
+
+type options = {
+  cycles : int;
+  warmup : int;
+  perfect_mem : bool;
+  seed : int64;
+}
+
+let default_options =
+  { cycles = 20; warmup = 1_000; perfect_mem = false; seed = 0x7ACEL }
+
+let mask_to_string clusters mask =
+  String.init clusters (fun c -> if mask land (1 lsl c) <> 0 then 'X' else '.')
+
+let run config ?(options = default_options) profiles =
+  let machine = config.Config.machine in
+  let n = Config.contexts config in
+  if List.length profiles > n then
+    invalid_arg "Trace.run: more threads than hardware contexts";
+  let rng = Rng.create options.seed in
+  let threads =
+    List.mapi
+      (fun id profile ->
+        let program =
+          Vliw_compiler.Program.generate ~seed:(Rng.next_int64 rng) machine profile
+        in
+        Thread_state.create ~id ~seed:(Rng.next_int64 rng) program)
+      profiles
+  in
+  let contexts =
+    Array.init n (fun i -> List.nth_opt threads i)
+  in
+  let mem = Vliw_mem.Mem_system.create ~perfect:options.perfect_mem machine in
+  let core = Core.create config mem in
+  Core.install core contexts;
+  for _ = 1 to options.warmup do
+    Core.step core
+  done;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Format.asprintf "Trace: %s on %a (cycles %d-%d)\n"
+       (Vliw_merge.Scheme.to_string config.scheme)
+       Vliw_isa.Machine.pp machine options.warmup
+       (options.warmup + options.cycles - 1));
+  Buffer.add_string buf
+    "Per thread: cluster usage of the offered instruction (X = used), or\n\
+     '----' if stalled; '*' marks threads the merge network issued.\n\
+     'rot' is the priority rotation: scheme port i reads hardware\n\
+     thread (i + rot) mod n, so the SMT pair of a mixed scheme serves\n\
+     different thread pairs on different cycles.\n\n";
+  Buffer.add_string buf (Printf.sprintf "%8s %4s" "cycle" "rot");
+  List.iteri
+    (fun i th ->
+      Buffer.add_string buf
+        (Printf.sprintf " %12s" (Printf.sprintf "T%d:%s" i th.Thread_state.program.profile.name)))
+    threads;
+  Buffer.add_string buf (Printf.sprintf "  %s\n" "issued packet");
+  for _ = 1 to options.cycles do
+    let r = Core.step_record core in
+    let rotation = if config.rotate_priority then r.cycle mod n else 0 in
+    Buffer.add_string buf (Printf.sprintf "%8d %4d" r.cycle rotation);
+    for hw = 0 to n - 1 do
+      if hw < List.length threads then begin
+        let cell =
+          match List.assoc_opt hw r.candidates with
+          | None -> String.make machine.clusters '-'
+          | Some p -> mask_to_string machine.clusters p.Vliw_merge.Packet.mask
+        in
+        let marker = if List.mem hw r.issued then "*" else " " in
+        Buffer.add_string buf (Printf.sprintf " %12s" (cell ^ marker))
+      end
+    done;
+    (match r.packet with
+    | None -> Buffer.add_string buf "  (nothing issued)"
+    | Some p ->
+      (match Vliw_merge.Routing.route machine p with
+      | Some routed ->
+        Buffer.add_string buf
+          (Format.asprintf "  %a" (Vliw_merge.Routing.pp machine) routed)
+      | None -> Buffer.add_string buf "  (unroutable?)"));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Cycle-by-cycle trace inspector.
+
+    Runs a short simulation and renders, per cycle, the candidate
+    instructions each hardware thread offered (as cluster-usage
+    patterns), the threads the merge network selected, and the routed
+    execution packet — a dynamic version of the paper's Figure 1,
+    useful for understanding why a scheme merges or refuses. *)
+
+type options = {
+  cycles : int;  (** Cycles to trace (after warmup). *)
+  warmup : int;  (** Cycles simulated before recording starts. *)
+  perfect_mem : bool;
+  seed : int64;
+}
+
+val default_options : options
+
+val run : Config.t -> ?options:options -> Vliw_compiler.Profile.t list -> string
+(** Renders the trace. The workload must fit the configured contexts
+    (no multitasking during a trace). *)

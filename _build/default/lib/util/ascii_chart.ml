@@ -1,0 +1,94 @@
+let bar_chart ?(width = 50) ?(unit_label = "") series =
+  let buf = Buffer.create 256 in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let vmax = List.fold_left (fun acc (_, v) -> max acc v) 0.0 series in
+  let vmax = if vmax <= 0.0 then 1.0 else vmax in
+  let emit (label, v) =
+    let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+    let n = max 0 (min width n) in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s | %s %.2f%s\n" label_width label (String.make n '#')
+         v unit_label)
+  in
+  List.iter emit series;
+  Buffer.contents buf
+
+let grouped_bar_chart ?(width = 40) ~group_labels ~series () =
+  let buf = Buffer.create 1024 in
+  let name_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let vmax =
+    List.fold_left
+      (fun acc (_, vs) -> Array.fold_left max acc vs)
+      0.0 series
+  in
+  let vmax = if vmax <= 0.0 then 1.0 else vmax in
+  List.iteri
+    (fun gi group ->
+      Buffer.add_string buf (Printf.sprintf "%s:\n" group);
+      let emit (name, vs) =
+        let v = vs.(gi) in
+        let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+        let n = max 0 (min width n) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s | %s %.2f\n" name_width name
+             (String.make n '#') v)
+      in
+      List.iter emit series)
+    group_labels;
+  Buffer.contents buf
+
+let scatter ?(rows = 18) ?(cols = 64) ~x_label ~y_label points =
+  let buf = Buffer.create 2048 in
+  match points with
+  | [] -> "(no points)\n"
+  | _ ->
+    let xs = List.map (fun (_, x, _) -> x) points in
+    let ys = List.map (fun (_, _, y) -> y) points in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let pad lo hi =
+      let span = hi -. lo in
+      let span = if span <= 0.0 then max (abs_float hi) 1.0 else span in
+      (lo -. (0.05 *. span), hi +. (0.05 *. span))
+    in
+    let xmin, xmax = pad (fmin xs) (fmax xs) in
+    let ymin, ymax = pad (fmin ys) (fmax ys) in
+    let grid = Array.make_matrix rows cols ' ' in
+    let markers = "abcdefghijklmnopqrstuvwxyz0123456789" in
+    let place i (_, x, y) =
+      let cx =
+        int_of_float ((x -. xmin) /. (xmax -. xmin) *. float_of_int (cols - 1))
+      in
+      let cy =
+        int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (rows - 1))
+      in
+      let cy = rows - 1 - cy in
+      let m = markers.[i mod String.length markers] in
+      if grid.(cy).(cx) = ' ' then grid.(cy).(cx) <- m else grid.(cy).(cx) <- '*'
+    in
+    List.iteri place points;
+    Buffer.add_string buf (Printf.sprintf "%s (y) vs %s (x)\n" y_label x_label);
+    Array.iteri
+      (fun r line ->
+        let y = ymax -. (float_of_int r /. float_of_int (rows - 1) *. (ymax -. ymin)) in
+        Buffer.add_string buf (Printf.sprintf "%8.1f |" y);
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 10 ' ');
+    Buffer.add_string buf (String.make cols '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%10s%-*.1f%*.1f\n" "" (cols / 2) xmin (cols - (cols / 2))
+         xmax);
+    List.iteri
+      (fun i (name, x, y) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %-24s (%.1f, %.2f)\n"
+             markers.[i mod String.length markers]
+             name x y))
+      points;
+    Buffer.contents buf

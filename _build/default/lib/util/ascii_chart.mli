@@ -1,0 +1,28 @@
+(** ASCII renderings of the paper's figures: horizontal bar charts for the
+    IPC/cost bars and scatter plots for the performance-vs-cost figures. *)
+
+val bar_chart :
+  ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** [bar_chart series] renders one labelled horizontal bar per entry,
+    scaled so the longest bar spans [width] (default 50) characters. *)
+
+val grouped_bar_chart :
+  ?width:int ->
+  group_labels:string list ->
+  series:(string * float array) list ->
+  unit ->
+  string
+(** Grouped bars, one group per [group_labels] entry; each series
+    contributes one bar per group (like the paper's Figure 10). *)
+
+val scatter :
+  ?rows:int ->
+  ?cols:int ->
+  x_label:string ->
+  y_label:string ->
+  (string * float * float) list ->
+  string
+(** [scatter points] plots labelled [(name, x, y)] points on a
+    character grid with axis ranges derived from the data (like the
+    paper's Figures 11 and 12), followed by a legend mapping point
+    markers to names and coordinates. *)

@@ -1,0 +1,11 @@
+(** Minimal CSV writer for exporting experiment data to plotting tools.
+
+    Fields containing commas, quotes or newlines are quoted and escaped
+    per RFC 4180. *)
+
+val escape_field : string -> string
+
+val to_string : header:string list -> string list list -> string
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Writes the file, overwriting any existing content. *)

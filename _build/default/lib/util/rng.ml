@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 step: advance by the golden gamma and scramble. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let mask = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float mask /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else begin
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then min_float else u in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+  end
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then min_float else u in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = float t 1.0 and u2 = float t 1.0 in
+  let u1 = if u1 <= 0.0 then min_float else u1 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_weighted t items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  assert (total > 0.0);
+  let target = float t total in
+  let rec pick i acc =
+    if i = Array.length items - 1 then fst items.(i)
+    else
+      let acc = acc +. snd items.(i) in
+      if target < acc then fst items.(i) else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

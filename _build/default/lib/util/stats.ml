@@ -1,0 +1,79 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    let var = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (var /. float_of_int n)
+  end
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  assert (n > 0);
+  if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile xs p =
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  assert (n > 0 && p >= 0.0 && p <= 100.0);
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let min_max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left
+    (fun (mn, mx) x -> (min mn x, max mx x))
+    (xs.(0), xs.(0))
+    xs
+
+let pct_diff a b = (a -. b) /. b *. 100.0
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize xs =
+  let mn, mx = min_max xs in
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = mn;
+    max = mx;
+    median = median xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n
+    s.mean s.stddev s.min s.median s.max

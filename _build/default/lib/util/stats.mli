@@ -1,0 +1,39 @@
+(** Small statistics toolbox for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values; 0 for the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** Median (averages the two central elements for even lengths). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element of a non-empty array. *)
+
+val sum : float array -> float
+
+val pct_diff : float -> float -> float
+(** [pct_diff a b] is [(a - b) / b * 100.], the percentage by which [a]
+    exceeds [b]. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** Full summary of a non-empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: List Printf String Vliw_compiler

@@ -1,0 +1,1 @@
+lib/workloads/mixes.ml: Benchmarks List Printf String Vliw_compiler

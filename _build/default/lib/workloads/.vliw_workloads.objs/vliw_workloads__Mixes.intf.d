@@ -1,0 +1,1 @@
+lib/workloads/mixes.mli: Vliw_compiler

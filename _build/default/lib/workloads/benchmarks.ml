@@ -1,0 +1,145 @@
+open Vliw_compiler.Profile
+
+(* Calibration notes: [dag_parallelism] is the main IPCp knob (together
+   with the mul/mem latency share and the taken-branch rate, which insert
+   schedule bubbles); [working_set_kb] and [seq_frac] set the IPCr gap
+   via the D-Cache miss rate (64 KB cache: working sets well under 64 KB
+   barely miss, larger ones miss roughly in proportion to 1 - seq_frac);
+   [static_blocks] sets the I-Cache footprint. *)
+
+let profile ~name ~ilp ~description ~block_ops_mean ~dag_parallelism ~frac_mem
+    ~frac_mul ~store_frac ~working_set_kb ~seq_frac ~taken_prob ~static_blocks
+    ~hot_frac ~target_ipc_real ~target_ipc_perfect =
+  let p =
+    {
+      name;
+      ilp;
+      description;
+      block_ops_mean;
+      dag_parallelism;
+      frac_mem;
+      frac_mul;
+      store_frac;
+      working_set_kb;
+      seq_frac;
+      taken_prob;
+      static_blocks;
+      hot_frac;
+      target_ipc_real;
+      target_ipc_perfect;
+    }
+  in
+  match validate p with
+  | Ok () -> p
+  | Error msg -> invalid_arg (name ^ ": " ^ msg)
+
+let mcf =
+  profile ~name:"mcf" ~ilp:Low ~description:"Minimum Cost Flow"
+    ~block_ops_mean:9 ~dag_parallelism:2.0 ~frac_mem:0.30 ~frac_mul:0.02
+    ~store_frac:0.25 ~working_set_kb:4096 ~seq_frac:0.935 ~taken_prob:0.45
+    ~static_blocks:60 ~hot_frac:0.80 ~target_ipc_real:0.96
+    ~target_ipc_perfect:1.34
+
+let bzip2 =
+  profile ~name:"bzip2" ~ilp:Low ~description:"Bzip2 Compression"
+    ~block_ops_mean:7 ~dag_parallelism:1.1 ~frac_mem:0.22 ~frac_mul:0.03
+    ~store_frac:0.35 ~working_set_kb:96 ~seq_frac:0.99 ~taken_prob:0.50
+    ~static_blocks:80 ~hot_frac:0.75 ~target_ipc_real:0.81
+    ~target_ipc_perfect:0.83
+
+let blowfish =
+  profile ~name:"blowfish" ~ilp:Low ~description:"Encryption"
+    ~block_ops_mean:12 ~dag_parallelism:2.25 ~frac_mem:0.20 ~frac_mul:0.04
+    ~store_frac:0.30 ~working_set_kb:512 ~seq_frac:0.94 ~taken_prob:0.35
+    ~static_blocks:40 ~hot_frac:0.85 ~target_ipc_real:1.11
+    ~target_ipc_perfect:1.47
+
+let gsmencode =
+  profile ~name:"gsmencode" ~ilp:Low ~description:"GSM Encoder"
+    ~block_ops_mean:10 ~dag_parallelism:1.55 ~frac_mem:0.12 ~frac_mul:0.10
+    ~store_frac:0.25 ~working_set_kb:16 ~seq_frac:0.80 ~taken_prob:0.40
+    ~static_blocks:50 ~hot_frac:0.85 ~target_ipc_real:1.07
+    ~target_ipc_perfect:1.07
+
+let g721encode =
+  profile ~name:"g721encode" ~ilp:Medium ~description:"G721 Encoder"
+    ~block_ops_mean:22 ~dag_parallelism:2.5 ~frac_mem:0.14 ~frac_mul:0.08
+    ~store_frac:0.25 ~working_set_kb:24 ~seq_frac:0.75 ~taken_prob:0.35
+    ~static_blocks:60 ~hot_frac:0.85 ~target_ipc_real:1.75
+    ~target_ipc_perfect:1.76
+
+let g721decode =
+  profile ~name:"g721decode" ~ilp:Medium ~description:"G721 Decoder"
+    ~block_ops_mean:22 ~dag_parallelism:2.55 ~frac_mem:0.14 ~frac_mul:0.08
+    ~store_frac:0.30 ~working_set_kb:24 ~seq_frac:0.75 ~taken_prob:0.35
+    ~static_blocks:55 ~hot_frac:0.85 ~target_ipc_real:1.75
+    ~target_ipc_perfect:1.76
+
+let cjpeg =
+  profile ~name:"cjpeg" ~ilp:Medium ~description:"Jpeg Encoder"
+    ~block_ops_mean:26 ~dag_parallelism:2.5 ~frac_mem:0.25 ~frac_mul:0.10
+    ~store_frac:0.35 ~working_set_kb:1024 ~seq_frac:0.94 ~taken_prob:0.30
+    ~static_blocks:70 ~hot_frac:0.80 ~target_ipc_real:1.12
+    ~target_ipc_perfect:1.66
+
+let djpeg =
+  profile ~name:"djpeg" ~ilp:Medium ~description:"Jpeg Decoder"
+    ~block_ops_mean:26 ~dag_parallelism:2.7 ~frac_mem:0.18 ~frac_mul:0.10
+    ~store_frac:0.40 ~working_set_kb:48 ~seq_frac:0.85 ~taken_prob:0.30
+    ~static_blocks:70 ~hot_frac:0.80 ~target_ipc_real:1.76
+    ~target_ipc_perfect:1.77
+
+let imgpipe =
+  profile ~name:"imgpipe" ~ilp:High ~description:"Imaging pipeline"
+    ~block_ops_mean:90 ~dag_parallelism:5.6 ~frac_mem:0.20 ~frac_mul:0.12
+    ~store_frac:0.40 ~working_set_kb:384 ~seq_frac:0.995 ~taken_prob:0.20
+    ~static_blocks:20 ~hot_frac:0.85 ~target_ipc_real:3.81
+    ~target_ipc_perfect:4.05
+
+let x264 =
+  profile ~name:"x264" ~ilp:High ~description:"H.264 encoder"
+    ~block_ops_mean:80 ~dag_parallelism:5.55 ~frac_mem:0.22 ~frac_mul:0.08
+    ~store_frac:0.35 ~working_set_kb:80 ~seq_frac:0.997 ~taken_prob:0.25
+    ~static_blocks:24 ~hot_frac:0.75 ~target_ipc_real:3.89
+    ~target_ipc_perfect:4.04
+
+let idct =
+  profile ~name:"idct" ~ilp:High ~description:"Inverse Discrete Cosine Transform"
+    ~block_ops_mean:110 ~dag_parallelism:7.6 ~frac_mem:0.18 ~frac_mul:0.16
+    ~store_frac:0.40 ~working_set_kb:128 ~seq_frac:0.994 ~taken_prob:0.15
+    ~static_blocks:25 ~hot_frac:0.90 ~target_ipc_real:4.79
+    ~target_ipc_perfect:5.27
+
+let colorspace =
+  profile ~name:"colorspace" ~ilp:High ~description:"Colorspace Conversion"
+    ~block_ops_mean:170 ~dag_parallelism:12.5 ~frac_mem:0.22 ~frac_mul:0.14
+    ~store_frac:0.45 ~working_set_kb:2048 ~seq_frac:0.974 ~taken_prob:0.10
+    ~static_blocks:15 ~hot_frac:0.90 ~target_ipc_real:5.47
+    ~target_ipc_perfect:8.88
+
+let all =
+  [
+    mcf;
+    bzip2;
+    blowfish;
+    gsmencode;
+    g721encode;
+    g721decode;
+    cjpeg;
+    djpeg;
+    imgpipe;
+    x264;
+    idct;
+    colorspace;
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = target) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Benchmarks.find_exn: unknown benchmark %S" name)
+
+let by_ilp degree = List.filter (fun p -> p.ilp = degree) all

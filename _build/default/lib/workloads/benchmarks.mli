@@ -1,0 +1,29 @@
+(** The 12 benchmarks of Table 1, as synthetic profiles.
+
+    Parameters are calibrated so that single-thread simulation on the
+    default machine reproduces the paper's IPCr (real memory) and IPCp
+    (perfect memory) columns; the calibration is checked by tests with a
+    tolerance and reported in EXPERIMENTS.md. *)
+
+val mcf : Vliw_compiler.Profile.t
+val bzip2 : Vliw_compiler.Profile.t
+val blowfish : Vliw_compiler.Profile.t
+val gsmencode : Vliw_compiler.Profile.t
+val g721encode : Vliw_compiler.Profile.t
+val g721decode : Vliw_compiler.Profile.t
+val cjpeg : Vliw_compiler.Profile.t
+val djpeg : Vliw_compiler.Profile.t
+val imgpipe : Vliw_compiler.Profile.t
+val x264 : Vliw_compiler.Profile.t
+val idct : Vliw_compiler.Profile.t
+val colorspace : Vliw_compiler.Profile.t
+
+val all : Vliw_compiler.Profile.t list
+(** Table 1 order. *)
+
+val find : string -> Vliw_compiler.Profile.t option
+(** Case-insensitive lookup by name. *)
+
+val find_exn : string -> Vliw_compiler.Profile.t
+
+val by_ilp : Vliw_compiler.Profile.ilp_degree -> Vliw_compiler.Profile.t list

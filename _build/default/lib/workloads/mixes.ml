@@ -1,0 +1,38 @@
+type t = { name : string; members : Vliw_compiler.Profile.t list }
+
+open Benchmarks
+
+let all =
+  [
+    { name = "LLLL"; members = [ mcf; bzip2; blowfish; gsmencode ] };
+    { name = "LMMH"; members = [ bzip2; cjpeg; djpeg; imgpipe ] };
+    { name = "MMMM"; members = [ g721encode; g721decode; cjpeg; djpeg ] };
+    { name = "LLMM"; members = [ gsmencode; blowfish; g721encode; djpeg ] };
+    { name = "LLMH"; members = [ mcf; blowfish; cjpeg; x264 ] };
+    { name = "LLHH"; members = [ mcf; blowfish; x264; idct ] };
+    { name = "LMHH"; members = [ gsmencode; g721encode; imgpipe; colorspace ] };
+    { name = "MMHH"; members = [ djpeg; g721decode; idct; colorspace ] };
+    { name = "HHHH"; members = [ x264; idct; imgpipe; colorspace ] };
+  ]
+
+let find name =
+  let target = String.uppercase_ascii name in
+  List.find_opt (fun m -> m.name = target) all
+
+let find_exn name =
+  match find name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Mixes.find_exn: unknown mix %S" name)
+
+let names = List.map (fun m -> m.name) all
+
+let label_consistent m =
+  let letters =
+    List.map
+      (fun (p : Vliw_compiler.Profile.t) -> Vliw_compiler.Profile.ilp_letter p.ilp)
+      m.members
+  in
+  let name_letters =
+    List.init (String.length m.name) (fun i -> String.make 1 m.name.[i])
+  in
+  List.sort compare letters = List.sort compare name_letters

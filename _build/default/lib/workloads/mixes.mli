@@ -1,0 +1,20 @@
+(** The 9 workload configurations of Table 2. *)
+
+type t = {
+  name : string;  (** ILP combination label, e.g. "LLHH". *)
+  members : Vliw_compiler.Profile.t list;  (** Thread 0 .. Thread 3. *)
+}
+
+val all : t list
+(** Table 2 order: LLLL, LMMH, MMMM, LLMM, LLMH, LLHH, LMHH, MMHH,
+    HHHH. *)
+
+val find : string -> t option
+
+val find_exn : string -> t
+
+val names : string list
+
+val label_consistent : t -> bool
+(** The mix name matches the sorted ILP letters of its members (a Table 2
+    integrity check used by tests). *)

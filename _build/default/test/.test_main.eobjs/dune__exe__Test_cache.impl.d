@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gen List QCheck Tgen Vliw_isa Vliw_mem

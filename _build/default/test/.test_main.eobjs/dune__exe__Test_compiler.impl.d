@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Hashtbl Int64 List Printf QCheck Result Tgen Vliw_compiler Vliw_isa Vliw_util Vliw_workloads

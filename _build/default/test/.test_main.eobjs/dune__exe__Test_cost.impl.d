@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest List Printf QCheck Tgen Vliw_cost Vliw_merge

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array List Option Printf QCheck Tgen Vliw_isa Vliw_merge

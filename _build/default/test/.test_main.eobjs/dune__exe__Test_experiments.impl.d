@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Lazy List String Vliw_experiments

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Lazy List QCheck String Tgen Vliw_compiler Vliw_experiments Vliw_isa Vliw_merge

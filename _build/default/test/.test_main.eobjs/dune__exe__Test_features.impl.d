@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Filename Int64 List Printf QCheck String Sys Test_compiler Tgen Vliw_compiler Vliw_cost Vliw_experiments Vliw_isa Vliw_merge Vliw_sim Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Fun List QCheck Tgen Vliw_isa

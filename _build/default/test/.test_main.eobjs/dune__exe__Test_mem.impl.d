@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Printf Vliw_isa Vliw_mem

@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Array Format List QCheck String Tgen Vliw_isa Vliw_merge

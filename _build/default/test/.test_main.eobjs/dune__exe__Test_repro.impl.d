@@ -1,0 +1,1 @@
+test/test_repro.ml: Alcotest Array Lazy Printf Vliw_experiments Vliw_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Printf Test_compiler Vliw_compiler Vliw_isa Vliw_mem Vliw_merge Vliw_sim Vliw_util Vliw_workloads

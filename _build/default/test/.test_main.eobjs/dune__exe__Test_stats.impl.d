@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Printf QCheck Tgen Vliw_util

@@ -1,0 +1,1 @@
+test/test_util_render.ml: Alcotest List String Vliw_util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Vliw_compiler Vliw_workloads

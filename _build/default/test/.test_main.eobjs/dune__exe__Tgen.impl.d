@@ -1,0 +1,1 @@
+test/tgen.ml: Array Format List Option QCheck QCheck_alcotest String Vliw_isa Vliw_merge

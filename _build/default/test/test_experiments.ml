@@ -1,0 +1,120 @@
+(* Experiment harness: structure checks at Quick scale, plus renderer
+   smoke tests. The paper-shape assertions live in test_repro. *)
+module E = Vliw_experiments
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_grid_shape () =
+  let grid =
+    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "1S"; "3SSS" ]
+      ~mix_names:[ "LLLL"; "HHHH" ] ()
+  in
+  Alcotest.(check int) "mix rows" 2 (Array.length grid.ipc);
+  Array.iter (fun row -> Alcotest.(check int) "scheme cols" 2 (Array.length row)) grid.ipc;
+  Alcotest.(check int) "columns" 2 (Array.length (E.Common.grid_column grid "1S"))
+
+let test_grid_deterministic () =
+  let run () =
+    E.Common.run_grid ~scale:E.Common.Quick ~seed:5L ~scheme_names:[ "2SC3" ]
+      ~mix_names:[ "MMMM" ] ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.0)) "same IPC" a.ipc.(0).(0) b.ipc.(0).(0)
+
+let test_table2_render () =
+  let out = E.Table2.render () in
+  Alcotest.(check bool) "has LLHH" true (contains ~needle:"LLHH" out);
+  Alcotest.(check bool) "has colorspace" true (contains ~needle:"colorspace" out)
+
+let test_fig5_shape () =
+  let points = E.Fig5.run () in
+  Alcotest.(check int) "7 thread counts" 7 (List.length points);
+  let out = E.Fig5.render points in
+  Alcotest.(check bool) "mentions CSMT PL" true (contains ~needle:"CSMT PL" out)
+
+let test_fig9_shape () =
+  let rows = E.Fig9.run () in
+  Alcotest.(check int) "16 schemes" 16 (List.length rows);
+  let out = E.Fig9.render rows in
+  Alcotest.(check bool) "mentions 2SC3" true (contains ~needle:"2SC3" out)
+
+let test_fig4_quick () =
+  let d = E.Fig4.run ~scale:E.Common.Quick () in
+  Alcotest.(check bool) "4T > 2T" true (d.four_thread > d.two_thread);
+  Alcotest.(check bool) "2T > 1T" true (d.two_thread > d.single);
+  Alcotest.(check bool) "render" true
+    (contains ~needle:"4-thread vs 2-thread" (E.Fig4.render d))
+
+let test_fig6_quick () =
+  let d = E.Fig6.run ~scale:E.Common.Quick () in
+  Alcotest.(check int) "9 mixes" 9 (List.length d.per_mix);
+  Alcotest.(check bool) "positive advantage" true (d.average > 0.0)
+
+let fig10_quick =
+  lazy
+    (E.Fig10.run ~scale:E.Common.Quick ())
+
+let test_fig10_structure () =
+  let d = Lazy.force fig10_quick in
+  Alcotest.(check int) "16 schemes in grid" 16 (List.length d.grid.scheme_names);
+  Alcotest.(check int) "9 mixes" 9 (List.length d.grid.mix_names);
+  Alcotest.(check int) "9 groups" 9 (List.length d.groups);
+  List.iter
+    (fun (g, _) ->
+      Alcotest.(check bool) (g ^ " spread finite") true (E.Fig10.group_spread d g >= 0.0);
+      Alcotest.(check bool) (g ^ " ipc positive") true (E.Fig10.group_average d g > 0.0))
+    d.groups;
+  Alcotest.(check bool) "render has Average" true
+    (contains ~needle:"Average" (E.Fig10.render d))
+
+let test_fig11_12_from_fig10 () =
+  let d = Lazy.force fig10_quick in
+  let p11 = E.Fig11.of_fig10 d in
+  let p12 = E.Fig12.of_fig10 d in
+  Alcotest.(check int) "fig11 points" 16 (List.length p11);
+  Alcotest.(check int) "fig12 points" 16 (List.length p12);
+  List.iter
+    (fun (p : E.Fig11.point) ->
+      Alcotest.(check bool) (p.name ^ " transistors > 0") true (p.transistors > 0.0))
+    p11;
+  Alcotest.(check bool) "fig11 render" true
+    (contains ~needle:"transistors" (E.Fig11.render p11));
+  Alcotest.(check bool) "fig12 render" true
+    (contains ~needle:"gate delays" (E.Fig12.render p12))
+
+let test_claims_from_fig10 () =
+  let c = E.Claims.of_fig10 (Lazy.force fig10_quick) in
+  Alcotest.(check bool) "4T SMT above 2T SMT" true (c.smt4_over_smt2_pct > 0.0);
+  Alcotest.(check bool) "SMT above CSMT" true (c.smt_over_csmt_pct > 0.0);
+  Alcotest.(check bool) "render" true
+    (contains ~needle:"paper +61%" (E.Claims.render c))
+
+let test_table1_quick () =
+  (* Structure only at Quick scale (accuracy checked in test_repro). *)
+  let rows = E.Table1.run ~scale:E.Common.Quick () in
+  Alcotest.(check int) "12 rows" 12 (List.length rows);
+  List.iter
+    (fun (r : E.Table1.row) ->
+      Alcotest.(check bool) (r.profile.name ^ " ipc > 0") true (r.ipc_real > 0.0))
+    rows;
+  Alcotest.(check bool) "render has mcf" true
+    (contains ~needle:"mcf" (E.Table1.render rows))
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "grid shape" `Quick test_grid_shape;
+      Alcotest.test_case "grid deterministic" `Quick test_grid_deterministic;
+      Alcotest.test_case "table2 render" `Quick test_table2_render;
+      Alcotest.test_case "fig5 shape" `Quick test_fig5_shape;
+      Alcotest.test_case "fig9 shape" `Quick test_fig9_shape;
+      Alcotest.test_case "fig4 quick" `Quick test_fig4_quick;
+      Alcotest.test_case "fig6 quick" `Quick test_fig6_quick;
+      Alcotest.test_case "fig10 structure" `Quick test_fig10_structure;
+      Alcotest.test_case "fig11/12 from fig10" `Quick test_fig11_12_from_fig10;
+      Alcotest.test_case "claims from fig10" `Quick test_claims_from_fig10;
+      Alcotest.test_case "table1 quick" `Quick test_table1_quick;
+    ] )

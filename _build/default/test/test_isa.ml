@@ -1,0 +1,118 @@
+(* Op, Machine and Instr. *)
+module Isa = Vliw_isa
+module Q = QCheck
+
+let m = Isa.Machine.default
+
+let test_default_machine () =
+  Alcotest.(check int) "clusters" 4 m.clusters;
+  Alcotest.(check int) "issue width" 4 m.issue_width;
+  Alcotest.(check int) "total issue" 16 (Isa.Machine.total_issue m);
+  Alcotest.(check bool) "valid" true (Isa.Machine.validate m = Ok ())
+
+let test_slot_layout () =
+  (* Memory at slot 0 only; muls at 1-2; branch at 3; ALU anywhere. *)
+  Alcotest.(check bool) "mem slot0" true (Isa.Machine.slot_allows m ~slot:0 Isa.Op.Load);
+  Alcotest.(check bool) "mem not slot1" false (Isa.Machine.slot_allows m ~slot:1 Isa.Op.Store);
+  Alcotest.(check bool) "mul slot1" true (Isa.Machine.slot_allows m ~slot:1 Isa.Op.Mul);
+  Alcotest.(check bool) "mul slot2" true (Isa.Machine.slot_allows m ~slot:2 Isa.Op.Mul);
+  Alcotest.(check bool) "mul not slot0" false (Isa.Machine.slot_allows m ~slot:0 Isa.Op.Mul);
+  Alcotest.(check bool) "mul not slot3" false (Isa.Machine.slot_allows m ~slot:3 Isa.Op.Mul);
+  Alcotest.(check bool) "branch slot3" true (Isa.Machine.slot_allows m ~slot:3 Isa.Op.Branch);
+  Alcotest.(check bool) "branch not slot0" false (Isa.Machine.slot_allows m ~slot:0 Isa.Op.Branch);
+  for s = 0 to 3 do
+    Alcotest.(check bool) "alu anywhere" true (Isa.Machine.slot_allows m ~slot:s Isa.Op.Alu);
+    Alcotest.(check bool) "copy anywhere" true (Isa.Machine.slot_allows m ~slot:s Isa.Op.Copy)
+  done
+
+let test_latencies () =
+  Alcotest.(check int) "alu" 1 (Isa.Machine.latency m Isa.Op.Alu);
+  Alcotest.(check int) "copy" 1 (Isa.Machine.latency m Isa.Op.Copy);
+  Alcotest.(check int) "mul" 2 (Isa.Machine.latency m Isa.Op.Mul);
+  Alcotest.(check int) "load" 2 (Isa.Machine.latency m Isa.Op.Load);
+  Alcotest.(check int) "store" 2 (Isa.Machine.latency m Isa.Op.Store)
+
+let test_machine_make_rejects () =
+  Alcotest.check_raises "too many fixed slots"
+    (Invalid_argument
+       "Machine.make: memory and multiply slots do not fit in the issue width")
+    (fun () -> ignore (Isa.Machine.make ~issue_width:2 ~n_lsu:1 ~n_mul:2 ()))
+
+let test_machine_variants () =
+  let m2 = Isa.Machine.make ~clusters:2 ~issue_width:8 ~n_mul:3 () in
+  Alcotest.(check int) "total issue" 16 (Isa.Machine.total_issue m2);
+  Alcotest.(check bool) "mul range" true (Isa.Machine.slot_allows m2 ~slot:3 Isa.Op.Mul);
+  Alcotest.(check bool) "mul range end" false (Isa.Machine.slot_allows m2 ~slot:4 Isa.Op.Mul)
+
+let ops klasses = List.mapi (fun i k -> Isa.Op.make k i) klasses
+
+let test_fits_cluster () =
+  let fits = Isa.Instr.fits_cluster m in
+  Alcotest.(check bool) "empty" true (fits []);
+  Alcotest.(check bool) "4 alus" true (fits (ops [ Alu; Alu; Alu; Alu ]));
+  Alcotest.(check bool) "5 alus" false (fits (ops [ Alu; Alu; Alu; Alu; Alu ]));
+  Alcotest.(check bool) "2 mem" false (fits (ops [ Load; Store ]));
+  Alcotest.(check bool) "3 mul" false (fits (ops [ Mul; Mul; Mul ]));
+  Alcotest.(check bool) "2 branch" false (fits (ops [ Branch; Branch ]));
+  Alcotest.(check bool) "full mixed" true (fits (ops [ Load; Mul; Mul; Branch ]));
+  Alcotest.(check bool) "mixed overflow" false
+    (fits (ops [ Load; Mul; Mul; Branch; Alu ]))
+
+let instr_of klass_lists =
+  Isa.Instr.of_cluster_ops ~addr:0
+    (Array.of_list (List.map ops klass_lists))
+
+let test_cluster_mask () =
+  let i = instr_of [ [ Isa.Op.Alu ]; []; [ Isa.Op.Mul ]; [] ] in
+  Alcotest.(check int) "mask" 0b0101 (Isa.Instr.cluster_mask i);
+  Alcotest.(check int) "count" 2 (Isa.Instr.op_count i);
+  Alcotest.(check bool) "not empty" false (Isa.Instr.is_empty i)
+
+let test_empty_instr () =
+  let i = Isa.Instr.make ~clusters:4 ~addr:64 in
+  Alcotest.(check int) "mask" 0 (Isa.Instr.cluster_mask i);
+  Alcotest.(check bool) "empty" true (Isa.Instr.is_empty i);
+  Alcotest.(check int) "addr" 64 i.addr
+
+let test_mem_ops_and_branch () =
+  let i = instr_of [ [ Isa.Op.Load ]; [ Isa.Op.Branch ]; [ Isa.Op.Store ]; [] ] in
+  Alcotest.(check int) "mem ops" 2 (List.length (Isa.Instr.mem_ops i));
+  Alcotest.(check bool) "has branch" true (Isa.Instr.has_branch i)
+
+let test_well_formed () =
+  Alcotest.(check bool) "good" true
+    (Isa.Instr.well_formed m (instr_of [ [ Isa.Op.Alu ]; []; []; [] ]));
+  Alcotest.(check bool) "bad cluster count" false
+    (Isa.Instr.well_formed m (instr_of [ [ Isa.Op.Alu ] ]));
+  Alcotest.(check bool) "bad ops" false
+    (Isa.Instr.well_formed m (instr_of [ [ Isa.Op.Load; Isa.Op.Store ]; []; []; [] ]))
+
+let prop_generated_well_formed =
+  Q.Test.make ~name:"generated instructions well-formed" ~count:300
+    (Tgen.instr_arb ()) (fun i -> Isa.Instr.well_formed m i)
+
+let prop_mask_consistent =
+  Q.Test.make ~name:"mask bit iff cluster non-empty" ~count:300 (Tgen.instr_arb ())
+    (fun i ->
+      let mask = Isa.Instr.cluster_mask i in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun c ops -> (mask land (1 lsl c) <> 0) = (ops <> []))
+           i.ops))
+
+let suite =
+  ( "isa",
+    [
+      Alcotest.test_case "default machine" `Quick test_default_machine;
+      Alcotest.test_case "slot layout" `Quick test_slot_layout;
+      Alcotest.test_case "latencies" `Quick test_latencies;
+      Alcotest.test_case "make rejects bad layout" `Quick test_machine_make_rejects;
+      Alcotest.test_case "machine variants" `Quick test_machine_variants;
+      Alcotest.test_case "fits_cluster" `Quick test_fits_cluster;
+      Alcotest.test_case "cluster mask" `Quick test_cluster_mask;
+      Alcotest.test_case "empty instruction" `Quick test_empty_instr;
+      Alcotest.test_case "mem ops and branch" `Quick test_mem_ops_and_branch;
+      Alcotest.test_case "well_formed" `Quick test_well_formed;
+      Tgen.to_alcotest prop_generated_well_formed;
+      Tgen.to_alcotest prop_mask_consistent;
+    ] )

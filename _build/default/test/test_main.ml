@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "vliw-merge-repro"
+    [
+      Test_rng.suite;
+      Test_stats.suite;
+      Test_util_render.suite;
+      Test_isa.suite;
+      Test_cache.suite;
+      Test_mem.suite;
+      Test_compiler.suite;
+      Test_merge.suite;
+      Test_engine.suite;
+      Test_cost.suite;
+      Test_sim.suite;
+      Test_workloads.suite;
+      Test_experiments.suite;
+      Test_extensions.suite;
+      Test_features.suite;
+      Test_repro.suite;
+    ]

@@ -1,0 +1,95 @@
+(* Addr_stream and Mem_system. *)
+module Mem = Vliw_mem
+
+let test_stream_bounds () =
+  let s =
+    Mem.Addr_stream.create ~seed:1L ~working_set_bytes:(64 * 1024) ~seq_frac:0.5
+      ~region_base:(1 lsl 24)
+  in
+  for _ = 1 to 1000 do
+    let a = Mem.Addr_stream.next s in
+    Alcotest.(check bool) "above base" true (a >= 1 lsl 24);
+    Alcotest.(check bool) "within working set" true (a < (1 lsl 24) + (64 * 1024));
+    Alcotest.(check int) "aligned" 0 (a mod 4)
+  done
+
+let test_stream_determinism () =
+  let make () =
+    Mem.Addr_stream.create ~seed:9L ~working_set_bytes:4096 ~seq_frac:0.7
+      ~region_base:0
+  in
+  let a = make () and b = make () in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "same stream" (Mem.Addr_stream.next a)
+      (Mem.Addr_stream.next b)
+  done
+
+let test_stream_locality_vs_misses () =
+  (* A fully sequential stream in a small hot region should have a far
+     lower miss rate than a fully random stream over a large set. *)
+  let cache () =
+    Mem.Cache.create
+      { Vliw_isa.Machine.size_bytes = 64 * 1024; ways = 4; line_bytes = 64 }
+  in
+  let run seq ws =
+    let s =
+      Mem.Addr_stream.create ~seed:3L ~working_set_bytes:ws ~seq_frac:seq
+        ~region_base:0
+    in
+    let c = cache () in
+    for _ = 1 to 20_000 do
+      ignore (Mem.Cache.access c (Mem.Addr_stream.next s))
+    done;
+    Mem.Cache.miss_rate c
+  in
+  let seq_rate = run 1.0 (4 * 1024 * 1024) in
+  let rand_rate = run 0.0 (4 * 1024 * 1024) in
+  Alcotest.(check bool)
+    (Printf.sprintf "seq %.3f << random %.3f" seq_rate rand_rate)
+    true
+    (seq_rate < 0.05 && rand_rate > 0.8)
+
+let test_mem_system_penalties () =
+  let sys = Mem.Mem_system.create Vliw_isa.Machine.default in
+  Alcotest.(check int) "ifetch cold miss" 20 (Mem.Mem_system.ifetch sys 0);
+  Alcotest.(check int) "ifetch hit" 0 (Mem.Mem_system.ifetch sys 0);
+  Alcotest.(check int) "dcache cold miss" 20 (Mem.Mem_system.daccess sys 4096);
+  Alcotest.(check int) "dcache hit" 0 (Mem.Mem_system.daccess sys 4096);
+  let ia, im = Mem.Mem_system.icache_stats sys in
+  let da, dm = Mem.Mem_system.dcache_stats sys in
+  Alcotest.(check (pair int int)) "icache stats" (2, 1) (ia, im);
+  Alcotest.(check (pair int int)) "dcache stats" (2, 1) (da, dm)
+
+let test_mem_system_split () =
+  (* ICache and DCache are separate: same address misses in both. *)
+  let sys = Mem.Mem_system.create Vliw_isa.Machine.default in
+  Alcotest.(check int) "imiss" 20 (Mem.Mem_system.ifetch sys 0);
+  Alcotest.(check int) "dmiss same addr" 20 (Mem.Mem_system.daccess sys 0)
+
+let test_perfect_memory () =
+  let sys = Mem.Mem_system.create ~perfect:true Vliw_isa.Machine.default in
+  Alcotest.(check bool) "flag" true (Mem.Mem_system.perfect sys);
+  for i = 0 to 100 do
+    Alcotest.(check int) "no ifetch stall" 0 (Mem.Mem_system.ifetch sys (i * 64));
+    Alcotest.(check int) "no data stall" 0 (Mem.Mem_system.daccess sys (i * 4096))
+  done
+
+let test_reset_stats () =
+  let sys = Mem.Mem_system.create Vliw_isa.Machine.default in
+  ignore (Mem.Mem_system.ifetch sys 0);
+  ignore (Mem.Mem_system.daccess sys 0);
+  Mem.Mem_system.reset_stats sys;
+  Alcotest.(check (pair int int)) "icache zero" (0, 0) (Mem.Mem_system.icache_stats sys);
+  Alcotest.(check (pair int int)) "dcache zero" (0, 0) (Mem.Mem_system.dcache_stats sys)
+
+let suite =
+  ( "mem",
+    [
+      Alcotest.test_case "stream bounds" `Quick test_stream_bounds;
+      Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+      Alcotest.test_case "locality vs misses" `Quick test_stream_locality_vs_misses;
+      Alcotest.test_case "mem system penalties" `Quick test_mem_system_penalties;
+      Alcotest.test_case "split caches" `Quick test_mem_system_split;
+      Alcotest.test_case "perfect memory" `Quick test_perfect_memory;
+      Alcotest.test_case "reset stats" `Quick test_reset_stats;
+    ] )

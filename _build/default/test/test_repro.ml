@@ -1,0 +1,113 @@
+(* Reproduction-shape tests: the paper's quantitative claims at Default
+   scale. These are the slowest tests in the suite; they assert the
+   *shape* (who wins, roughly by how much), with generous tolerances
+   because our substrate is synthetic. *)
+module E = Vliw_experiments
+
+let test_table1_calibration () =
+  let rows = E.Table1.run ~scale:E.Common.Default () in
+  let err = E.Table1.max_rel_error rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "worst Table 1 error %.1f%% within 15%%" (100.0 *. err))
+    true (err < 0.15)
+
+let grid =
+  lazy
+    (E.Common.run_grid ~scale:E.Common.Default
+       ~scheme_names:[ "ST"; "1S"; "2CC"; "3CCC"; "2SC3"; "3SSC"; "3SSS" ]
+       ())
+
+let avg name = E.Common.grid_average (Lazy.force grid) name
+
+let between what lo hi v =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.1f in [%.0f, %.0f]" what v lo hi)
+    true
+    (v >= lo && v <= hi)
+
+let test_fig4_shape () =
+  (* Paper: 4T SMT +61% over 2T SMT. Accept a broad band. *)
+  let gain = Vliw_util.Stats.pct_diff (avg "3SSS") (avg "1S") in
+  between "4T over 2T SMT (paper +61%)" 30.0 90.0 gain
+
+let test_fig6_shape () =
+  (* Paper: SMT +27% over CSMT on average. *)
+  let gain = Vliw_util.Stats.pct_diff (avg "3SSS") (avg "3CCC") in
+  between "SMT over CSMT (paper +27%)" 12.0 45.0 gain
+
+let test_2sc3_claims () =
+  let sc3 = avg "2SC3" in
+  between "2SC3 over 4T CSMT (paper +14%)" 3.0 30.0
+    (Vliw_util.Stats.pct_diff sc3 (avg "3CCC"));
+  between "2SC3 over 2T SMT (paper +45%)" 15.0 70.0
+    (Vliw_util.Stats.pct_diff sc3 (avg "1S"));
+  between "2SC3 below 4T SMT (paper -11%)" (-25.0) (-3.0)
+    (Vliw_util.Stats.pct_diff sc3 (avg "3SSS"))
+
+let test_scheme_ordering () =
+  (* The coarse ladder of Figure 10. *)
+  let st = avg "ST" and s1 = avg "1S" in
+  let cc2 = avg "2CC" and ccc = avg "3CCC" in
+  let sc3 = avg "2SC3" and ssc = avg "3SSC" and sss = avg "3SSS" in
+  let check_lt what a b =
+    Alcotest.(check bool) (Printf.sprintf "%s (%.2f < %.2f)" what a b) true (a < b)
+  in
+  check_lt "ST < 1S" st s1;
+  check_lt "1S < 3CCC" s1 ccc;
+  check_lt "2CC < 3CCC (tree indivisibility)" cc2 ccc;
+  check_lt "3CCC < 2SC3" ccc sc3;
+  check_lt "2SC3 < 3SSC" sc3 ssc;
+  check_lt "3SSC < 3SSS" ssc sss
+
+let test_llhh_largest_gap () =
+  (* The SMT-vs-CSMT gap peaks for mixed low/high workloads (paper:
+     LLHH at 58%); at minimum it must exceed the HHHH and MMMM gaps. *)
+  let g = Lazy.force grid in
+  let smt = E.Common.grid_column g "3SSS" in
+  let csmt = E.Common.grid_column g "3CCC" in
+  let gap name =
+    let rec idx i = function
+      | [] -> invalid_arg name
+      | x :: rest -> if x = name then i else idx (i + 1) rest
+    in
+    let i = idx 0 g.mix_names in
+    Vliw_util.Stats.pct_diff smt.(i) csmt.(i)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "LLHH %.0f%% > HHHH %.0f%%" (gap "LLHH") (gap "HHHH"))
+    true
+    (gap "LLHH" > gap "HHHH");
+  Alcotest.(check bool)
+    (Printf.sprintf "LLHH %.0f%% > MMMM %.0f%%" (gap "LLHH") (gap "MMMM"))
+    true
+    (gap "LLHH" > gap "MMMM")
+
+let test_csmt_equivalences_hold_in_sim () =
+  (* 3CCC and C4 must produce identical IPC (same selections, same
+     programs, same seeds). *)
+  let g =
+    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "3CCC"; "C4" ]
+      ~mix_names:[ "LLLL"; "LLHH"; "HHHH" ] ()
+  in
+  Array.iter
+    (fun row -> Alcotest.(check (float 1e-9)) "identical IPC" row.(0) row.(1))
+    g.ipc;
+  let g2 =
+    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "2SC3"; "3SCC" ]
+      ~mix_names:[ "LLHH" ] ()
+  in
+  Alcotest.(check (float 1e-9)) "2SC3 = 3SCC" g2.ipc.(0).(0) g2.ipc.(0).(1)
+
+let suite =
+  ( "reproduction",
+    [
+      Alcotest.test_case "Table 1 calibration within 15%" `Slow
+        test_table1_calibration;
+      Alcotest.test_case "Fig 4 shape" `Slow test_fig4_shape;
+      Alcotest.test_case "Fig 6 shape" `Slow test_fig6_shape;
+      Alcotest.test_case "2SC3 headline claims" `Slow test_2sc3_claims;
+      Alcotest.test_case "scheme ordering ladder" `Slow test_scheme_ordering;
+      Alcotest.test_case "LLHH gap dominates" `Slow test_llhh_largest_gap;
+      Alcotest.test_case "CSMT equivalences in simulation" `Quick
+        test_csmt_equivalences_hold_in_sim;
+    ] )

@@ -1,0 +1,119 @@
+module Rng = Vliw_util.Rng
+module Q = QCheck
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different streams" false
+    (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_copy_independent () =
+  let a = Rng.create 7L in
+  let _ = Rng.next_int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b);
+  (* Advancing one does not move the other. *)
+  let _ = Rng.next_int64 a in
+  let va = Rng.next_int64 a and vb = Rng.next_int64 b in
+  Alcotest.(check bool) "diverged" false (va = vb)
+
+let test_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 3L in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 20 Fun.id) sorted
+
+let test_choose_weighted () =
+  let rng = Rng.create 5L in
+  (* Weight 0 entries must never be picked. *)
+  for _ = 1 to 200 do
+    let v = Rng.choose_weighted rng [| ("never", 0.0); ("always", 1.0) |] in
+    Alcotest.(check string) "only positive weight" "always" v
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1" true (Rng.bernoulli rng 1.0);
+    Alcotest.(check bool) "p=0" false (Rng.bernoulli rng 0.0)
+  done
+
+let test_geometric_mean () =
+  let rng = Rng.create 13L in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng 0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* Mean of Geom(0.5) failures-before-success is 1. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 1" mean)
+    true
+    (abs_float (mean -. 1.0) < 0.05)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17L in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let mean = Vliw_util.Stats.mean xs in
+  let sd = Vliw_util.Stats.stddev xs in
+  Alcotest.(check bool) "mean ~3" true (abs_float (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "sd ~2" true (abs_float (sd -. 2.0) < 0.1)
+
+let prop_int_bound =
+  Q.Test.make ~name:"int within bound" ~count:500
+    Q.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_int_in =
+  Q.Test.make ~name:"int_in inclusive range" ~count:500
+    Q.(triple (int_range (-1000) 1000) (int_range 0 2000) small_int)
+    (fun (lo, span, seed) ->
+      let hi = lo + span in
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let prop_float_bound =
+  Q.Test.make ~name:"float within bound" ~count:500
+    Q.(pair (float_range 0.001 1e6) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+      Alcotest.test_case "copy independent" `Quick test_copy_independent;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "choose_weighted respects zero" `Quick test_choose_weighted;
+      Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+      Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+      Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+      Tgen.to_alcotest prop_int_bound;
+      Tgen.to_alcotest prop_int_in;
+      Tgen.to_alcotest prop_float_bound;
+    ] )

@@ -1,0 +1,254 @@
+(* Thread_state, Core, Multitask, Metrics. *)
+module Sim = Vliw_sim
+module C = Vliw_compiler
+module M = Vliw_merge
+module Isa = Vliw_isa
+
+let machine = Isa.Machine.default
+
+let quick = Vliw_sim.Multitask.quick_schedule
+
+let profile = Test_compiler.test_profile
+
+let program ?(seed = 21L) ?(p = profile ()) () = C.Program.generate ~seed machine p
+
+let scheme name = (M.Catalog.find_exn name).scheme
+
+let run ?(perfect = false) ?(seed = 1L) ?(schedule = quick) name profiles =
+  let config = Sim.Config.make (scheme name) in
+  Sim.Multitask.run config ~perfect_mem:perfect ~seed ~schedule profiles
+
+(* --- Thread_state --- *)
+
+let test_thread_state_walk () =
+  let prog = program () in
+  let th = Sim.Thread_state.create ~id:0 ~seed:1L prog in
+  Alcotest.(check int) "starts at entry" prog.entry th.block;
+  Alcotest.(check int) "pc 0" 0 th.pc;
+  let len = Array.length prog.blocks.(0).instrs in
+  for _ = 1 to len - 1 do
+    Sim.Thread_state.advance_fall_through th
+  done;
+  Alcotest.(check int) "last pc" (len - 1) th.pc;
+  Sim.Thread_state.advance_fall_through th;
+  Alcotest.(check int) "fall-through block" prog.blocks.(0).fall_through th.block;
+  Alcotest.(check int) "pc reset" 0 th.pc
+
+let test_thread_state_jump () =
+  let prog = program () in
+  let th = Sim.Thread_state.create ~id:0 ~seed:1L prog in
+  let target =
+    match
+      C.Program.exit_target prog.blocks.(0)
+        (Array.length prog.blocks.(0).instrs - 1)
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "last instruction must be an exit"
+  in
+  Sim.Thread_state.jump_taken th ~target;
+  Alcotest.(check int) "taken target" target th.block;
+  Alcotest.(check int) "pc reset" 0 th.pc
+
+let test_thread_state_stall () =
+  let prog = program () in
+  let th = Sim.Thread_state.create ~id:0 ~seed:1L prog in
+  th.resume_at <- 10;
+  Alcotest.(check bool) "stalled before" true (Sim.Thread_state.stalled th ~now:9);
+  Alcotest.(check bool) "ready at" false (Sim.Thread_state.stalled th ~now:10)
+
+let test_thread_regions_disjoint () =
+  let prog = program () in
+  let a = Sim.Thread_state.create ~id:0 ~seed:1L prog in
+  let b = Sim.Thread_state.create ~id:1 ~seed:1L prog in
+  Alcotest.(check bool) "disjoint regions" true
+    (Vliw_mem.Addr_stream.region_base a.addr_stream
+    <> Vliw_mem.Addr_stream.region_base b.addr_stream)
+
+(* --- Core --- *)
+
+let test_core_single_thread_progress () =
+  let prog = program () in
+  let config = Sim.Config.make (M.Scheme.thread 0) in
+  let mem = Vliw_mem.Mem_system.create ~perfect:true machine in
+  let core = Sim.Core.create config mem in
+  let th = Sim.Thread_state.create ~id:0 ~seed:1L prog in
+  Sim.Core.install core [| Some th |];
+  for _ = 1 to 1000 do
+    Sim.Core.step core
+  done;
+  Alcotest.(check int) "cycles" 1000 (Sim.Core.cycle core);
+  Alcotest.(check bool) "instructions retired" true (th.instrs_retired > 100);
+  Alcotest.(check int) "core counters match thread" th.instrs_retired
+    (Sim.Core.instrs_issued core);
+  Alcotest.(check int) "ops counters match" th.ops_retired (Sim.Core.ops_issued core)
+
+let test_core_empty_contexts () =
+  let config = Sim.Config.make (scheme "3SSS") in
+  let mem = Vliw_mem.Mem_system.create machine in
+  let core = Sim.Core.create config mem in
+  Sim.Core.install core (Array.make 4 None);
+  for _ = 1 to 100 do
+    Sim.Core.step core
+  done;
+  Alcotest.(check int) "no ops" 0 (Sim.Core.ops_issued core);
+  Alcotest.(check int) "all vertical waste" 100 (Sim.Core.vertical_waste_cycles core)
+
+let test_core_install_arity () =
+  let config = Sim.Config.make (scheme "3SSS") in
+  let core = Sim.Core.create config (Vliw_mem.Mem_system.create machine) in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Core.install: context count mismatch") (fun () ->
+      Sim.Core.install core [| None |])
+
+let test_issue_hist_consistent () =
+  let metrics = run "3SSS" (Vliw_workloads.Mixes.find_exn "MMMM").members in
+  let total = Array.fold_left ( + ) 0 metrics.issue_hist in
+  Alcotest.(check int) "hist sums to cycles" metrics.cycles total;
+  let weighted = ref 0 in
+  Array.iteri (fun k c -> weighted := !weighted + (k * c)) metrics.issue_hist;
+  Alcotest.(check int) "hist weights sum to instrs" metrics.instrs !weighted
+
+(* --- Multitask --- *)
+
+let test_run_deterministic () =
+  let members = (Vliw_workloads.Mixes.find_exn "LLMM").members in
+  let a = run ~seed:9L "2SC3" members in
+  let b = run ~seed:9L "2SC3" members in
+  Alcotest.(check int) "same cycles" a.cycles b.cycles;
+  Alcotest.(check int) "same ops" a.ops b.ops;
+  let c = run ~seed:10L "2SC3" members in
+  Alcotest.(check bool) "different seed differs" true (a.ops <> c.ops)
+
+let test_perfect_at_least_real () =
+  let members = (Vliw_workloads.Mixes.find_exn "LLHH").members in
+  let real = run ~perfect:false "3SSS" members in
+  let perfect = run ~perfect:true "3SSS" members in
+  Alcotest.(check bool)
+    (Printf.sprintf "perfect %.2f >= real %.2f" (Sim.Metrics.ipc perfect)
+       (Sim.Metrics.ipc real))
+    true
+    (Sim.Metrics.ipc perfect >= Sim.Metrics.ipc real)
+
+let test_more_threads_help () =
+  let members = (Vliw_workloads.Mixes.find_exn "LLMM").members in
+  let st = Sim.Metrics.ipc (run "ST" members) in
+  let smt2 = Sim.Metrics.ipc (run "1S" members) in
+  let smt4 = Sim.Metrics.ipc (run "3SSS" members) in
+  Alcotest.(check bool) (Printf.sprintf "1S %.2f > ST %.2f" smt2 st) true (smt2 > st);
+  Alcotest.(check bool) (Printf.sprintf "3SSS %.2f > 1S %.2f" smt4 smt2) true (smt4 > smt2)
+
+let test_smt_beats_csmt () =
+  let members = (Vliw_workloads.Mixes.find_exn "LLHH").members in
+  let smt = Sim.Metrics.ipc (run "3SSS" members) in
+  let csmt = Sim.Metrics.ipc (run "3CCC" members) in
+  Alcotest.(check bool) (Printf.sprintf "3SSS %.2f > 3CCC %.2f" smt csmt) true (smt > csmt)
+
+let test_mixed_scheme_between () =
+  let members = (Vliw_workloads.Mixes.find_exn "LLHH").members in
+  let schedule =
+    { Sim.Multitask.timeslice = 10_000; target_instrs = 60_000; max_cycles = 120_000 }
+  in
+  let smt = Sim.Metrics.ipc (run ~schedule "3SSS" members) in
+  let csmt = Sim.Metrics.ipc (run ~schedule "3CCC" members) in
+  let mixed = Sim.Metrics.ipc (run ~schedule "2SC3" members) in
+  Alcotest.(check bool)
+    (Printf.sprintf "csmt %.2f <= 2SC3 %.2f <= smt %.2f" csmt mixed smt)
+    true
+    (mixed >= csmt *. 0.98 && mixed <= smt *. 1.02)
+
+let test_multitask_more_threads_than_contexts () =
+  (* 4 software threads on the 2-context 1S processor: all make progress
+     thanks to timeslice rotation. *)
+  let members = (Vliw_workloads.Mixes.find_exn "MMMM").members in
+  let schedule =
+    { Sim.Multitask.timeslice = 2_000; target_instrs = 1_000_000; max_cycles = 50_000 }
+  in
+  let metrics = run ~schedule "1S" members in
+  Alcotest.(check int) "4 threads tracked" 4 (Array.length metrics.per_thread);
+  Array.iter
+    (fun (pt : Sim.Metrics.per_thread) ->
+      Alcotest.(check bool) (pt.name ^ " progressed") true (pt.instrs > 0))
+    metrics.per_thread
+
+let test_rotation_fairness () =
+  (* Four identical threads on 3CCC: with rotation no thread starves. *)
+  let p = profile ~width:3.0 ~ops:30 () in
+  let members = [ p; p; p; p ] in
+  let schedule =
+    { Sim.Multitask.timeslice = 50_000; target_instrs = 1_000_000; max_cycles = 30_000 }
+  in
+  let metrics = run ~schedule "3CCC" members in
+  let counts =
+    Array.map (fun (pt : Sim.Metrics.per_thread) -> float_of_int pt.instrs)
+      metrics.per_thread
+  in
+  let mn, mx = Vliw_util.Stats.min_max counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced %.0f..%.0f" mn mx)
+    true
+    (mn > 0.5 *. mx)
+
+let test_target_instrs_stops () =
+  let members = [ profile () ] in
+  let schedule =
+    { Sim.Multitask.timeslice = 5_000; target_instrs = 2_000; max_cycles = 1_000_000 }
+  in
+  let metrics = run ~schedule "ST" members in
+  Alcotest.(check bool) "stopped early" true (metrics.cycles < 100_000);
+  Alcotest.(check bool) "reached target" true (metrics.per_thread.(0).instrs >= 2_000)
+
+let test_ablation_flags () =
+  let members = (Vliw_workloads.Mixes.find_exn "LLHH").members in
+  let run_cfg ~rotate ~stall =
+    let config =
+      Sim.Config.make ~rotate_priority:rotate ~stall_on_dmiss:stall (scheme "3CCC")
+    in
+    Sim.Metrics.ipc (Sim.Multitask.run config ~seed:3L ~schedule:quick members)
+  in
+  let base = run_cfg ~rotate:true ~stall:true in
+  let no_stall = run_cfg ~rotate:true ~stall:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "non-blocking misses help (%.2f >= %.2f)" no_stall base)
+    true (no_stall >= base);
+  (* Fixed priority must still run (value depends on workload). *)
+  let fixed = run_cfg ~rotate:false ~stall:true in
+  Alcotest.(check bool) "fixed priority runs" true (fixed > 0.0)
+
+let test_metrics_derived () =
+  let metrics = run "2SC3" (Vliw_workloads.Mixes.find_exn "HHHH").members in
+  Alcotest.(check bool) "ipc positive" true (Sim.Metrics.ipc metrics > 0.0);
+  Alcotest.(check bool) "vwaste in [0,1]" true
+    (Sim.Metrics.vertical_waste metrics >= 0.0
+    && Sim.Metrics.vertical_waste metrics <= 1.0);
+  Alcotest.(check bool) "hwaste in [0,1]" true
+    (Sim.Metrics.horizontal_waste metrics >= 0.0
+    && Sim.Metrics.horizontal_waste metrics <= 1.0);
+  Alcotest.(check bool) "merge degree >= 1" true
+    (Sim.Metrics.avg_threads_merged metrics >= 1.0);
+  Alcotest.(check bool) "merge degree <= 4" true
+    (Sim.Metrics.avg_threads_merged metrics <= 4.0)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "thread walks blocks" `Quick test_thread_state_walk;
+      Alcotest.test_case "thread jump taken" `Quick test_thread_state_jump;
+      Alcotest.test_case "thread stall" `Quick test_thread_state_stall;
+      Alcotest.test_case "thread regions disjoint" `Quick test_thread_regions_disjoint;
+      Alcotest.test_case "core single-thread progress" `Quick
+        test_core_single_thread_progress;
+      Alcotest.test_case "core empty contexts" `Quick test_core_empty_contexts;
+      Alcotest.test_case "core install arity" `Quick test_core_install_arity;
+      Alcotest.test_case "issue histogram consistent" `Quick test_issue_hist_consistent;
+      Alcotest.test_case "run deterministic" `Quick test_run_deterministic;
+      Alcotest.test_case "perfect >= real" `Quick test_perfect_at_least_real;
+      Alcotest.test_case "more threads help" `Quick test_more_threads_help;
+      Alcotest.test_case "smt beats csmt" `Quick test_smt_beats_csmt;
+      Alcotest.test_case "mixed scheme in between" `Quick test_mixed_scheme_between;
+      Alcotest.test_case "multitasking over few contexts" `Quick
+        test_multitask_more_threads_than_contexts;
+      Alcotest.test_case "rotation fairness" `Quick test_rotation_fairness;
+      Alcotest.test_case "target instrs stops run" `Quick test_target_instrs_stops;
+      Alcotest.test_case "ablation flags" `Quick test_ablation_flags;
+      Alcotest.test_case "metrics derived values" `Quick test_metrics_derived;
+    ] )

@@ -1,0 +1,84 @@
+module Stats = Vliw_util.Stats
+module Q = QCheck
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let check_f name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6f = %.6f" name expected actual)
+    true (feq expected actual)
+
+let test_mean () =
+  check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_f "empty" 0.0 (Stats.mean [||])
+
+let test_geomean () =
+  check_f "geomean" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
+  check_f "singleton" 5.0 (Stats.geomean [| 5.0 |])
+
+let test_stddev () =
+  check_f "constant" 0.0 (Stats.stddev [| 3.0; 3.0; 3.0 |]);
+  check_f "known" 2.0 (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let test_median () =
+  check_f "odd" 3.0 (Stats.median [| 5.0; 3.0; 1.0 |]);
+  check_f "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_f "p0" 1.0 (Stats.percentile xs 0.0);
+  check_f "p100" 5.0 (Stats.percentile xs 100.0);
+  check_f "p50" 3.0 (Stats.percentile xs 50.0);
+  check_f "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_min_max () =
+  let mn, mx = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_f "min" (-1.0) mn;
+  check_f "max" 7.0 mx
+
+let test_pct_diff () =
+  check_f "pct" 50.0 (Stats.pct_diff 3.0 2.0);
+  check_f "pct negative" (-50.0) (Stats.pct_diff 1.0 2.0)
+
+let test_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "n" 3 s.n;
+  check_f "mean" 2.0 s.mean;
+  check_f "median" 2.0 s.median
+
+let nonempty_floats =
+  Q.(array_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+
+let prop_median_between =
+  Q.Test.make ~name:"median within min/max" ~count:300 nonempty_floats (fun xs ->
+      let mn, mx = Stats.min_max xs in
+      let m = Stats.median xs in
+      m >= mn && m <= mx)
+
+let prop_percentile_monotone =
+  Q.Test.make ~name:"percentile monotone in p" ~count:300
+    Q.(pair nonempty_floats (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_geomean_le_mean =
+  Q.Test.make ~name:"geomean <= mean for positives" ~count:300
+    Q.(array_of_size Gen.(int_range 1 40) (float_range 0.001 1e4))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-6)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "stddev" `Quick test_stddev;
+      Alcotest.test_case "median" `Quick test_median;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "min_max" `Quick test_min_max;
+      Alcotest.test_case "pct_diff" `Quick test_pct_diff;
+      Alcotest.test_case "summary" `Quick test_summary;
+      Tgen.to_alcotest prop_median_between;
+      Tgen.to_alcotest prop_percentile_monotone;
+      Tgen.to_alcotest prop_geomean_le_mean;
+    ] )

@@ -1,0 +1,98 @@
+(* Text_table and Ascii_chart rendering. *)
+module T = Vliw_util.Text_table
+module C = Vliw_util.Ascii_chart
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_basic () =
+  let t = T.create ~header:[ "a"; "b" ] in
+  T.add_row t [ "x"; "1" ];
+  T.add_float_row t "y" [ 2.5 ];
+  let out = T.render t in
+  Alcotest.(check bool) "has header" true (contains ~needle:"| a" out);
+  Alcotest.(check bool) "has row" true (contains ~needle:"x" out);
+  Alcotest.(check bool) "has float" true (contains ~needle:"2.50" out)
+
+let test_table_alignment () =
+  let t = T.create ~header:[ "name"; "val" ] in
+  T.set_aligns t [ T.Left; T.Right ];
+  T.add_row t [ "a"; "1" ];
+  T.add_row t [ "long-name"; "100" ];
+  let out = T.render t in
+  (* Right-aligned numbers: "1" padded on the left. *)
+  Alcotest.(check bool) "right aligned" true (contains ~needle:"|   1 |" out)
+
+let test_table_arity () =
+  let t = T.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Text_table.add_row: arity mismatch") (fun () ->
+      T.add_row t [ "only-one" ])
+
+let test_table_sep () =
+  let t = T.create ~header:[ "a" ] in
+  T.add_row t [ "1" ];
+  T.add_sep t;
+  T.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (T.render t) in
+  Alcotest.(check int) "header + sep + 2 rows + sep" 6 (List.length lines)
+
+let test_bar_chart () =
+  let out = C.bar_chart [ ("big", 10.0); ("half", 5.0) ] in
+  let lines = String.split_on_char '\n' out in
+  let count_hashes s =
+    String.fold_left (fun acc ch -> if ch = '#' then acc + 1 else acc) 0 s
+  in
+  match lines with
+  | big :: half :: _ ->
+    Alcotest.(check int) "big bar full width" 50 (count_hashes big);
+    Alcotest.(check int) "half bar half width" 25 (count_hashes half)
+  | _ -> Alcotest.fail "expected two lines"
+
+let test_bar_chart_zero () =
+  let out = C.bar_chart [ ("zero", 0.0) ] in
+  Alcotest.(check bool) "renders without bars" true (contains ~needle:"zero" out)
+
+let test_grouped_chart () =
+  let out =
+    C.grouped_bar_chart ~group_labels:[ "g1"; "g2" ]
+      ~series:[ ("s", [| 1.0; 2.0 |]) ]
+      ()
+  in
+  Alcotest.(check bool) "group 1" true (contains ~needle:"g1:" out);
+  Alcotest.(check bool) "group 2" true (contains ~needle:"g2:" out)
+
+let test_scatter () =
+  let out =
+    C.scatter ~x_label:"x" ~y_label:"y" [ ("p1", 1.0, 10.0); ("p2", 5.0, 20.0) ]
+  in
+  Alcotest.(check bool) "legend p1" true (contains ~needle:"p1" out);
+  Alcotest.(check bool) "marker a" true (contains ~needle:"a = " out);
+  Alcotest.(check bool) "axis label" true (contains ~needle:"y (y) vs x (x)" out)
+
+let test_scatter_empty () =
+  Alcotest.(check string)
+    "empty" "(no points)\n"
+    (C.scatter ~x_label:"x" ~y_label:"y" [])
+
+let test_scatter_single_point () =
+  (* Degenerate ranges must not divide by zero. *)
+  let out = C.scatter ~x_label:"x" ~y_label:"y" [ ("only", 2.0, 2.0) ] in
+  Alcotest.(check bool) "renders" true (contains ~needle:"only" out)
+
+let suite =
+  ( "util-render",
+    [
+      Alcotest.test_case "table basic" `Quick test_table_basic;
+      Alcotest.test_case "table alignment" `Quick test_table_alignment;
+      Alcotest.test_case "table arity" `Quick test_table_arity;
+      Alcotest.test_case "table separator" `Quick test_table_sep;
+      Alcotest.test_case "bar chart scaling" `Quick test_bar_chart;
+      Alcotest.test_case "bar chart zero" `Quick test_bar_chart_zero;
+      Alcotest.test_case "grouped chart" `Quick test_grouped_chart;
+      Alcotest.test_case "scatter" `Quick test_scatter;
+      Alcotest.test_case "scatter empty" `Quick test_scatter_empty;
+      Alcotest.test_case "scatter single point" `Quick test_scatter_single_point;
+    ] )

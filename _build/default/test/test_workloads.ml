@@ -1,0 +1,89 @@
+module W = Vliw_workloads
+module P = Vliw_compiler.Profile
+
+let test_twelve_benchmarks () =
+  Alcotest.(check int) "12 benchmarks" 12 (List.length W.Benchmarks.all);
+  List.iter
+    (fun (p : P.t) ->
+      match P.validate p with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" p.name msg)
+    W.Benchmarks.all
+
+let test_ilp_classes () =
+  Alcotest.(check int) "4 low" 4 (List.length (W.Benchmarks.by_ilp P.Low));
+  Alcotest.(check int) "4 medium" 4 (List.length (W.Benchmarks.by_ilp P.Medium));
+  Alcotest.(check int) "4 high" 4 (List.length (W.Benchmarks.by_ilp P.High))
+
+let test_targets_match_table1 () =
+  let check name r p =
+    let b = W.Benchmarks.find_exn name in
+    Alcotest.(check (float 0.001)) (name ^ " IPCr") r b.target_ipc_real;
+    Alcotest.(check (float 0.001)) (name ^ " IPCp") p b.target_ipc_perfect
+  in
+  check "mcf" 0.96 1.34;
+  check "bzip2" 0.81 0.83;
+  check "blowfish" 1.11 1.47;
+  check "gsmencode" 1.07 1.07;
+  check "g721encode" 1.75 1.76;
+  check "g721decode" 1.75 1.76;
+  check "cjpeg" 1.12 1.66;
+  check "djpeg" 1.76 1.77;
+  check "imgpipe" 3.81 4.05;
+  check "x264" 3.89 4.04;
+  check "idct" 4.79 5.27;
+  check "colorspace" 5.47 8.88
+
+let test_ipcp_at_least_ipcr () =
+  List.iter
+    (fun (p : P.t) ->
+      Alcotest.(check bool) (p.name ^ " IPCp >= IPCr") true
+        (p.target_ipc_perfect >= p.target_ipc_real))
+    W.Benchmarks.all
+
+let test_find () =
+  Alcotest.(check bool) "case-insensitive" true (W.Benchmarks.find "MCF" <> None);
+  Alcotest.(check bool) "unknown" true (W.Benchmarks.find "doom" = None)
+
+let test_nine_mixes () =
+  Alcotest.(check int) "9 mixes" 9 (List.length W.Mixes.all);
+  List.iter
+    (fun (m : W.Mixes.t) ->
+      Alcotest.(check int) (m.name ^ " has 4 threads") 4 (List.length m.members))
+    W.Mixes.all
+
+let test_mix_labels () =
+  List.iter
+    (fun (m : W.Mixes.t) ->
+      Alcotest.(check bool) (m.name ^ " label consistent") true
+        (W.Mixes.label_consistent m))
+    W.Mixes.all
+
+let test_table2_rows () =
+  let expect name members =
+    let m = W.Mixes.find_exn name in
+    Alcotest.(check (list string)) name members
+      (List.map (fun (p : P.t) -> p.name) m.members)
+  in
+  expect "LLLL" [ "mcf"; "bzip2"; "blowfish"; "gsmencode" ];
+  expect "LLHH" [ "mcf"; "blowfish"; "x264"; "idct" ];
+  expect "HHHH" [ "x264"; "idct"; "imgpipe"; "colorspace" ];
+  expect "MMHH" [ "djpeg"; "g721decode"; "idct"; "colorspace" ]
+
+let test_mix_find () =
+  Alcotest.(check bool) "lowercase" true (W.Mixes.find "llhh" <> None);
+  Alcotest.(check bool) "unknown" true (W.Mixes.find "XXXX" = None)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "twelve benchmarks validate" `Quick test_twelve_benchmarks;
+      Alcotest.test_case "ILP classes of four" `Quick test_ilp_classes;
+      Alcotest.test_case "targets match Table 1" `Quick test_targets_match_table1;
+      Alcotest.test_case "IPCp >= IPCr" `Quick test_ipcp_at_least_ipcr;
+      Alcotest.test_case "benchmark find" `Quick test_find;
+      Alcotest.test_case "nine mixes of four" `Quick test_nine_mixes;
+      Alcotest.test_case "mix labels consistent" `Quick test_mix_labels;
+      Alcotest.test_case "Table 2 rows" `Quick test_table2_rows;
+      Alcotest.test_case "mix find" `Quick test_mix_find;
+    ] )
