@@ -13,41 +13,17 @@ module E = Vliw_experiments
 let heading title =
   Printf.printf "\n================ %s ================\n%!" title
 
-let regenerate_all () =
-  let scale = E.Common.Default in
-  heading "Table 1";
-  print_string (E.Table1.render (E.Table1.run ~scale ()));
-  heading "Table 2";
-  print_string (E.Table2.render ());
-  heading "Figure 4";
-  print_string (E.Fig4.render (E.Fig4.run ~scale ()));
-  heading "Figure 5";
-  print_string (E.Fig5.render (E.Fig5.run ()));
-  let fig10 = E.Fig10.run ~scale () in
-  heading "Figure 6";
-  print_string (E.Fig6.render (E.Fig6.of_grid fig10.grid));
-  heading "Figure 9";
-  print_string (E.Fig9.render (E.Fig9.run ()));
-  heading "Figure 10";
-  print_string (E.Fig10.render fig10);
-  heading "Figure 11";
-  print_string (E.Fig11.render (E.Fig11.of_fig10 fig10));
-  heading "Figure 12";
-  print_string (E.Fig12.render (E.Fig12.of_fig10 fig10));
-  heading "Headline claims";
-  print_string (E.Claims.render (E.Claims.of_fig10 fig10));
-  heading "Ablations";
-  print_string (E.Ablations.render (E.Ablations.run ~scale ()));
-  heading "Extension: 8 threads";
-  print_string (E.Ext8.render (E.Ext8.run ~scale ()));
-  heading "Baselines (IMT/BMT vs merging)";
-  print_string (E.Baselines.render (E.Baselines.run ~scale ()));
-  heading "Waste decomposition";
-  print_string (E.Waste.render "LLHH" (E.Waste.run ~scale ()));
-  heading "Sensitivity";
-  print_string (E.Sensitivity.render_all (E.Sensitivity.all ~scale ()));
-  heading "Compiler: block vs trace scheduling";
-  print_string (E.Compiler_cmp.render (E.Compiler_cmp.run ~scale ()))
+let regenerate_all ~jobs () =
+  (* One fold over the experiment registry; the lazy fig10 grid inside
+     the ctx is shared by fig6/fig10/fig11/fig12/claims exactly as the
+     old hand-written sequence did. *)
+  let ctx = E.Registry.make_ctx ~scale:E.Common.Default ~jobs () in
+  List.iter
+    (fun entry ->
+      heading (E.Registry.title entry);
+      let text, _csv = E.Registry.run_entry ctx entry in
+      print_string text)
+    E.Registry.standard
 
 (* --- Bechamel micro-benchmarks --- *)
 
@@ -70,7 +46,7 @@ let bench_experiments =
       (Staged.stage (fun () -> E.Ablations.run ~scale:quick ~mixes:[ "LLHH" ] ()));
     Test.make ~name:"fig10-row"
       (Staged.stage (fun () ->
-           E.Common.run_grid ~scale:quick
+           E.Sweep.run ~scale:quick
              ~scheme_names:[ "1S"; "3CCC"; "2SC3"; "3SSS" ]
              ~mix_names:[ "LLHH" ] ()));
   ]
@@ -157,8 +133,18 @@ let print_bechamel merged =
   eol img |> output_image
 
 let () =
-  let bench_only = Array.length Sys.argv > 1 && Sys.argv.(1) = "--timing-only" in
-  if not bench_only then regenerate_all ();
+  let argv = Array.to_list Sys.argv in
+  let bench_only = List.mem "--timing-only" argv in
+  let jobs =
+    (* `--jobs N` parallelizes the sweep-backed regenerations. *)
+    let rec find = function
+      | "--jobs" :: n :: _ -> (try int_of_string n with _ -> 1)
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find argv
+  in
+  if not bench_only then regenerate_all ~jobs ();
   heading "Micro-benchmarks (Bechamel, monotonic clock)";
   let groups =
     [ ("experiments", bench_experiments); ("primitives", bench_primitives) ]

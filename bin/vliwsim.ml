@@ -43,77 +43,74 @@ let seed_arg =
 
 (* --- exp ------------------------------------------------------------ *)
 
-let run_experiment scale seed csv_dir name =
-  let print = print_string in
-  let fig10 = lazy (E.Fig10.run ~scale ~seed ()) in
-  let export name header rows =
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run sweep cells on $(docv) worker domains ($(b,0) = one per \
+           core, $(b,1) = serial). Results are bit-identical for any N.")
+
+let list_experiments () =
+  let table =
+    Vliw_util.Text_table.create ~header:[ "Id"; "Title"; "CSV"; "In 'all'" ]
+  in
+  List.iter
+    (fun entry ->
+      Vliw_util.Text_table.add_row table
+        [
+          E.Registry.id entry;
+          E.Registry.title entry;
+          (if E.Registry.has_csv entry then "yes" else "-");
+          (if E.Registry.expensive entry then "-" else "yes");
+        ])
+    E.Registry.all;
+  print_string (Vliw_util.Text_table.render table)
+
+let progress_reporter () =
+  (* Sweep progress on stderr when it is a terminal; stdout stays clean
+     and deterministic either way. *)
+  if Unix.isatty Unix.stderr then
+    Some
+      (fun (p : E.Sweep.progress) ->
+        Printf.eprintf "\r[sweep %d/%d] %s/%s %.2fs%s%!" p.completed p.total
+          p.last.mix p.last.scheme p.last.elapsed_s
+          (if p.completed = p.total then "\n" else ""))
+  else None
+
+let run_experiment scale seed csv_dir jobs name =
+  let export id (header, rows) =
     match csv_dir with
     | None -> ()
     | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir (name ^ ".csv") in
+      let path = Filename.concat dir (id ^ ".csv") in
       Vliw_util.Csv.write ~path ~header rows;
       Printf.eprintf "wrote %s\n%!" path
   in
-  let one = function
-    | "table1" ->
-      let rows = E.Table1.run ~scale ~seed () in
-      print (E.Table1.render rows);
-      let header, data = E.Table1.csv_rows rows in
-      export "table1" header data
-    | "table2" -> print (E.Table2.render ())
-    | "fig4" -> print (E.Fig4.render (E.Fig4.run ~scale ~seed ()))
-    | "fig5" ->
-      let points = E.Fig5.run () in
-      print (E.Fig5.render points);
-      let header, data = E.Fig5.csv_rows points in
-      export "fig5" header data
-    | "fig6" -> print (E.Fig6.render (E.Fig6.of_grid (Lazy.force fig10).grid))
-    | "fig9" ->
-      let rows = E.Fig9.run () in
-      print (E.Fig9.render rows);
-      let header, data = E.Fig9.csv_rows rows in
-      export "fig9" header data
-    | "fig10" ->
-      let d = Lazy.force fig10 in
-      print (E.Fig10.render d);
-      let header, data = E.Common.grid_csv d.grid in
-      export "fig10" header data
-    | "fig11" ->
-      let points = E.Fig11.of_fig10 (Lazy.force fig10) in
-      print (E.Fig11.render points);
-      let header, data = E.Fig11.csv_rows points in
-      export "fig11" header data
-    | "fig12" ->
-      let points = E.Fig12.of_fig10 (Lazy.force fig10) in
-      print (E.Fig12.render points);
-      let header, data = E.Fig12.csv_rows points in
-      export "fig12" header data
-    | "claims" -> print (E.Claims.render (E.Claims.of_fig10 (Lazy.force fig10)))
-    | "ablations" -> print (E.Ablations.render (E.Ablations.run ~scale ~seed ()))
-    | "ext8" -> print (E.Ext8.render (E.Ext8.run ~scale ~seed ()))
-    | "baselines" -> print (E.Baselines.render (E.Baselines.run ~scale ~seed ()))
-    | "sensitivity" ->
-      print (E.Sensitivity.render_all (E.Sensitivity.all ~scale ~seed ()))
-    | "replicates" -> print (E.Replicates.render (E.Replicates.run ~scale ()))
-    | "compiler" ->
-      print (E.Compiler_cmp.render (E.Compiler_cmp.run ~scale ~seed ()))
-    | "waste" -> print (E.Waste.render "LLHH" (E.Waste.run ~scale ~seed ()))
-    | "speedup" -> print (E.Speedup.render "LLHH" (E.Speedup.run ~scale ~seed ()))
-    | other ->
-      prerr_endline ("unknown experiment: " ^ other);
-      exit 2
+  let ctx =
+    E.Registry.make_ctx ~scale ~seed ~jobs ?progress:(progress_reporter ()) ()
   in
-  let all =
-    [
-      "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig9"; "fig10"; "fig11";
-      "fig12"; "claims"; "ablations"; "ext8"; "baselines"; "sensitivity";
-      "compiler"; "waste"; "speedup";
-    ]
+  let one entry =
+    let text, csv = E.Registry.run_entry ctx entry in
+    print_string text;
+    Option.iter (export (E.Registry.id entry)) csv
   in
   (match name with
-  | "all" -> List.iter (fun id -> one id; print_newline ()) all
-  | id -> one id);
+  | "list" -> list_experiments ()
+  | "all" ->
+    List.iter
+      (fun entry ->
+        one entry;
+        print_newline ())
+      E.Registry.standard
+  | id ->
+    (match E.Registry.find id with
+    | Some entry -> one entry
+    | None ->
+      prerr_endline
+        ("unknown experiment: " ^ id ^ " (see `vliwsim exp list`)");
+      exit 2));
   0
 
 let exp_cmd =
@@ -123,9 +120,10 @@ let exp_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "One of table1, table2, fig4, fig5, fig6, fig9, fig10, fig11, \
-             fig12, claims, ablations, ext8, baselines, sensitivity, \
-             compiler, waste, speedup, replicates, all.")
+            ("An experiment id ("
+            ^ String.concat ", " E.Registry.ids
+            ^ "), $(b,all) for every standard experiment, or $(b,list) to \
+               show the registry."))
   in
   let doc = "Regenerate a table or figure from the paper." in
   let csv_arg =
@@ -136,7 +134,9 @@ let exp_cmd =
           ~doc:"Also export the experiment's data as CSV files into DIR.")
   in
   Cmd.v (Cmd.info "exp" ~doc)
-    Term.(const run_experiment $ scale_arg $ seed_arg $ csv_arg $ name_arg)
+    Term.(
+      const run_experiment $ scale_arg $ seed_arg $ csv_arg $ jobs_arg
+      $ name_arg)
 
 (* --- run ------------------------------------------------------------ *)
 

@@ -29,53 +29,21 @@ type grid = {
   scheme_names : string list;
   mix_names : string list;
   ipc : float array array;
+  index : (string, int) Hashtbl.t;
+      (* scheme name -> column, built once at grid construction *)
 }
 
-let run_grid ?(scale = Default) ?(seed = default_seed) ?scheme_names ?mix_names () =
-  let scheme_names =
-    match scheme_names with
-    | Some names -> names
-    | None -> List.map (fun (e : Vliw_merge.Catalog.entry) -> e.name) Vliw_merge.Catalog.four_thread
-  in
-  let mix_names =
-    match mix_names with Some names -> names | None -> Vliw_workloads.Mixes.names
-  in
-  let schedule = schedule_of_scale scale in
-  let machine = Vliw_isa.Machine.default in
-  let ipc =
-    Array.of_list
-      (List.map
-         (fun mix_name ->
-           let mix = Vliw_workloads.Mixes.find_exn mix_name in
-           (* Compile once per mix; every scheme sees identical programs. *)
-           let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
-           let programs =
-             List.map
-               (fun p ->
-                 Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
-                   machine p)
-               mix.members
-           in
-           Array.of_list
-             (List.map
-                (fun scheme_name ->
-                  let entry = Vliw_merge.Catalog.find_exn scheme_name in
-                  let config = Vliw_sim.Config.make ~machine entry.scheme in
-                  let metrics =
-                    Vliw_sim.Multitask.run_programs config ~seed ~schedule programs
-                  in
-                  Vliw_sim.Metrics.ipc metrics)
-                scheme_names))
-         mix_names)
-  in
-  { scheme_names; mix_names; ipc }
+(* Grids are only built here so every grid carries its column lookup;
+   the (mix x scheme) execution itself lives in [Sweep]. *)
+let make_grid ~scheme_names ~mix_names ~ipc =
+  let index = Hashtbl.create (List.length scheme_names) in
+  List.iteri (fun j name -> Hashtbl.replace index name j) scheme_names;
+  { scheme_names; mix_names; ipc; index }
 
 let scheme_index grid name =
-  let rec find i = function
-    | [] -> invalid_arg ("grid: unknown scheme " ^ name)
-    | x :: rest -> if x = name then i else find (i + 1) rest
-  in
-  find 0 grid.scheme_names
+  match Hashtbl.find_opt grid.index name with
+  | Some j -> j
+  | None -> invalid_arg ("grid: unknown scheme " ^ name)
 
 let grid_column grid name =
   let j = scheme_index grid name in

@@ -18,18 +18,21 @@ type grid = {
   scheme_names : string list;
   mix_names : string list;
   ipc : float array array;  (** [ipc.(mix).(scheme)]. *)
+  index : (string, int) Hashtbl.t;
+      (** Scheme name -> column, precomputed at construction. *)
 }
 
-val run_grid :
-  ?scale:scale ->
-  ?seed:int64 ->
-  ?scheme_names:string list ->
-  ?mix_names:string list ->
-  unit ->
+val make_grid :
+  scheme_names:string list ->
+  mix_names:string list ->
+  ipc:float array array ->
   grid
-(** IPC of every (mix, scheme) pair; programs are compiled once per mix
-    and shared across schemes so scheme comparisons see identical code.
-    Defaults: all 4-thread schemes of the catalog, all Table 2 mixes. *)
+(** The only grid constructor; builds the scheme-column lookup once.
+    Grids are produced by {!Sweep.run} — the (mix x scheme) execution
+    engine that used to live here as [run_grid]. *)
+
+val scheme_index : grid -> string -> int
+(** Column of a scheme (O(1)); raises [Invalid_argument] if absent. *)
 
 val grid_column : grid -> string -> float array
 (** IPC across mixes for one scheme. *)

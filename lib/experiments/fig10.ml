@@ -6,13 +6,13 @@ type data = {
 let legend_groups =
   List.filter (fun (g, _) -> g <> "ST") Vliw_merge.Catalog.perf_groups
 
-let run ?scale ?seed () =
+let run ?scale ?seed ?jobs ?progress () =
   let scheme_names =
     List.filter_map
       (fun (e : Vliw_merge.Catalog.entry) -> if e.name = "ST" then None else Some e.name)
       Vliw_merge.Catalog.all
   in
-  let grid = Common.run_grid ?scale ?seed ~scheme_names () in
+  let grid = Sweep.run ?scale ?seed ~scheme_names ?jobs ?progress () in
   { grid; groups = legend_groups }
 
 let members d group =
@@ -47,24 +47,21 @@ let scheme_average d name = Common.grid_average d.grid name
 
 let render d =
   let table =
-    Vliw_util.Text_table.create
-      ~header:("Mix" :: List.map fst d.groups @ [ "" ])
+    Vliw_util.Text_table.create ~header:("Mix" :: List.map fst d.groups)
   in
   let group_cols = List.map (fun (g, _) -> (g, group_ipc d g)) d.groups in
   List.iteri
     (fun i mix ->
       Vliw_util.Text_table.add_row table
         (mix
-        :: List.map (fun (_, col) -> Printf.sprintf "%.2f" col.(i)) group_cols
-        @ [ "" ]))
+        :: List.map (fun (_, col) -> Printf.sprintf "%.2f" col.(i)) group_cols))
     d.grid.mix_names;
   Vliw_util.Text_table.add_sep table;
   Vliw_util.Text_table.add_row table
     ("Average"
     :: List.map
          (fun (g, _) -> Printf.sprintf "%.2f" (group_average d g))
-         group_cols
-    @ [ "" ]);
+         group_cols);
   let chart =
     Vliw_util.Ascii_chart.grouped_bar_chart ~group_labels:d.grid.mix_names
       ~series:(List.map (fun (g, _) -> (g, group_ipc d g)) d.groups)

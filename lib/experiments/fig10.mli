@@ -10,7 +10,13 @@ type data = {
   groups : (string * string list) list;  (** Paper legend groups. *)
 }
 
-val run : ?scale:Common.scale -> ?seed:int64 -> unit -> data
+val run :
+  ?scale:Common.scale ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?progress:(Sweep.progress -> unit) ->
+  unit ->
+  data
 
 val group_ipc : data -> string -> float array
 (** Per-mix IPC of a group (average over members). *)

@@ -1,8 +1,8 @@
 type data = { single : float; two_thread : float; four_thread : float }
 
-let run ?scale ?seed () =
+let run ?scale ?seed ?jobs ?progress () =
   let grid =
-    Common.run_grid ?scale ?seed ~scheme_names:[ "ST"; "1S"; "3SSS" ] ()
+    Sweep.run ?scale ?seed ~scheme_names:[ "ST"; "1S"; "3SSS" ] ?jobs ?progress ()
   in
   {
     single = Common.grid_average grid "ST";

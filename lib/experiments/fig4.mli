@@ -8,7 +8,13 @@ type data = {
   four_thread : float;  (** Scheme 3SSS. *)
 }
 
-val run : ?scale:Common.scale -> ?seed:int64 -> unit -> data
+val run :
+  ?scale:Common.scale ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?progress:(Sweep.progress -> unit) ->
+  unit ->
+  data
 
 val four_over_two_pct : data -> float
 

@@ -13,8 +13,9 @@ let of_grid (grid : Common.grid) =
   in
   { per_mix; average }
 
-let run ?scale ?seed () =
-  of_grid (Common.run_grid ?scale ?seed ~scheme_names:[ "3SSS"; "3CCC" ] ())
+let run ?scale ?seed ?jobs ?progress () =
+  of_grid
+    (Sweep.run ?scale ?seed ~scheme_names:[ "3SSS"; "3CCC" ] ?jobs ?progress ())
 
 let render d =
   let chart =

@@ -7,7 +7,13 @@ type data = {
   average : float;
 }
 
-val run : ?scale:Common.scale -> ?seed:int64 -> unit -> data
+val run :
+  ?scale:Common.scale ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?progress:(Sweep.progress -> unit) ->
+  unit ->
+  data
 
 val of_grid : Common.grid -> data
 (** Reuse an existing grid containing 3SSS and 3CCC. *)

@@ -1,0 +1,62 @@
+(** First-class registry of every paper artifact and extension study.
+
+    The CLI and the bench harness both derive their dispatch from
+    {!all}; adding an experiment means adding one entry here. *)
+
+type ctx = {
+  scale : Common.scale;
+  seed : int64;
+  jobs : int;  (** Worker domains for sweep cells; 0 = auto. *)
+  progress : (Sweep.progress -> unit) option;
+  fig10 : Fig10.data Lazy.t;
+      (** Forced at most once per ctx; shared by fig6, fig10, fig11,
+          fig12 and claims. *)
+}
+
+val make_ctx :
+  ?scale:Common.scale ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  ?progress:(Sweep.progress -> unit) ->
+  unit ->
+  ctx
+
+type csv = string list * string list list
+
+type t =
+  | E : {
+      id : string;
+      title : string;
+      expensive : bool;
+      run : ctx -> 'a;
+      render : 'a -> string;
+      csv : ('a -> csv) option;
+    } -> t
+      (** An experiment record: the artifact type produced by [run] is
+          existentially bound to the matching [render]/[csv]. *)
+
+val id : t -> string
+val title : t -> string
+
+val expensive : t -> bool
+(** Excluded from `exp all` and bench regeneration (e.g. replicates,
+    which re-runs the whole fig10 grid once per seed). *)
+
+val has_csv : t -> bool
+
+val run_entry : ctx -> t -> string * csv option
+(** Run an experiment; returns its rendered text and, when the
+    experiment exports data, the CSV header and rows. *)
+
+val all : t list
+(** Every registered experiment, in regeneration order. *)
+
+val standard : t list
+(** [all] minus the expensive entries — what `exp all` regenerates. *)
+
+val ids : string list
+
+val find : string -> t option
+
+val find_exn : string -> t
+(** @raise Invalid_argument on unknown ids. *)

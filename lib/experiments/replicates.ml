@@ -15,12 +15,18 @@ let stat xs =
   let arr = Array.of_list xs in
   { mean = Vliw_util.Stats.mean arr; sd = Vliw_util.Stats.stddev arr }
 
-let run ?(scale = Common.Default) ?(seeds = default_seeds) () =
+let run ?(scale = Common.Default) ?seeds ?jobs () =
+  let seeds =
+    match seeds with
+    | Some s -> s
+    | None ->
+      (* Quick scale is smoke-test territory: two replicates keep the
+         full-registry test affordable. *)
+      (match scale with Common.Quick -> [ 11L; 222L ] | _ -> default_seeds)
+  in
   let claims =
     List.map
-      (fun seed ->
-        Claims.of_fig10
-          (Fig10.run ~scale ~seed ()))
+      (fun seed -> Claims.of_fig10 (Fig10.run ~scale ~seed ?jobs ()))
       seeds
   in
   let pick f = stat (List.map f claims) in

@@ -13,7 +13,8 @@ type t = {
   sc3_below_smt4 : stat;
 }
 
-val run : ?scale:Common.scale -> ?seeds:int64 list -> unit -> t
-(** Default: five seeds. *)
+val run : ?scale:Common.scale -> ?seeds:int64 list -> ?jobs:int -> unit -> t
+(** Default: five seeds (two at [Quick] scale, where the run is a smoke
+    test). [jobs] parallelizes each seed's fig10 sweep. *)
 
 val render : t -> string

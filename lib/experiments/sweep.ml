@@ -1,0 +1,133 @@
+(* Declarative (mix x scheme) sweep engine.
+
+   This is the execution core that used to live inline in
+   [Common.run_grid]: compile each mix's programs once, then simulate
+   every (mix, scheme) cell. Cells are independent, so they are
+   dispatched through [Vliw_util.Pool] and run on as many domains as
+   requested.
+
+   Determinism is normative: the grid produced with [~jobs:8] is
+   bit-identical to [~jobs:1]. Two rules guarantee it:
+
+   - Programs are compiled in the parent domain, per mix, with the same
+     RNG derivation regardless of [jobs]; cells only read them.
+   - Each mix row gets an independently derived simulation seed
+     (SplitMix64 scramble of the master seed and the mix name), fixed
+     before any cell runs. All scheme columns within a row share the
+     row seed on purpose: schemes are compared on identical workloads
+     (same programs, same memory behavior), which is what makes the
+     comparison controlled and keeps the parallel/serial scheme
+     equivalences (3CCC = C4, 2SC3 = 3SCC) bit-exact in simulation.
+
+   Each cell records its own wall-clock time, and an optional progress
+   callback (serialized across workers) makes long sweeps observable. *)
+
+type cell = {
+  mix : string;
+  scheme : string;
+  ipc : float;
+  elapsed_s : float;  (* wall-clock seconds spent simulating this cell *)
+}
+
+type progress = { completed : int; total : int; last : cell }
+
+let default_scheme_names () =
+  List.map
+    (fun (e : Vliw_merge.Catalog.entry) -> e.name)
+    Vliw_merge.Catalog.four_thread
+
+(* FNV-1a over the mix name, scrambled through one SplitMix64 step, so
+   every row's simulation seed is statistically independent of the
+   master seed and of the other rows. *)
+let row_seed ~seed mix_name =
+  let h =
+    String.fold_left
+      (fun acc c ->
+        Int64.mul (Int64.logxor acc (Int64.of_int (Char.code c))) 0x100000001B3L)
+      0xCBF29CE484222325L mix_name
+  in
+  Vliw_util.Rng.next_int64 (Vliw_util.Rng.create (Int64.logxor seed h))
+
+let compile_mix ~machine ~seed mix_name =
+  let mix = Vliw_workloads.Mixes.find_exn mix_name in
+  (* Same derivation as the historical run_grid: compile once per mix,
+     every scheme sees identical programs. *)
+  let rng = Vliw_util.Rng.create (Int64.add seed 0x9E37L) in
+  List.map
+    (fun p ->
+      Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
+    mix.members
+
+let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
+    ?scheme_names ?mix_names ?(jobs = 1) ?progress () =
+  let scheme_names =
+    match scheme_names with Some names -> names | None -> default_scheme_names ()
+  in
+  let mix_names =
+    match mix_names with Some names -> names | None -> Vliw_workloads.Mixes.names
+  in
+  let schedule = Common.schedule_of_scale scale in
+  let machine = Vliw_isa.Machine.default in
+  (* Resolve schemes and compile programs up front, in the parent
+     domain: cells must not race on catalog lookups or compilation. *)
+  let entries =
+    List.map (fun name -> Vliw_merge.Catalog.find_exn name) scheme_names
+  in
+  let rows =
+    List.map
+      (fun mix_name ->
+        (mix_name, row_seed ~seed mix_name, compile_mix ~machine ~seed mix_name))
+      mix_names
+  in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (mix_name, row_seed, programs) ->
+           List.map
+             (fun (entry : Vliw_merge.Catalog.entry) () ->
+               let t0 = Unix.gettimeofday () in
+               let config = Vliw_sim.Config.make ~machine entry.scheme in
+               let metrics =
+                 Vliw_sim.Multitask.run_programs config ~seed:row_seed ~schedule
+                   programs
+               in
+               {
+                 mix = mix_name;
+                 scheme = entry.name;
+                 ipc = Vliw_sim.Metrics.ipc metrics;
+                 elapsed_s = Unix.gettimeofday () -. t0;
+               })
+             entries)
+         rows)
+  in
+  let on_result =
+    match progress with
+    | None -> None
+    | Some f ->
+      let total = Array.length tasks in
+      let completed = ref 0 in
+      (* The pool serializes this callback across workers. *)
+      Some
+        (fun _i cell ->
+          incr completed;
+          f { completed = !completed; total; last = cell })
+  in
+  let cells = Vliw_util.Pool.run ~jobs ?on_result tasks in
+  (scheme_names, mix_names, cells)
+
+let grid_of_cells ~scheme_names ~mix_names cells =
+  let n_schemes = List.length scheme_names in
+  let ipc =
+    Array.init (List.length mix_names) (fun i ->
+        Array.init n_schemes (fun j -> cells.((i * n_schemes) + j).ipc))
+  in
+  Common.make_grid ~scheme_names ~mix_names ~ipc
+
+let run ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress () =
+  let scheme_names, mix_names, cells =
+    run_cells ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress ()
+  in
+  grid_of_cells ~scheme_names ~mix_names cells
+
+let total_elapsed_s cells =
+  Array.fold_left (fun acc c -> acc +. c.elapsed_s) 0.0 cells

@@ -1,0 +1,64 @@
+(** Declarative, deterministic, multicore (mix x scheme) sweep engine.
+
+    Programs are compiled once per mix in the calling domain; each
+    (mix, scheme) cell then simulates independently and cells are
+    dispatched through {!Vliw_util.Pool}. Determinism is normative:
+    results are bit-identical for any [jobs] value (property-tested).
+
+    Seeding: every mix row gets an independently derived simulation
+    seed (a SplitMix64 scramble of the master seed and the mix name).
+    All scheme columns within a row deliberately share the row seed, so
+    schemes are compared on identical workloads and the parallel/serial
+    scheme equivalences (3CCC = C4, 2SC3 = 3SCC) stay bit-exact in
+    simulation. *)
+
+type cell = {
+  mix : string;
+  scheme : string;
+  ipc : float;
+  elapsed_s : float;  (** Wall-clock seconds spent simulating the cell. *)
+}
+
+type progress = { completed : int; total : int; last : cell }
+
+val row_seed : seed:int64 -> string -> int64
+(** The simulation seed of a mix row, a pure function of the master
+    seed and the mix name. *)
+
+val run :
+  ?scale:Common.scale ->
+  ?seed:int64 ->
+  ?scheme_names:string list ->
+  ?mix_names:string list ->
+  ?jobs:int ->
+  ?progress:(progress -> unit) ->
+  unit ->
+  Common.grid
+(** IPC of every (mix, scheme) pair. Defaults: all 4-thread schemes of
+    the catalog, all Table 2 mixes, [jobs = 1]. [jobs <= 0] uses one
+    worker per core. [progress] is called after every cell, serialized
+    across workers. *)
+
+val run_cells :
+  ?scale:Common.scale ->
+  ?seed:int64 ->
+  ?scheme_names:string list ->
+  ?mix_names:string list ->
+  ?jobs:int ->
+  ?progress:(progress -> unit) ->
+  unit ->
+  string list * string list * cell array
+(** Like {!run} but returns the raw cells (mix-major order) with their
+    per-cell wall-clock timings, plus the resolved scheme and mix
+    names. *)
+
+val grid_of_cells :
+  scheme_names:string list ->
+  mix_names:string list ->
+  cell array ->
+  Common.grid
+(** Fold mix-major cells into a grid. *)
+
+val total_elapsed_s : cell array -> float
+(** Sum of per-cell wall-clock times (CPU-seconds of simulation, not
+    elapsed wall time when [jobs > 1]). *)

@@ -1,0 +1,63 @@
+(* Fixed-size Domain-based worker pool.
+
+   [run ~jobs tasks] evaluates every thunk in [tasks] and returns their
+   results in task order, regardless of which worker ran which task or
+   in what order they finished. [jobs = 1] (the default) degrades to
+   plain in-process iteration — no domains are spawned, so callers can
+   unconditionally route work through the pool. [jobs <= 0] means
+   "auto": one worker per hardware thread as reported by the runtime.
+
+   Tasks are claimed from a shared atomic counter, so an uneven mix of
+   cheap and expensive tasks still load-balances. The first exception
+   raised by any task aborts the remaining unclaimed tasks and is
+   re-raised in the caller once every worker has stopped. *)
+
+let auto_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let effective_jobs ~jobs n =
+  let jobs = if jobs <= 0 then auto_jobs () else jobs in
+  max 1 (min jobs n)
+
+let run ?(jobs = 1) ?on_result (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let notify =
+    match on_result with
+    | None -> fun _ _ -> ()
+    | Some f ->
+      let m = Mutex.create () in
+      fun i v ->
+        Mutex.lock m;
+        Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f i v)
+  in
+  match effective_jobs ~jobs n with
+  | 1 ->
+    Array.mapi
+      (fun i task ->
+        let v = task () in
+        notify i v;
+        v)
+      tasks
+  | jobs ->
+    let results : 'a option array = Array.make n None in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match tasks.(i) () with
+          | v ->
+            results.(i) <- Some v;
+            notify i v
+          | exception e ->
+            ignore (Atomic.compare_and_set failure None (Some e));
+            continue := false
+      done
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results

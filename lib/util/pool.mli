@@ -1,0 +1,13 @@
+(** Fixed-size Domain-based worker pool. *)
+
+val auto_jobs : unit -> int
+(** One worker per hardware thread ([Domain.recommended_domain_count]). *)
+
+val run : ?jobs:int -> ?on_result:(int -> 'a -> unit) -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] evaluates every thunk and returns the results in
+    task order, independent of completion order. [jobs = 1] (default)
+    runs in-process without spawning domains; [jobs <= 0] means
+    {!auto_jobs}; [jobs] is capped at the task count. [on_result i v]
+    is invoked once per completed task, serialized across workers. The
+    first exception raised by a task aborts unclaimed tasks and is
+    re-raised in the caller. Tasks must not share mutable state. *)

@@ -9,7 +9,7 @@ let contains ~needle haystack =
 
 let test_grid_shape () =
   let grid =
-    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "1S"; "3SSS" ]
+    E.Sweep.run ~scale:E.Common.Quick ~scheme_names:[ "1S"; "3SSS" ]
       ~mix_names:[ "LLLL"; "HHHH" ] ()
   in
   Alcotest.(check int) "mix rows" 2 (Array.length grid.ipc);
@@ -18,7 +18,7 @@ let test_grid_shape () =
 
 let test_grid_deterministic () =
   let run () =
-    E.Common.run_grid ~scale:E.Common.Quick ~seed:5L ~scheme_names:[ "2SC3" ]
+    E.Sweep.run ~scale:E.Common.Quick ~seed:5L ~scheme_names:[ "2SC3" ]
       ~mix_names:[ "MMMM" ] ()
   in
   let a = run () and b = run () in

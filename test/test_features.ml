@@ -173,7 +173,7 @@ let test_csv_write_read () =
 
 let test_grid_csv () =
   let grid =
-    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "1S" ]
+    E.Sweep.run ~scale:E.Common.Quick ~scheme_names:[ "1S" ]
       ~mix_names:[ "LLLL" ] ()
   in
   let header, rows = E.Common.grid_csv grid in

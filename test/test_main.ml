@@ -13,6 +13,7 @@ let () =
       Test_cost.suite;
       Test_sim.suite;
       Test_workloads.suite;
+      Test_parallel.suite;
       Test_experiments.suite;
       Test_extensions.suite;
       Test_features.suite;

@@ -13,7 +13,7 @@ let test_table1_calibration () =
 
 let grid =
   lazy
-    (E.Common.run_grid ~scale:E.Common.Default
+    (E.Sweep.run ~scale:E.Common.Default
        ~scheme_names:[ "ST"; "1S"; "2CC"; "3CCC"; "2SC3"; "3SSC"; "3SSS" ]
        ())
 
@@ -86,14 +86,14 @@ let test_csmt_equivalences_hold_in_sim () =
   (* 3CCC and C4 must produce identical IPC (same selections, same
      programs, same seeds). *)
   let g =
-    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "3CCC"; "C4" ]
+    E.Sweep.run ~scale:E.Common.Quick ~scheme_names:[ "3CCC"; "C4" ]
       ~mix_names:[ "LLLL"; "LLHH"; "HHHH" ] ()
   in
   Array.iter
     (fun row -> Alcotest.(check (float 1e-9)) "identical IPC" row.(0) row.(1))
     g.ipc;
   let g2 =
-    E.Common.run_grid ~scale:E.Common.Quick ~scheme_names:[ "2SC3"; "3SCC" ]
+    E.Sweep.run ~scale:E.Common.Quick ~scheme_names:[ "2SC3"; "3SCC" ]
       ~mix_names:[ "LLHH" ] ()
   in
   Alcotest.(check (float 1e-9)) "2SC3 = 3SCC" g2.ipc.(0).(0) g2.ipc.(0).(1)
