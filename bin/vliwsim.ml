@@ -67,10 +67,11 @@ let list_experiments () =
     E.Registry.all;
   print_string (Vliw_util.Text_table.render table)
 
-let progress_reporter () =
+let progress_reporter ?(quiet = false) () =
   (* Sweep progress on stderr when it is a terminal; stdout stays clean
-     and deterministic either way. *)
-  if Unix.isatty Unix.stderr then
+     and deterministic either way. CI logs (not a tty) and --quiet runs
+     see nothing. *)
+  if (not quiet) && Unix.isatty Unix.stderr then
     Some
       (fun (p : E.Sweep.progress) ->
         Printf.eprintf "\r[sweep %d/%d] %s/%s %.2fs%s%!" p.completed p.total
@@ -78,23 +79,41 @@ let progress_reporter () =
           (if p.completed = p.total then "\n" else ""))
   else None
 
-let run_experiment scale seed csv_dir jobs name =
-  let export id (header, rows) =
-    match csv_dir with
-    | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir (id ^ ".csv") in
-      Vliw_util.Csv.write ~path ~header rows;
-      Printf.eprintf "wrote %s\n%!" path
-  in
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ]
+        ~doc:"Suppress the sweep progress meter on stderr.")
+
+let export_csv csv_dir filename (header, rows) =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir filename in
+    Vliw_util.Csv.write ~path ~header rows;
+    Printf.eprintf "wrote %s\n%!" path
+
+(* The shared sweep's telemetry, aggregated — only meaningful when the
+   experiment actually forced the fig10 grid. *)
+let sweep_telemetry ctx =
+  if Lazy.is_val ctx.E.Registry.fig10 then
+    let cells = (Lazy.force ctx.E.Registry.fig10).E.Fig10.cells in
+    if Array.exists (fun (c : E.Sweep.cell) -> c.telemetry <> None) cells then
+      Some cells
+    else None
+  else None
+
+let run_experiment scale seed csv_dir jobs quiet telemetry name =
   let ctx =
-    E.Registry.make_ctx ~scale ~seed ~jobs ?progress:(progress_reporter ()) ()
+    E.Registry.make_ctx ~scale ~seed ~jobs
+      ?progress:(progress_reporter ~quiet ())
+      ~telemetry ()
   in
   let one entry =
     let text, csv = E.Registry.run_entry ctx entry in
     print_string text;
-    Option.iter (export (E.Registry.id entry)) csv
+    Option.iter (export_csv csv_dir (E.Registry.id entry ^ ".csv")) csv
   in
   (match name with
   | "list" -> list_experiments ()
@@ -111,6 +130,19 @@ let run_experiment scale seed csv_dir jobs name =
       prerr_endline
         ("unknown experiment: " ^ id ^ " (see `vliwsim exp list`)");
       exit 2));
+  if telemetry then begin
+    match sweep_telemetry ctx with
+    | None ->
+      prerr_endline
+        "note: --telemetry had no effect (experiment does not run the \
+         shared sweep)"
+    | Some cells ->
+      let snap = E.Sweep.merged_telemetry cells in
+      print_newline ();
+      print_string "Telemetry (aggregated over the shared sweep):\n";
+      print_string (Vliw_telemetry.Report.render snap);
+      export_csv csv_dir "telemetry.csv" (E.Sweep.telemetry_csv cells)
+  end;
   0
 
 let exp_cmd =
@@ -133,10 +165,19 @@ let exp_cmd =
       & info [ "csv" ] ~docv:"DIR"
           ~doc:"Also export the experiment's data as CSV files into DIR.")
   in
+  let telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "Collect per-cell counters during the shared sweep and print \
+             the aggregated stall attribution (observation-only; results \
+             are unchanged). With $(b,--csv), also writes telemetry.csv.")
+  in
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(
       const run_experiment $ scale_arg $ seed_arg $ csv_arg $ jobs_arg
-      $ name_arg)
+      $ quiet_arg $ telemetry_arg $ name_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -296,7 +337,17 @@ let list_benchmarks () =
   print_string (Vliw_util.Text_table.render table);
   0
 
-let run_trace scheme_name mix_name cycles perfect =
+let write_or_print output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text);
+    Printf.eprintf "wrote %s\n%!" path
+
+let run_trace scheme_name mix_name cycles perfect format output =
   let scheme = resolve_scheme scheme_name in
   let mix =
     match Vliw_workloads.Mixes.find mix_name with
@@ -311,8 +362,35 @@ let run_trace scheme_name mix_name cycles perfect =
     List.filteri (fun i _ -> i < n) mix.members
   in
   let options = { Vliw_sim.Trace.default_options with cycles; perfect_mem = perfect } in
-  print_string (Vliw_sim.Trace.run config ~options profiles);
+  (match format with
+  | `Ascii -> write_or_print output (Vliw_sim.Trace.run config ~options profiles)
+  | `Chrome ->
+    let lanes, recorder = Vliw_sim.Trace.record config ~options profiles in
+    let process_name =
+      Printf.sprintf "vliwsim %s on %s" scheme_name mix_name
+    in
+    write_or_print output
+      (Vliw_telemetry.Chrome_trace.of_recorder ~process_name ~lanes recorder));
   0
+
+let format_conv =
+  let parse = function
+    | "ascii" -> Ok `Ascii
+    | "chrome" -> Ok `Chrome
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S (ascii|chrome)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with `Ascii -> "ascii" | `Chrome -> "chrome")
+  in
+  Arg.conv (parse, print)
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write to $(docv) instead of stdout.")
 
 let trace_cmd =
   let scheme_arg =
@@ -333,10 +411,102 @@ let trace_cmd =
   let perfect_arg =
     Arg.(value & flag & info [ "perfect" ] ~doc:"Perfect memory.")
   in
+  let format_arg =
+    Arg.(
+      value & opt format_conv `Ascii
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "$(b,ascii) renders the per-cycle table; $(b,chrome) emits \
+             Chrome trace-event JSON (one lane per hardware thread — load \
+             in Perfetto or chrome://tracing).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Show a cycle-by-cycle merge trace (a dynamic Figure 1).")
-    Term.(const run_trace $ scheme_arg $ mix_arg $ cycles_arg $ perfect_arg)
+    Term.(
+      const run_trace $ scheme_arg $ mix_arg $ cycles_arg $ perfect_arg
+      $ format_arg $ output_arg)
+
+(* --- profile -------------------------------------------------------- *)
+
+let run_profile scale seed jobs quiet trace_out csv_dir name =
+  let ctx =
+    E.Registry.make_ctx ~scale ~seed ~jobs
+      ?progress:(progress_reporter ~quiet ())
+      ~telemetry:true ()
+  in
+  let entry =
+    match E.Registry.find name with
+    | Some entry -> entry
+    | None ->
+      prerr_endline ("unknown experiment: " ^ name ^ " (see `vliwsim exp list`)");
+      exit 2
+  in
+  ignore (E.Registry.run_entry ctx entry);
+  match sweep_telemetry ctx with
+  | None ->
+    prerr_endline
+      ("experiment " ^ name
+     ^ " does not run the shared (mix x scheme) sweep; nothing to profile");
+    1
+  | Some cells ->
+    let snap = E.Sweep.merged_telemetry cells in
+    Printf.printf "Profile of %s: %d sweep cells, %.1f CPU-seconds simulated\n\n"
+      name (Array.length cells)
+      (E.Sweep.total_elapsed_s cells);
+    print_string (Vliw_telemetry.Report.render snap);
+    let events =
+      List.filter
+        (fun (k, _) -> String.length k > 7 && String.sub k 0 7 = "events.")
+        (Vliw_telemetry.Counters.flat snap)
+    in
+    if events <> [] then begin
+      let table = Vliw_util.Text_table.create ~header:[ "Event"; "Count" ] in
+      List.iter
+        (fun (k, v) -> Vliw_util.Text_table.add_row table [ k; v ])
+        events;
+      print_newline ();
+      print_string (Vliw_util.Text_table.render table)
+    end;
+    Option.iter
+      (fun path -> write_or_print (Some path) (E.Sweep.chrome_trace cells))
+      trace_out;
+    export_csv csv_dir (name ^ ".telemetry.csv") (E.Sweep.telemetry_csv cells);
+    0
+
+let profile_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "fig10"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment to profile (must use the shared sweep: fig6, \
+                fig10, fig11, fig12 or claims).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write the sweep's execution timeline (one lane per pool \
+             worker) as Chrome trace-event JSON to $(docv).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Export per-cell counters as CSV into DIR.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an experiment with telemetry and print where the issue \
+          slots went (stall attribution plus event counts).")
+    Term.(
+      const run_profile $ scale_arg $ seed_arg $ jobs_arg $ quiet_arg
+      $ trace_arg $ csv_arg $ name_arg)
 
 let run_compile bench_name mode_str trace_len dump seed =
   let profile =
@@ -405,4 +575,5 @@ let () =
   let doc = "Thread merging schemes for multithreaded clustered VLIW processors" in
   let info = Cmd.info "vliwsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-          [ exp_cmd; run_cmd; trace_cmd; compile_cmd; schemes_cmd; benchmarks_cmd ]))
+          [ exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd;
+            schemes_cmd; benchmarks_cmd ]))

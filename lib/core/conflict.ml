@@ -49,24 +49,37 @@ let cluster_slot_mask m (p : Packet.t) c =
         | Some mask -> Some (acc_mask lor mask)))
     (Some 0) (Packet.cluster_threads p c)
 
-let smt_compatible_fixed (m : Vliw_isa.Machine.t) (a : Packet.t) (b : Packet.t) =
+(* Why a merge was denied, for telemetry attribution. Cluster-mask and
+   pinned-slot collisions are conflicts (the packets want the same
+   resource); an SMT union that overflows a cluster's slot constraints
+   is a capacity failure (the resources simply run out). *)
+type failure = Cluster_conflict | Slot_capacity
+
+let smt_check_fixed (m : Vliw_isa.Machine.t) (a : Packet.t) (b : Packet.t) =
   let clusters = Array.length a.clusters in
   let rec check c =
-    if c >= clusters then true
+    if c >= clusters then None
     else begin
       let shared = a.mask land b.mask land (1 lsl c) <> 0 in
-      (if not shared then true
-       else
-         match (cluster_slot_mask m a c, cluster_slot_mask m b c) with
-         | Some ma, Some mb -> ma land mb = 0
-         | None, _ | _, None -> false)
-      && check (c + 1)
+      if not shared then check (c + 1)
+      else
+        match (cluster_slot_mask m a c, cluster_slot_mask m b c) with
+        | Some ma, Some mb ->
+          if ma land mb = 0 then check (c + 1) else Some Cluster_conflict
+        | None, _ | _, None -> Some Slot_capacity
     end
   in
   check 0
 
-let compatible m ?(routing = Flexible) kind a b =
+let smt_compatible_fixed m a b = smt_check_fixed m a b = None
+
+let check m ?(routing = Flexible) kind a b =
   match ((kind : Scheme_kind.t), routing) with
-  | Csmt, _ -> csmt_compatible a b
-  | Smt, Flexible -> smt_compatible m a b
-  | Smt, Fixed_slots -> smt_compatible_fixed m a b
+  | Scheme_kind.Csmt, _ ->
+    if csmt_compatible a b then None else Some Cluster_conflict
+  | Smt, Flexible ->
+    if smt_compatible m a b then None else Some Slot_capacity
+  | Smt, Fixed_slots -> smt_check_fixed m a b
+
+let compatible m ?(routing = Flexible) kind a b =
+  check m ~routing kind a b = None

@@ -25,6 +25,25 @@ val smt_compatible_fixed : Vliw_isa.Machine.t -> Packet.t -> Packet.t -> bool
 (** Operation-level check without a routing block. Strictly stronger
     than {!smt_compatible}. *)
 
+type failure =
+  | Cluster_conflict
+      (** The packets want the same resource: overlapping cluster masks
+          (CSMT) or colliding pinned slots (fixed-slot SMT). *)
+  | Slot_capacity
+      (** The combined operations exceed a cluster's slot constraints
+          (SMT). *)
+
+val check :
+  Vliw_isa.Machine.t ->
+  ?routing:routing_mode ->
+  Scheme_kind.t ->
+  Packet.t ->
+  Packet.t ->
+  failure option
+(** [None] when the packets may merge; otherwise why not. Dispatches on
+    the merge kind; [routing] (default [Flexible]) selects the SMT check
+    variant. *)
+
 val compatible :
   Vliw_isa.Machine.t ->
   ?routing:routing_mode ->
@@ -32,5 +51,4 @@ val compatible :
   Packet.t ->
   Packet.t ->
   bool
-(** Dispatch on the merge kind; [routing] (default [Flexible]) selects
-    the SMT check variant. *)
+(** [check = None]. *)

@@ -1,17 +1,32 @@
-type selection = { packet : Packet.t option; issued : int list }
+type reject = { thread : int; cause : Conflict.failure }
 
-let rec eval m ~routing ~rotation ~n avail = function
+type selection = {
+  packet : Packet.t option;
+  issued : int list;
+  rejected : reject list;
+}
+
+let rec eval m ~routing ~rotation ~n ~rejects avail = function
   | Scheme.Thread i ->
     let hw = (i + rotation) mod n in
     avail.(hw)
   | Scheme.Merge { kind; impl = _; inputs } ->
-    let packets = List.filter_map (eval m ~routing ~rotation ~n avail) inputs in
+    let packets =
+      List.filter_map (eval m ~routing ~rotation ~n ~rejects avail) inputs
+    in
     (match packets with
     | [] -> None
     | first :: rest ->
       let merge acc p =
-        if Conflict.compatible m ~routing kind acc p then Packet.union acc p
-        else acc
+        match Conflict.check m ~routing kind acc p with
+        | None -> Packet.union acc p
+        | Some cause ->
+          (* The whole packet is denied: every thread it carries was
+             refused issue at this merge block. *)
+          List.iter
+            (fun thread -> rejects := { thread; cause } :: !rejects)
+            (Packet.thread_list p);
+          acc
       in
       Some (List.fold_left merge first rest))
 
@@ -19,9 +34,15 @@ let select m ?(routing = Conflict.Flexible) scheme ?(rotation = 0) avail =
   let n = Scheme.n_threads scheme in
   assert (Array.length avail >= n);
   let rotation = ((rotation mod n) + n) mod n in
-  match eval m ~routing ~rotation ~n avail scheme with
-  | None -> { packet = None; issued = [] }
-  | Some p -> { packet = Some p; issued = Packet.thread_list p }
+  let rejects = ref [] in
+  match eval m ~routing ~rotation ~n ~rejects avail scheme with
+  | None -> { packet = None; issued = []; rejected = [] }
+  | Some p ->
+    {
+      packet = Some p;
+      issued = Packet.thread_list p;
+      rejected = List.sort (fun a b -> compare a.thread b.thread) !rejects;
+    }
 
 let select_instrs m ?routing scheme ?rotation instrs =
   let avail =

@@ -16,9 +16,19 @@
     [(i + rotation) mod n]; the simulator advances it round-robin so no
     thread permanently owns the highest-priority port. *)
 
+type reject = { thread : int; cause : Conflict.failure }
+(** A hardware thread that offered a packet and was denied issue at some
+    merge block, with the resource reason. Threads the policy simply
+    never selects (IMT/BMT) are not engine rejects — the simulator
+    attributes those to priority. *)
+
 type selection = {
   packet : Packet.t option;  (** Merged packet, [None] when nothing issues. *)
   issued : int list;  (** Hardware thread ids issued this cycle, ascending. *)
+  rejected : reject list;
+      (** Candidates denied by a conflict/capacity check, thread-sorted.
+          Each thread appears at most once: a packet is dropped at the
+          first block that refuses it. *)
 }
 
 val select :

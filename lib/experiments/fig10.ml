@@ -1,19 +1,23 @@
 type data = {
   grid : Common.grid;
   groups : (string * string list) list;
+  cells : Sweep.cell array;
 }
 
 let legend_groups =
   List.filter (fun (g, _) -> g <> "ST") Vliw_merge.Catalog.perf_groups
 
-let run ?scale ?seed ?jobs ?progress () =
+let run ?scale ?seed ?jobs ?progress ?telemetry () =
   let scheme_names =
     List.filter_map
       (fun (e : Vliw_merge.Catalog.entry) -> if e.name = "ST" then None else Some e.name)
       Vliw_merge.Catalog.all
   in
-  let grid = Sweep.run ?scale ?seed ~scheme_names ?jobs ?progress () in
-  { grid; groups = legend_groups }
+  let scheme_names', mix_names, cells =
+    Sweep.run_cells ?scale ?seed ~scheme_names ?jobs ?progress ?telemetry ()
+  in
+  let grid = Sweep.grid_of_cells ~scheme_names:scheme_names' ~mix_names cells in
+  { grid; groups = legend_groups; cells }
 
 let members d group =
   match List.assoc_opt group d.groups with

@@ -8,6 +8,9 @@
 type data = {
   grid : Common.grid;  (** All 4-thread schemes plus 1S. *)
   groups : (string * string list) list;  (** Paper legend groups. *)
+  cells : Sweep.cell array;
+      (** Raw sweep cells (mix-major): timings, worker ids and counter
+          snapshots when the run requested telemetry. *)
 }
 
 val run :
@@ -15,6 +18,7 @@ val run :
   ?seed:int64 ->
   ?jobs:int ->
   ?progress:(Sweep.progress -> unit) ->
+  ?telemetry:bool ->
   unit ->
   data
 

@@ -8,6 +8,9 @@ type ctx = {
   seed : int64;
   jobs : int;  (** Worker domains for sweep cells; 0 = auto. *)
   progress : (Sweep.progress -> unit) option;
+  telemetry : bool;
+      (** Attach per-cell counter registries to the shared sweep
+          (observation-only; results are unchanged). *)
   fig10 : Fig10.data Lazy.t;
       (** Forced at most once per ctx; shared by fig6, fig10, fig11,
           fig12 and claims. *)
@@ -18,6 +21,7 @@ val make_ctx :
   ?seed:int64 ->
   ?jobs:int ->
   ?progress:(Sweep.progress -> unit) ->
+  ?telemetry:bool ->
   unit ->
   ctx
 

@@ -27,6 +27,9 @@ type cell = {
   scheme : string;
   ipc : float;
   elapsed_s : float;  (* wall-clock seconds spent simulating this cell *)
+  started_s : float;  (* start offset from the sweep epoch (wall clock) *)
+  worker : int;  (* pool worker that simulated the cell *)
+  telemetry : Vliw_telemetry.Counters.snapshot option;
 }
 
 type progress = { completed : int; total : int; last : cell }
@@ -59,7 +62,7 @@ let compile_mix ~machine ~seed mix_name =
     mix.members
 
 let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
-    ?scheme_names ?mix_names ?(jobs = 1) ?progress () =
+    ?scheme_names ?mix_names ?(jobs = 1) ?progress ?(telemetry = false) () =
   let scheme_names =
     match scheme_names with Some names -> names | None -> default_scheme_names ()
   in
@@ -79,23 +82,31 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
         (mix_name, row_seed ~seed mix_name, compile_mix ~machine ~seed mix_name))
       mix_names
   in
+  let epoch = Unix.gettimeofday () in
   let tasks =
     Array.of_list
       (List.concat_map
          (fun (mix_name, row_seed, programs) ->
            List.map
-             (fun (entry : Vliw_merge.Catalog.entry) () ->
+             (fun (entry : Vliw_merge.Catalog.entry) ~worker ->
                let t0 = Unix.gettimeofday () in
                let config = Vliw_sim.Config.make ~machine entry.scheme in
+               let counters =
+                 if telemetry then Some (Vliw_telemetry.Counters.create ())
+                 else None
+               in
                let metrics =
                  Vliw_sim.Multitask.run_programs config ~seed:row_seed ~schedule
-                   programs
+                   ?counters programs
                in
                {
                  mix = mix_name;
                  scheme = entry.name;
                  ipc = Vliw_sim.Metrics.ipc metrics;
                  elapsed_s = Unix.gettimeofday () -. t0;
+                 started_s = t0 -. epoch;
+                 worker;
+                 telemetry = Option.map Vliw_telemetry.Counters.snapshot counters;
                })
              entries)
          rows)
@@ -112,7 +123,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
           incr completed;
           f { completed = !completed; total; last = cell })
   in
-  let cells = Vliw_util.Pool.run ~jobs ?on_result tasks in
+  let cells = Vliw_util.Pool.run_with_worker ~jobs ?on_result tasks in
   (scheme_names, mix_names, cells)
 
 let grid_of_cells ~scheme_names ~mix_names cells =
@@ -131,3 +142,47 @@ let run ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress () =
 
 let total_elapsed_s cells =
   Array.fold_left (fun acc c -> acc +. c.elapsed_s) 0.0 cells
+
+let merged_telemetry cells =
+  Array.fold_left
+    (fun acc c ->
+      match c.telemetry with
+      | None -> acc
+      | Some s -> Vliw_telemetry.Counters.merge acc s)
+    Vliw_telemetry.Counters.empty cells
+
+let chrome_trace ?(process_name = "vliwsim sweep") cells =
+  let spans =
+    Array.to_list cells
+    |> List.map (fun c ->
+           {
+             Vliw_telemetry.Chrome_trace.lane = c.worker;
+             name = Printf.sprintf "%s/%s" c.mix c.scheme;
+             start_us = c.started_s *. 1e6;
+             dur_us = c.elapsed_s *. 1e6;
+             args =
+               [
+                 ("mix", c.mix);
+                 ("scheme", c.scheme);
+                 ("ipc", Printf.sprintf "%.4f" c.ipc);
+               ];
+           })
+  in
+  let lane_names =
+    Array.fold_left (fun acc c -> max acc c.worker) 0 cells |> fun hi ->
+    List.init (hi + 1) (fun w -> (w, Printf.sprintf "worker %d" w))
+  in
+  Vliw_telemetry.Chrome_trace.of_spans ~process_name ~lane_names spans
+
+let telemetry_csv cells =
+  let rows =
+    Array.to_list cells
+    |> List.concat_map (fun c ->
+           match c.telemetry with
+           | None -> []
+           | Some s ->
+             List.map
+               (fun (name, v) -> [ c.mix; c.scheme; name; string_of_int v ])
+               s.Vliw_telemetry.Counters.counters)
+  in
+  ([ "mix"; "scheme"; "counter"; "value" ], rows)

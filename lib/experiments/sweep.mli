@@ -17,6 +17,14 @@ type cell = {
   scheme : string;
   ipc : float;
   elapsed_s : float;  (** Wall-clock seconds spent simulating the cell. *)
+  started_s : float;
+      (** Start offset from the sweep's epoch (the moment [run_cells]
+          began dispatching), wall clock. *)
+  worker : int;  (** Pool worker that simulated the cell (0-based). *)
+  telemetry : Vliw_telemetry.Counters.snapshot option;
+      (** Per-cell counter snapshot when telemetry was requested.
+          Timing/worker/telemetry fields are observational: they vary
+          run to run, while [ipc] is bit-deterministic. *)
 }
 
 type progress = { completed : int; total : int; last : cell }
@@ -46,11 +54,15 @@ val run_cells :
   ?mix_names:string list ->
   ?jobs:int ->
   ?progress:(progress -> unit) ->
+  ?telemetry:bool ->
   unit ->
   string list * string list * cell array
 (** Like {!run} but returns the raw cells (mix-major order) with their
     per-cell wall-clock timings, plus the resolved scheme and mix
-    names. *)
+    names. [telemetry] (default [false]) attaches a fresh counter
+    registry to each cell's simulation and snapshots it into
+    {!cell.telemetry}; counting is observation-only, so IPC results are
+    unchanged. *)
 
 val grid_of_cells :
   scheme_names:string list ->
@@ -62,3 +74,18 @@ val grid_of_cells :
 val total_elapsed_s : cell array -> float
 (** Sum of per-cell wall-clock times (CPU-seconds of simulation, not
     elapsed wall time when [jobs > 1]). *)
+
+val merged_telemetry : cell array -> Vliw_telemetry.Counters.snapshot
+(** Sum of all per-cell counter snapshots (cells without telemetry
+    contribute nothing). *)
+
+val chrome_trace : ?process_name:string -> cell array -> string
+(** Chrome trace-event JSON of the sweep's execution timeline: one lane
+    per pool worker, one slice per cell (built from [started_s] /
+    [elapsed_s]), with mix/scheme/IPC as slice arguments. Load in
+    Perfetto or chrome://tracing. *)
+
+val telemetry_csv : cell array -> string list * string list list
+(** (header, rows) for {!Vliw_util.Csv.write}: one row per (cell,
+    counter) — columns [mix; scheme; counter; value]. Cells without
+    telemetry are skipped. *)

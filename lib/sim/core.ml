@@ -1,12 +1,14 @@
 module Isa = Vliw_isa
 module Merge = Vliw_merge
 module Mem = Vliw_mem
+module Tel = Vliw_telemetry
 
 type t = {
   config : Config.t;
   mem : Mem.Mem_system.t;
   predictor : Predictor.t;
   n : int;
+  width : int;  (* total issue slots per cycle *)
   mutable contexts : Thread_state.t option array;
   mutable cycle : int;
   mutable ops : int;
@@ -16,15 +18,24 @@ type t = {
   avail : Merge.Packet.t option array;  (* scratch, reused every cycle *)
   mutable bmt_current : int;  (* thread owning the pipeline under BMT *)
   mutable switch_stall_until : int;  (* BMT context-switch bubble *)
+  mutable telemetry : Tel.Sink.t;
+  attribution : Tel.Report.handles option;
 }
 
-let create config mem =
+let create ?(telemetry = Tel.Sink.null) ?counters config mem =
   let n = Config.contexts config in
+  let telemetry, attribution =
+    match counters with
+    | None -> (telemetry, None)
+    | Some c ->
+      (Tel.Sink.both telemetry (Tel.Counters.sink c), Some (Tel.Report.attach c))
+  in
   {
     config;
     mem;
     predictor = Predictor.create config.Config.machine.predictor;
     n;
+    width = Isa.Machine.total_issue config.Config.machine;
     contexts = Array.make n None;
     cycle = 0;
     ops = 0;
@@ -34,7 +45,11 @@ let create config mem =
     avail = Array.make n None;
     bmt_current = 0;
     switch_stall_until = 0;
+    telemetry;
+    attribution;
   }
+
+let set_sink t sink = t.telemetry <- sink
 
 let install t contexts =
   if Array.length contexts <> t.n then
@@ -43,7 +58,7 @@ let install t contexts =
 
 (* Fetch the thread's next instruction if needed; an ICache miss stalls
    the thread and yields no candidate this cycle. *)
-let candidate t (th : Thread_state.t) =
+let candidate t ~hw (th : Thread_state.t) =
   if Thread_state.stalled th ~now:t.cycle then None
   else begin
     match th.pending with
@@ -54,21 +69,32 @@ let candidate t (th : Thread_state.t) =
       let stall = Mem.Mem_system.ifetch t.mem instr.addr in
       if stall > 0 then begin
         th.resume_at <- t.cycle + stall;
+        th.stall_src <- Thread_state.Fetch_stall;
+        if Tel.Sink.enabled t.telemetry then begin
+          Tel.Sink.emit t.telemetry ~cycle:t.cycle
+            (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1i });
+          Tel.Sink.emit t.telemetry ~cycle:t.cycle
+            (Tel.Event.Fetch_stall { thread = hw; penalty = stall })
+        end;
         None
       end
       else Some instr
   end
 
-let retire t (th : Thread_state.t) (instr : Isa.Instr.t) =
+let retire t ~hw (th : Thread_state.t) (instr : Isa.Instr.t) =
   th.instrs_retired <- th.instrs_retired + 1;
   th.ops_retired <- th.ops_retired + Isa.Instr.op_count instr;
-  let stall = ref 0 in
+  let dstall = ref 0 in
   List.iter
     (fun (_ : Isa.Op.t) ->
       let addr = Mem.Addr_stream.next th.addr_stream in
       let s = Mem.Mem_system.daccess t.mem addr in
-      if t.config.stall_on_dmiss then stall := !stall + s)
+      if s > 0 && Tel.Sink.enabled t.telemetry then
+        Tel.Sink.emit t.telemetry ~cycle:t.cycle
+          (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1d });
+      if t.config.stall_on_dmiss then dstall := !dstall + s)
     (Isa.Instr.mem_ops instr);
+  let bstall = ref 0 in
   if Isa.Instr.has_branch instr then begin
     let taken =
       Vliw_util.Rng.bernoulli th.ctrl_rng th.program.profile.taken_prob
@@ -83,13 +109,17 @@ let retire t (th : Thread_state.t) (instr : Isa.Instr.t) =
     let correct =
       Predictor.predict_and_update t.predictor ~addr:instr.addr ~taken
     in
-    if not correct then stall := !stall + t.config.machine.branch_penalty;
+    if not correct then bstall := t.config.machine.branch_penalty;
     if taken then Thread_state.jump_taken th ~target
     else Thread_state.advance_fall_through th
   end
   else Thread_state.advance_fall_through th;
   th.pending <- None;
-  th.resume_at <- t.cycle + 1 + !stall
+  th.resume_at <- t.cycle + 1 + !dstall + !bstall;
+  th.stall_src <-
+    (if !dstall >= !bstall && !dstall > 0 then Thread_state.Mem_stall
+     else if !bstall > 0 then Thread_state.Branch_stall
+     else Thread_state.Ready)
 
 (* Round-robin search for the first thread with a candidate, starting
    at [start]. *)
@@ -111,25 +141,31 @@ let select_policy t ~rotation : Merge.Engine.selection =
   | Policy.Imt ->
     (* One thread per cycle, round-robin with stalled-thread skipping. *)
     (match first_ready t (t.cycle mod t.n) with
-    | None -> { packet = None; issued = [] }
-    | Some (hw, p) -> { packet = Some p; issued = [ hw ] })
+    | None -> { packet = None; issued = []; rejected = [] }
+    | Some (hw, p) -> { packet = Some p; issued = [ hw ]; rejected = [] })
   | Policy.Bmt { switch_penalty } ->
-    if t.cycle < t.switch_stall_until then { packet = None; issued = [] }
+    if t.cycle < t.switch_stall_until then
+      { packet = None; issued = []; rejected = [] }
     else begin
       match t.avail.(t.bmt_current) with
-      | Some p -> { packet = Some p; issued = [ t.bmt_current ] }
+      | Some p -> { packet = Some p; issued = [ t.bmt_current ]; rejected = [] }
       | None ->
         (* The running thread blocked: switch to the next ready one. *)
         (match first_ready t ((t.bmt_current + 1) mod t.n) with
         | Some (hw, p) when hw <> t.bmt_current ->
+          if Tel.Sink.enabled t.telemetry then
+            Tel.Sink.emit t.telemetry ~cycle:t.cycle
+              (Tel.Event.Bmt_switch
+                 { from_thread = t.bmt_current; to_thread = hw });
           t.bmt_current <- hw;
-          if switch_penalty = 0 then { packet = Some p; issued = [ hw ] }
+          if switch_penalty = 0 then
+            { packet = Some p; issued = [ hw ]; rejected = [] }
           else begin
             t.switch_stall_until <- t.cycle + switch_penalty;
-            { packet = None; issued = [] }
+            { packet = None; issued = []; rejected = [] }
           end
-        | Some (hw, p) -> { packet = Some p; issued = [ hw ] }
-        | None -> { packet = None; issued = [] })
+        | Some (hw, p) -> { packet = Some p; issued = [ hw ]; rejected = [] }
+        | None -> { packet = None; issued = []; rejected = [] })
     end
 
 type cycle_record = {
@@ -139,13 +175,104 @@ type cycle_record = {
   packet : Merge.Packet.t option;
 }
 
+let reason_of_cause = function
+  | Merge.Conflict.Cluster_conflict -> Tel.Event.Conflict
+  | Merge.Conflict.Slot_capacity -> Tel.Event.Capacity
+
+let engine_rejected (sel : Merge.Engine.selection) hw =
+  List.exists (fun (r : Merge.Engine.reject) -> r.thread = hw) sel.rejected
+
+(* Candidates the policy passed over without a resource reason: ready
+   threads IMT/BMT simply did not select this cycle. *)
+let priority_rejects t (sel : Merge.Engine.selection) =
+  let acc = ref [] in
+  for hw = t.n - 1 downto 0 do
+    if
+      t.avail.(hw) <> None
+      && (not (List.mem hw sel.issued))
+      && not (engine_rejected sel hw)
+    then acc := hw :: !acc
+  done;
+  !acc
+
+let candidate_ops t hw =
+  match t.avail.(hw) with Some p -> Merge.Packet.op_count p | None -> 0
+
+(* Exact slot attribution for one cycle; see Vliw_telemetry.Report. *)
+let attribute t (h : Tel.Report.handles) (sel : Merge.Engine.selection)
+    ~issued_ops ~priority =
+  let w = t.width in
+  Tel.Counters.incr h.cycles;
+  Tel.Counters.add h.slots_offered w;
+  Tel.Counters.add h.slots_filled issued_ops;
+  if sel.issued = [] then begin
+    (* No thread selected (note: a selected nop-only instruction still
+       counts as horizontal waste below). The whole width goes to
+       exactly one cause: candidates present but nothing issued only
+       happens in a BMT switch bubble; otherwise classify by the
+       majority stall source among resident threads (ties break
+       fetch > mem > branch). *)
+    let any_candidate = Array.exists Option.is_some t.avail in
+    if any_candidate then Tel.Counters.add h.v_switch w
+    else begin
+      let fetch = ref 0 and mem = ref 0 and br = ref 0 and resident = ref 0 in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (th : Thread_state.t) ->
+            incr resident;
+            (match th.stall_src with
+            | Thread_state.Fetch_stall -> incr fetch
+            | Thread_state.Mem_stall -> incr mem
+            | Thread_state.Branch_stall -> incr br
+            | Thread_state.Ready -> ()))
+        t.contexts;
+      let cause =
+        if !resident = 0 then h.v_idle
+        else if !fetch > 0 && !fetch >= !mem && !fetch >= !br then h.v_fetch
+        else if !mem > 0 && !mem >= !br then h.v_mem
+        else if !br > 0 then h.v_branch
+        else h.v_idle
+      in
+      Tel.Counters.add cause w
+    end
+  end
+  else begin
+    (* Horizontal: rejected candidates could have filled slots (capped
+       at the actual waste, in cause order); the rest is ILP shortfall. *)
+    let rem = ref (w - issued_ops) in
+    let take counter ops =
+      if !rem > 0 && ops > 0 then begin
+        let x = min !rem ops in
+        Tel.Counters.add counter x;
+        rem := !rem - x
+      end
+    in
+    let conflict_ops = ref 0 and capacity_ops = ref 0 in
+    List.iter
+      (fun (r : Merge.Engine.reject) ->
+        match r.cause with
+        | Merge.Conflict.Cluster_conflict ->
+          conflict_ops := !conflict_ops + candidate_ops t r.thread
+        | Merge.Conflict.Slot_capacity ->
+          capacity_ops := !capacity_ops + candidate_ops t r.thread)
+      sel.rejected;
+    let priority_ops =
+      List.fold_left (fun acc hw -> acc + candidate_ops t hw) 0 priority
+    in
+    take h.h_conflict !conflict_ops;
+    take h.h_capacity !capacity_ops;
+    take h.h_priority priority_ops;
+    if !rem > 0 then Tel.Counters.add h.h_ilp !rem
+  end
+
 let step_record t =
   for i = 0 to t.n - 1 do
     t.avail.(i) <-
       (match t.contexts.(i) with
       | None -> None
       | Some th ->
-        (match candidate t th with
+        (match candidate t ~hw:i th with
         | None -> None
         | Some instr -> Some (Merge.Packet.of_instr ~thread:i instr)))
   done;
@@ -159,13 +286,45 @@ let step_record t =
       | Some th ->
         let instr = Option.get th.pending in
         issued_ops := !issued_ops + Isa.Instr.op_count instr;
-        retire t th instr)
+        retire t ~hw th instr)
     sel.issued;
   t.ops <- t.ops + !issued_ops;
   t.instrs <- t.instrs + List.length sel.issued;
   t.issue_hist.(List.length sel.issued) <-
     t.issue_hist.(List.length sel.issued) + 1;
   if !issued_ops = 0 then t.vertical <- t.vertical + 1;
+  (* Observation only: events and counters must not touch simulator
+     state (the telemetry-on/off bit-equality property relies on it). *)
+  let observing =
+    Tel.Sink.enabled t.telemetry || Option.is_some t.attribution
+  in
+  if observing then begin
+    let priority = priority_rejects t sel in
+    if Tel.Sink.enabled t.telemetry then begin
+      List.iter
+        (fun (r : Merge.Engine.reject) ->
+          Tel.Sink.emit t.telemetry ~cycle:t.cycle
+            (Tel.Event.Merge_reject
+               { thread = r.thread; reason = reason_of_cause r.cause }))
+        sel.rejected;
+      List.iter
+        (fun hw ->
+          Tel.Sink.emit t.telemetry ~cycle:t.cycle
+            (Tel.Event.Merge_reject { thread = hw; reason = Tel.Event.Priority }))
+        priority;
+      if sel.issued <> [] then
+        Tel.Sink.emit t.telemetry ~cycle:t.cycle
+          (Tel.Event.Issue
+             {
+               threads = sel.issued;
+               threads_merged = List.length sel.issued;
+               slots_filled = !issued_ops;
+             })
+    end;
+    match t.attribution with
+    | Some h -> attribute t h sel ~issued_ops:!issued_ops ~priority
+    | None -> ()
+  end;
   let record =
     {
       cycle = t.cycle;
@@ -201,7 +360,7 @@ let metrics t ~all_threads : Metrics.t =
     instrs = t.instrs;
     issue_hist = Array.copy t.issue_hist;
     vertical_waste_cycles = t.vertical;
-    slots_offered = t.cycle * Isa.Machine.total_issue t.config.machine;
+    slots_offered = t.cycle * t.width;
     icache_accesses = ia;
     icache_misses = im;
     dcache_accesses = da;

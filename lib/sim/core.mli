@@ -10,7 +10,23 @@
 
 type t
 
-val create : Config.t -> Vliw_mem.Mem_system.t -> t
+val create :
+  ?telemetry:Vliw_telemetry.Sink.t ->
+  ?counters:Vliw_telemetry.Counters.t ->
+  Config.t ->
+  Vliw_mem.Mem_system.t ->
+  t
+(** [telemetry] (default {!Vliw_telemetry.Sink.null}) receives typed
+    pipeline events. When [counters] is given, a counting sink and an
+    exact-sum stall-attribution pass ({!Vliw_telemetry.Report}) are
+    attached on top of it. Telemetry is observation-only: simulation
+    results are bit-identical with any sink. *)
+
+val set_sink : t -> Vliw_telemetry.Sink.t -> unit
+(** Replace the event sink installed at creation (including the
+    counting sink composed in by [create ~counters]); the attribution
+    pass, if any, is unaffected. Lets a caller warm up silently and
+    record afterwards. *)
 
 val install : t -> Thread_state.t option array -> unit
 (** Set the threads resident on the hardware contexts; the array length

@@ -27,9 +27,15 @@ let horizontal_waste t =
   let busy_cycles = t.cycles - t.vertical_waste_cycles in
   if busy_cycles <= 0 || t.slots_offered = 0 then 0.0
   else begin
-    let busy_slots = busy_cycles * (t.slots_offered / max 1 t.cycles) in
-    if busy_slots = 0 then 0.0
-    else 1.0 -. (float_of_int t.ops /. float_of_int busy_slots)
+    (* [slots_offered / cycles] need not be integral (aggregated or
+       hand-built records): keep the per-cycle width in float so it
+       doesn't truncate before scaling by busy cycles. *)
+    let busy_slots =
+      float_of_int busy_cycles
+      *. (float_of_int t.slots_offered /. float_of_int (max 1 t.cycles))
+    in
+    if busy_slots <= 0.0 then 0.0
+    else 1.0 -. (float_of_int t.ops /. busy_slots)
   end
 
 let rate misses accesses =

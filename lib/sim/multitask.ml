@@ -24,7 +24,7 @@ let resident_set rng n_contexts threads =
   end
 
 let run_programs config ?(perfect_mem = false) ?(seed = 0x5EEDL)
-    ?(schedule = default_schedule) programs =
+    ?(schedule = default_schedule) ?telemetry ?counters programs =
   let rng = Rng.create seed in
   let os_rng = Rng.split rng in
   let threads =
@@ -35,7 +35,7 @@ let run_programs config ?(perfect_mem = false) ?(seed = 0x5EEDL)
          programs)
   in
   let mem = Vliw_mem.Mem_system.create ~perfect:perfect_mem config.Config.machine in
-  let core = Core.create config mem in
+  let core = Core.create ?telemetry ?counters config mem in
   let n_contexts = Config.contexts config in
   let done_ () =
     Array.exists (fun th -> th.Thread_state.instrs_retired >= schedule.target_instrs) threads
@@ -53,7 +53,8 @@ let run_programs config ?(perfect_mem = false) ?(seed = 0x5EEDL)
   done;
   Core.metrics core ~all_threads:threads
 
-let run config ?perfect_mem ?(seed = 0x5EEDL) ?schedule ?mode profiles =
+let run config ?perfect_mem ?(seed = 0x5EEDL) ?schedule ?mode ?telemetry
+    ?counters profiles =
   let rng = Rng.create (Int64.add seed 0x9E37L) in
   let programs =
     List.map
@@ -62,4 +63,5 @@ let run config ?perfect_mem ?(seed = 0x5EEDL) ?schedule ?mode profiles =
           config.Config.machine p)
       profiles
   in
-  run_programs config ?perfect_mem ~seed ?schedule programs
+  run_programs config ?perfect_mem ~seed ?schedule ?telemetry ?counters
+    programs

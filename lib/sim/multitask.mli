@@ -30,19 +30,25 @@ val run :
   ?seed:int64 ->
   ?schedule:schedule ->
   ?mode:Vliw_compiler.Program.mode ->
+  ?telemetry:Vliw_telemetry.Sink.t ->
+  ?counters:Vliw_telemetry.Counters.t ->
   Vliw_compiler.Profile.t list ->
   Metrics.t
 (** [run config profiles] builds one program and one thread per profile
     (deterministically from [seed]) and simulates the multitasking
     environment. Fewer profiles than contexts leaves contexts idle;
     more profiles multitask over the timeslices. [mode] selects the
-    compiler's scheduling mode (default block scheduling). *)
+    compiler's scheduling mode (default block scheduling). [telemetry]
+    and [counters] are passed to {!Core.create}; both are
+    observation-only and do not perturb results. *)
 
 val run_programs :
   Config.t ->
   ?perfect_mem:bool ->
   ?seed:int64 ->
   ?schedule:schedule ->
+  ?telemetry:Vliw_telemetry.Sink.t ->
+  ?counters:Vliw_telemetry.Counters.t ->
   Vliw_compiler.Program.t list ->
   Metrics.t
 (** Like {!run} but with pre-generated programs, so the (deterministic but

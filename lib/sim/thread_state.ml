@@ -1,5 +1,7 @@
 module Program = Vliw_compiler.Program
 
+type stall_src = Ready | Fetch_stall | Mem_stall | Branch_stall
+
 type t = {
   id : int;
   program : Program.t;
@@ -11,6 +13,7 @@ type t = {
   mutable pending : Vliw_isa.Instr.t option;
   mutable instrs_retired : int;
   mutable ops_retired : int;
+  mutable stall_src : stall_src;
 }
 
 (* 16 MB address region per thread: same cache sets, distinct tags. *)
@@ -35,6 +38,7 @@ let create ~id ~seed (program : Program.t) =
     pending = None;
     instrs_retired = 0;
     ops_retired = 0;
+    stall_src = Ready;
   }
 
 let current_instr t = t.program.blocks.(t.block).instrs.(t.pc)

@@ -4,6 +4,11 @@
     scheduler moves threads on and off hardware contexts without losing
     their position or counters. *)
 
+type stall_src = Ready | Fetch_stall | Mem_stall | Branch_stall
+(** Why the thread is (or last was) blocked — telemetry reads this to
+    attribute vertical waste. [Mem_stall] wins when a D$ miss and a
+    branch misprediction both contribute and the miss penalty dominates. *)
+
 type t = {
   id : int;
   program : Vliw_compiler.Program.t;
@@ -16,6 +21,8 @@ type t = {
       (** Fetched instruction waiting to issue. *)
   mutable instrs_retired : int;
   mutable ops_retired : int;
+  mutable stall_src : stall_src;
+      (** Meaningful while [stalled]; observation-only. *)
 }
 
 val create : id:int -> seed:int64 -> Vliw_compiler.Program.t -> t

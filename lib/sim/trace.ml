@@ -13,7 +13,9 @@ let default_options =
 let mask_to_string clusters mask =
   String.init clusters (fun c -> if mask land (1 lsl c) <> 0 then 'X' else '.')
 
-let run config ?(options = default_options) profiles =
+(* Shared setup: compile the profiles, seat them on the contexts and run
+   the warmup. Returns the seated threads with the warmed-up core. *)
+let prepare config options profiles =
   let machine = config.Config.machine in
   let n = Config.contexts config in
   if List.length profiles > n then
@@ -28,15 +30,34 @@ let run config ?(options = default_options) profiles =
         Thread_state.create ~id ~seed:(Rng.next_int64 rng) program)
       profiles
   in
-  let contexts =
-    Array.init n (fun i -> List.nth_opt threads i)
-  in
+  let contexts = Array.init n (fun i -> List.nth_opt threads i) in
   let mem = Vliw_mem.Mem_system.create ~perfect:options.perfect_mem machine in
   let core = Core.create config mem in
   Core.install core contexts;
   for _ = 1 to options.warmup do
     Core.step core
   done;
+  (threads, core)
+
+let lane_name i (th : Thread_state.t) =
+  Printf.sprintf "T%d:%s" i th.program.profile.name
+
+let record config ?(options = default_options) profiles =
+  let threads, core = prepare config options profiles in
+  let recorder =
+    Vliw_telemetry.Recorder.create ~capacity:(max 1024 (options.cycles * 16)) ()
+  in
+  (* Warmup ran silently; only the traced window is recorded. *)
+  Core.set_sink core (Vliw_telemetry.Recorder.sink recorder);
+  for _ = 1 to options.cycles do
+    Core.step core
+  done;
+  (List.mapi lane_name threads, recorder)
+
+let run config ?(options = default_options) profiles =
+  let machine = config.Config.machine in
+  let n = Config.contexts config in
+  let threads, core = prepare config options profiles in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Format.asprintf "Trace: %s on %a (cycles %d-%d)\n"
@@ -51,9 +72,7 @@ let run config ?(options = default_options) profiles =
      different thread pairs on different cycles.\n\n";
   Buffer.add_string buf (Printf.sprintf "%8s %4s" "cycle" "rot");
   List.iteri
-    (fun i th ->
-      Buffer.add_string buf
-        (Printf.sprintf " %12s" (Printf.sprintf "T%d:%s" i th.Thread_state.program.profile.name)))
+    (fun i th -> Buffer.add_string buf (Printf.sprintf " %12s" (lane_name i th)))
     threads;
   Buffer.add_string buf (Printf.sprintf "  %s\n" "issued packet");
   for _ = 1 to options.cycles do

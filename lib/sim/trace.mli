@@ -18,3 +18,13 @@ val default_options : options
 val run : Config.t -> ?options:options -> Vliw_compiler.Profile.t list -> string
 (** Renders the trace. The workload must fit the configured contexts
     (no multitasking during a trace). *)
+
+val record :
+  Config.t ->
+  ?options:options ->
+  Vliw_compiler.Profile.t list ->
+  string list * Vliw_telemetry.Recorder.t
+(** Same simulation as {!run}, but instead of rendering ASCII it
+    captures the traced window's pipeline events in a recorder (warmup
+    is silent). Returns the per-context lane names ("T0:mcf", ...) in
+    hardware-thread order, for {!Vliw_telemetry.Chrome_trace.of_recorder}. *)

@@ -1,0 +1,156 @@
+(* Chrome trace-event JSON (the format Perfetto and chrome://tracing
+   load). Timestamps are microseconds; simulator exports map one cycle
+   to 1 us so the viewer's time axis reads directly in cycles.
+
+   Reference: "Trace Event Format" (Google), JSON-object variant with a
+   "traceEvents" array. Only "M" (metadata), "X" (complete/duration) and
+   "i" (instant) phases are emitted. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_args args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) args)
+  ^ "}"
+
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+
+let str k v = Printf.sprintf "\"%s\":\"%s\"" k (escape v)
+
+let num k v = Printf.sprintf "\"%s\":%s" k v
+
+let metadata ~pid ~tid ~name_field ~value =
+  obj
+    [
+      str "name" name_field;
+      str "ph" "M";
+      num "pid" (string_of_int pid);
+      num "tid" (string_of_int tid);
+      num "args" (json_args [ ("name", value) ]);
+    ]
+
+let complete ~pid ~tid ~name ~ts_us ~dur_us ~args =
+  obj
+    [
+      str "name" name;
+      str "ph" "X";
+      num "pid" (string_of_int pid);
+      num "tid" (string_of_int tid);
+      num "ts" (Printf.sprintf "%.3f" ts_us);
+      num "dur" (Printf.sprintf "%.3f" dur_us);
+      num "args" (json_args args);
+    ]
+
+let instant ~pid ~tid ~name ~ts_us ~args =
+  obj
+    [
+      str "name" name;
+      str "ph" "i";
+      str "s" "t";
+      num "pid" (string_of_int pid);
+      num "tid" (string_of_int tid);
+      num "ts" (Printf.sprintf "%.3f" ts_us);
+      num "args" (json_args args);
+    ]
+
+let document ~process_name events =
+  let header =
+    metadata ~pid:0 ~tid:0 ~name_field:"process_name" ~value:process_name
+  in
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+  ^ String.concat ",\n" (header :: events)
+  ^ "\n]}\n"
+
+(* --- simulator runs: one lane per hardware thread -------------------- *)
+
+let events_of_entry (e : Recorder.entry) =
+  let ts_us = float_of_int e.cycle in
+  match e.event with
+  | Event.Issue { threads; threads_merged; slots_filled } ->
+    List.map
+      (fun tid ->
+        complete ~pid:0 ~tid ~name:"issue" ~ts_us ~dur_us:1.0
+          ~args:
+            [
+              ("threads_merged", string_of_int threads_merged);
+              ("slots_filled", string_of_int slots_filled);
+            ])
+      threads
+  | Event.Fetch_stall { thread; penalty } ->
+    [
+      complete ~pid:0 ~tid:thread ~name:"fetch-stall" ~ts_us
+        ~dur_us:(float_of_int penalty)
+        ~args:[ ("penalty", string_of_int penalty) ];
+    ]
+  | Event.Merge_reject { thread; reason } ->
+    [
+      instant ~pid:0 ~tid:thread ~name:"merge-reject" ~ts_us
+        ~args:[ ("reason", Event.reason_to_string reason) ];
+    ]
+  | Event.Cache_miss { thread; level } ->
+    [
+      instant ~pid:0 ~tid:thread ~name:"cache-miss" ~ts_us
+        ~args:[ ("level", Event.level_to_string level) ];
+    ]
+  | Event.Bmt_switch { from_thread; to_thread } ->
+    [
+      instant ~pid:0 ~tid:to_thread ~name:"bmt-switch" ~ts_us
+        ~args:
+          [
+            ("from", string_of_int from_thread);
+            ("to", string_of_int to_thread);
+          ];
+    ]
+
+let of_recorder ?(process_name = "vliwsim") ~lanes recorder =
+  let lane_meta =
+    List.mapi
+      (fun tid label ->
+        metadata ~pid:0 ~tid ~name_field:"thread_name" ~value:label)
+      lanes
+  in
+  let events = ref [] in
+  Recorder.iter recorder (fun entry ->
+      List.iter (fun ev -> events := ev :: !events) (events_of_entry entry));
+  document ~process_name (lane_meta @ List.rev !events)
+
+(* --- sweeps: one lane per pool worker -------------------------------- *)
+
+type span = {
+  lane : int;
+  name : string;
+  start_us : float;
+  dur_us : float;
+  args : (string * string) list;
+}
+
+let of_spans ?(process_name = "vliwsim sweep") ~lane_names spans =
+  let lane_meta =
+    List.map
+      (fun (tid, label) ->
+        metadata ~pid:0 ~tid ~name_field:"thread_name" ~value:label)
+      lane_names
+  in
+  let events =
+    List.map
+      (fun s ->
+        complete ~pid:0 ~tid:s.lane ~name:s.name ~ts_us:s.start_us
+          ~dur_us:s.dur_us ~args:s.args)
+      spans
+  in
+  document ~process_name (lane_meta @ events)

@@ -1,0 +1,27 @@
+(** Chrome trace-event JSON export (loadable in Perfetto and
+    chrome://tracing).
+
+    Simulator runs map one cycle to one microsecond of trace time and
+    give every hardware thread its own lane; sweeps give every pool
+    worker a lane and lay each (mix, scheme) cell out with its measured
+    wall-clock span. *)
+
+val of_recorder : ?process_name:string -> lanes:string list -> Recorder.t -> string
+(** [of_recorder ~lanes r] renders the recorded events; [lanes] labels
+    hardware-thread lane [i] with its [i]-th element. Issue events
+    become 1-cycle duration slices on each issuing thread's lane; merge
+    rejects, cache misses and BMT switches become annotated instants;
+    fetch stalls become slices spanning the miss penalty. *)
+
+type span = {
+  lane : int;
+  name : string;
+  start_us : float;
+  dur_us : float;
+  args : (string * string) list;
+}
+
+val of_spans :
+  ?process_name:string -> lane_names:(int * string) list -> span list -> string
+(** Duration-slice trace for coarse work items (sweep cells on pool
+    workers). *)

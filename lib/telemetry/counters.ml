@@ -1,0 +1,211 @@
+(* Named monotonic counters and fixed-bucket histograms.
+
+   Handles ([counter]/[histogram]) are resolved once by name and then
+   bumped without any lookup, so per-cycle instrumentation costs a few
+   integer stores. Snapshots are immutable, name-sorted, and mergeable
+   (sweep cells each snapshot their own registry; aggregation sums
+   them), which is what lets per-cell telemetry ride through a
+   multicore sweep without any cross-domain sharing. *)
+
+type counter = { c_name : string; mutable value : int }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* ascending bucket upper bounds *)
+  counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; value = 0 } in
+    Hashtbl.add t.counters name c;
+    c
+
+let add c by = c.value <- c.value + by
+
+let incr c = add c 1
+
+let value c = c.value
+
+let histogram t name ~bounds =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let sorted = Array.copy bounds in
+    Array.sort compare sorted;
+    let h =
+      {
+        h_name = name;
+        bounds = sorted;
+        counts = Array.make (Array.length sorted + 1) 0;
+        total = 0;
+        sum = 0.0;
+        vmin = infinity;
+        vmax = neg_infinity;
+      }
+    in
+    Hashtbl.add t.histograms name h;
+    h
+
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let b = bucket_of h.bounds v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v
+
+(* --- snapshots ------------------------------------------------------- *)
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;
+  total : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (* name-sorted *)
+  histograms : (string * hist_snapshot) list;  (* name-sorted *)
+}
+
+let snapshot (t : t) =
+  let counters =
+    Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) t.counters []
+    |> List.sort compare
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name (h : histogram) acc ->
+        ( name,
+          {
+            bounds = Array.copy h.bounds;
+            counts = Array.copy h.counts;
+            total = h.total;
+            sum = h.sum;
+            vmin = h.vmin;
+            vmax = h.vmax;
+          } )
+        :: acc)
+      t.histograms []
+    |> List.sort compare
+  in
+  { counters; histograms }
+
+let empty = { counters = []; histograms = [] }
+
+let count s name =
+  match List.assoc_opt name s.counters with Some v -> v | None -> 0
+
+(* Merge two name-sorted assoc lists, combining values on equal keys. *)
+let rec merge_assoc combine a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+    if ka = kb then (ka, combine ka va vb) :: merge_assoc combine ta tb
+    else if ka < kb then (ka, va) :: merge_assoc combine ta b
+    else (kb, vb) :: merge_assoc combine a tb
+
+let merge_hist name (a : hist_snapshot) (b : hist_snapshot) =
+  if a.bounds <> b.bounds then
+    invalid_arg ("Counters.merge: bucket bounds differ for histogram " ^ name);
+  {
+    bounds = a.bounds;
+    counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    vmin = min a.vmin b.vmin;
+    vmax = max a.vmax b.vmax;
+  }
+
+let merge a b =
+  {
+    counters = merge_assoc (fun _ x y -> x + y) a.counters b.counters;
+    histograms = merge_assoc merge_hist a.histograms b.histograms;
+  }
+
+let hist_mean (h : hist_snapshot) =
+  if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
+
+(* Bucket-interpolated quantile: find the bucket the rank falls in and
+   interpolate linearly inside it — the bucketed analogue of
+   [Vliw_util.Stats.percentile]'s rule (which tests cross-check this
+   against on degenerate single-value buckets). *)
+let quantile (h : hist_snapshot) p =
+  if h.total = 0 then 0.0
+  else begin
+    let target = p /. 100.0 *. float_of_int h.total in
+    let n_buckets = Array.length h.counts in
+    let rec go i cum =
+      if i >= n_buckets then h.vmax
+      else begin
+        let cum' = cum +. float_of_int h.counts.(i) in
+        if cum' >= target && h.counts.(i) > 0 then begin
+          let lo = if i = 0 then min h.vmin h.bounds.(0) else h.bounds.(i - 1) in
+          let hi = if i < Array.length h.bounds then h.bounds.(i) else h.vmax in
+          let frac = (target -. cum) /. float_of_int h.counts.(i) in
+          lo +. (frac *. (hi -. lo))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    let v = go 0 0.0 in
+    Float.min h.vmax (Float.max h.vmin v)
+  end
+
+(* --- rendering ------------------------------------------------------- *)
+
+let flat s =
+  List.map (fun (name, v) -> (name, string_of_int v)) s.counters
+  @ List.concat_map
+      (fun (name, h) ->
+        [
+          (name ^ ".count", string_of_int h.total);
+          (name ^ ".mean", Printf.sprintf "%.4f" (hist_mean h));
+          (name ^ ".p50", Printf.sprintf "%.4f" (quantile h 50.0));
+          (name ^ ".p95", Printf.sprintf "%.4f" (quantile h 95.0));
+          (name ^ ".p99", Printf.sprintf "%.4f" (quantile h 99.0));
+        ])
+      s.histograms
+
+let to_csv s =
+  ([ "counter"; "value" ], List.map (fun (k, v) -> [ k; v ]) (flat s))
+
+(* --- event-counting sink --------------------------------------------- *)
+
+let issue_width_bounds = [| 1.0; 2.0; 4.0; 6.0; 8.0; 12.0; 16.0 |]
+
+let threads_merged_bounds = [| 1.0; 2.0; 3.0; 4.0; 6.0; 8.0 |]
+
+let sink t =
+  let slots_hist = histogram t "issue.slots_filled" ~bounds:issue_width_bounds in
+  let merged_hist =
+    histogram t "issue.threads_merged" ~bounds:threads_merged_bounds
+  in
+  Sink.fn (fun ~cycle:_ event ->
+      incr (counter t (Event.counter_key event));
+      match event with
+      | Event.Issue { threads_merged; slots_filled; _ } ->
+        observe slots_hist (float_of_int slots_filled);
+        observe merged_hist (float_of_int threads_merged)
+      | _ -> ())

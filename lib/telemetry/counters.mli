@@ -1,0 +1,79 @@
+(** Named monotonic counters and fixed-bucket histograms.
+
+    Handles are resolved by name once ({!counter}/{!histogram}) and then
+    updated without lookup. Snapshots are immutable, name-sorted, and
+    mergeable: every sweep cell snapshots its own registry and the
+    aggregation sums them, so telemetry needs no cross-domain sharing.
+    Histogram quantiles (p50/p95/p99) interpolate linearly inside the
+    bucket the rank lands in — the bucketed analogue of
+    {!Vliw_util.Stats.percentile}. *)
+
+type t
+(** A registry. Not domain-safe: use one per simulation. *)
+
+type counter
+
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create the named counter. *)
+
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+val value : counter -> int
+
+val histogram : t -> string -> bounds:float array -> histogram
+(** Get or create; [bounds] are ascending bucket upper bounds, with an
+    implicit overflow bucket above the last. On an existing name the
+    original bounds win. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;  (** One per bound plus the overflow bucket. *)
+  total : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** Name-sorted. *)
+  histograms : (string * hist_snapshot) list;  (** Name-sorted. *)
+}
+
+val snapshot : t -> snapshot
+
+val empty : snapshot
+
+val count : snapshot -> string -> int
+(** 0 when the counter is absent. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum; histogram bounds must match.
+    @raise Invalid_argument when they don't. *)
+
+val hist_mean : hist_snapshot -> float
+
+val quantile : hist_snapshot -> float -> float
+(** [quantile h p] for [p] in [0..100], clamped to the observed range. *)
+
+val flat : snapshot -> (string * string) list
+(** Counters plus per-histogram count/mean/p50/p95/p99, as strings. *)
+
+val to_csv : snapshot -> string list * string list list
+(** {!flat} as a CSV header and rows ([counter,value]). *)
+
+(** {1 Event counting} *)
+
+val sink : t -> Sink.t
+(** A sink that counts every event under its {!Event.counter_key} and
+    feeds the [issue.slots_filled] / [issue.threads_merged]
+    histograms. *)

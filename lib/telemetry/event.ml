@@ -1,0 +1,55 @@
+type reject_reason = Conflict | Capacity | Priority
+
+type cache_level = L1i | L1d
+
+type t =
+  | Fetch_stall of { thread : int; penalty : int }
+  | Merge_reject of { thread : int; reason : reject_reason }
+  | Issue of { threads : int list; threads_merged : int; slots_filled : int }
+  | Cache_miss of { thread : int; level : cache_level }
+  | Bmt_switch of { from_thread : int; to_thread : int }
+
+let reason_to_string = function
+  | Conflict -> "conflict"
+  | Capacity -> "capacity"
+  | Priority -> "priority"
+
+let level_to_string = function L1i -> "l1i" | L1d -> "l1d"
+
+let name = function
+  | Fetch_stall _ -> "fetch_stall"
+  | Merge_reject _ -> "merge_reject"
+  | Issue _ -> "issue"
+  | Cache_miss _ -> "cache_miss"
+  | Bmt_switch _ -> "bmt_switch"
+
+(* Counter key of an event: the event name refined by its discriminating
+   payload, so a counting sink needs no per-event special cases. *)
+let counter_key = function
+  | Fetch_stall _ -> "events.fetch_stall"
+  | Merge_reject { reason; _ } -> "events.merge_reject." ^ reason_to_string reason
+  | Issue _ -> "events.issue"
+  | Cache_miss { level; _ } -> "events.cache_miss." ^ level_to_string level
+  | Bmt_switch _ -> "events.bmt_switch"
+
+let args = function
+  | Fetch_stall { thread; penalty } ->
+    [ ("thread", string_of_int thread); ("penalty", string_of_int penalty) ]
+  | Merge_reject { thread; reason } ->
+    [ ("thread", string_of_int thread); ("reason", reason_to_string reason) ]
+  | Issue { threads; threads_merged; slots_filled } ->
+    [
+      ("threads", String.concat "+" (List.map string_of_int threads));
+      ("threads_merged", string_of_int threads_merged);
+      ("slots_filled", string_of_int slots_filled);
+    ]
+  | Cache_miss { thread; level } ->
+    [ ("thread", string_of_int thread); ("level", level_to_string level) ]
+  | Bmt_switch { from_thread; to_thread } ->
+    [
+      ("from", string_of_int from_thread); ("to", string_of_int to_thread);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s{%s}" (name t)
+    (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) (args t)))

@@ -1,0 +1,39 @@
+(** Stall attribution: an exact decomposition of wasted issue slots.
+
+    The simulator core bumps these counters once per cycle when
+    profiling is attached. The invariant — property-tested — is
+
+    {v slots.offered - slots.filled = sum of all waste.* counters v}
+
+    so the rendered table always sums to the total wasted slots. *)
+
+type handles = {
+  cycles : Counters.counter;
+  slots_offered : Counters.counter;
+  slots_filled : Counters.counter;
+  v_fetch : Counters.counter;  (** Vertical: all threads in I$ fetch stall. *)
+  v_mem : Counters.counter;  (** Vertical: D$ miss stalls dominate. *)
+  v_branch : Counters.counter;  (** Vertical: branch-mispredict stalls. *)
+  v_switch : Counters.counter;  (** Vertical: BMT context-switch bubble. *)
+  v_idle : Counters.counter;  (** Vertical: no resident thread. *)
+  h_conflict : Counters.counter;  (** Horizontal: cluster/slot conflicts. *)
+  h_capacity : Counters.counter;  (** Horizontal: issue-width capacity. *)
+  h_priority : Counters.counter;  (** Horizontal: policy denied a ready thread. *)
+  h_ilp : Counters.counter;  (** Horizontal: not enough candidate ops. *)
+}
+
+val attach : Counters.t -> handles
+(** Resolve (creating as needed) every attribution counter in the
+    registry. *)
+
+val categories : (string * string) list
+(** Waste counter names with display labels, in render order. *)
+
+val wasted : Counters.snapshot -> int
+(** [slots.offered - slots.filled]. *)
+
+val attributed : Counters.snapshot -> int
+(** Sum of every waste category (equals {!wasted} by the invariant). *)
+
+val render : Counters.snapshot -> string
+(** Human-readable attribution table. *)

@@ -18,7 +18,8 @@ let effective_jobs ~jobs n =
   let jobs = if jobs <= 0 then auto_jobs () else jobs in
   max 1 (min jobs n)
 
-let run ?(jobs = 1) ?on_result (tasks : (unit -> 'a) array) : 'a array =
+let run_with_worker ?(jobs = 1) ?on_result (tasks : (worker:int -> 'a) array) :
+    'a array =
   let n = Array.length tasks in
   let notify =
     match on_result with
@@ -33,7 +34,7 @@ let run ?(jobs = 1) ?on_result (tasks : (unit -> 'a) array) : 'a array =
   | 1 ->
     Array.mapi
       (fun i task ->
-        let v = task () in
+        let v = task ~worker:0 in
         notify i v;
         v)
       tasks
@@ -41,13 +42,13 @@ let run ?(jobs = 1) ?on_result (tasks : (unit -> 'a) array) : 'a array =
     let results : 'a option array = Array.make n None in
     let failure : exn option Atomic.t = Atomic.make None in
     let next = Atomic.make 0 in
-    let worker () =
+    let worker ~worker:w () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get failure <> None then continue := false
         else
-          match tasks.(i) () with
+          match tasks.(i) ~worker:w with
           | v ->
             results.(i) <- Some v;
             notify i v
@@ -56,8 +57,15 @@ let run ?(jobs = 1) ?on_result (tasks : (unit -> 'a) array) : 'a array =
             continue := false
       done
     in
-    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    (* The calling domain is worker 0; helpers take 1 .. jobs-1. *)
+    let helpers =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (worker ~worker:(k + 1)))
+    in
+    worker ~worker:0 ();
     Array.iter Domain.join helpers;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
+
+let run ?jobs ?on_result (tasks : (unit -> 'a) array) : 'a array =
+  run_with_worker ?jobs ?on_result
+    (Array.map (fun task ~worker:_ -> task ()) tasks)

@@ -11,3 +11,13 @@ val run : ?jobs:int -> ?on_result:(int -> 'a -> unit) -> (unit -> 'a) array -> '
     is invoked once per completed task, serialized across workers. The
     first exception raised by a task aborts unclaimed tasks and is
     re-raised in the caller. Tasks must not share mutable state. *)
+
+val run_with_worker :
+  ?jobs:int ->
+  ?on_result:(int -> 'a -> unit) ->
+  (worker:int -> 'a) array ->
+  'a array
+(** Like {!run} but each task learns which worker runs it: the calling
+    domain is worker [0], spawned helpers are [1 .. jobs-1]. Which task
+    lands on which worker depends on timing — only results (task-order)
+    are deterministic. Useful for per-worker lanes in timelines. *)

@@ -14,6 +14,7 @@ let () =
       Test_sim.suite;
       Test_workloads.suite;
       Test_parallel.suite;
+      Test_telemetry.suite;
       Test_experiments.suite;
       Test_extensions.suite;
       Test_features.suite;

@@ -228,6 +228,73 @@ let test_metrics_derived () =
   Alcotest.(check bool) "merge degree <= 4" true
     (Sim.Metrics.avg_threads_merged metrics <= 4.0)
 
+let test_horizontal_waste_fractional () =
+  (* Regression: busy_slots used to be computed with an integer
+     division (slots_offered / cycles), truncating the per-cycle width
+     before scaling. With cycles=3, offered=10, ops=4 and one vertical
+     cycle, busy_slots is 2 * 10/3 = 6.67 and the waste 1 - 4/6.67 =
+     0.4; the truncating code said 1 - 4/6 = 0.33. *)
+  let m : Sim.Metrics.t =
+    {
+      cycles = 3;
+      ops = 4;
+      instrs = 4;
+      issue_hist = [| 1; 2 |];
+      vertical_waste_cycles = 1;
+      slots_offered = 10;
+      icache_accesses = 0;
+      icache_misses = 0;
+      dcache_accesses = 0;
+      dcache_misses = 0;
+      per_thread = [||];
+    }
+  in
+  Alcotest.(check (float 1e-9)) "fractional slots per cycle" 0.4
+    (Sim.Metrics.horizontal_waste m)
+
+let golden_trace =
+  "Trace: S(T0,T1) on 2-cluster x 4-issue (lsu=1 mul=2 br=1; I$=64KB/4w \
+   D$=64KB/4w miss=20cyc) (cycles 40-47)\n\
+   Per thread: cluster usage of the offered instruction (X = used), or\n\
+   '----' if stalled; '*' marks threads the merge network issued.\n\
+   'rot' is the priority rotation: scheme port i reads hardware\n\
+   thread (i + rot) mod n, so the SMT pair of a mixed scheme serves\n\
+   different thread pairs on different cycles.\n\n\
+  \   cycle  rot       T0:mcf T1:g721encode  issued packet\n\
+  \      40    0          --           --   (nothing issued)\n\
+  \      41    1          .X*          --          -       -       -       \
+   - |  mov[0]       -       -       -\n\
+  \      42    0          XX*          .X*     ld[0]       -       -       \
+   - |   ld[0]  add[1]  add[1]       -\n\
+  \      43    1          ..*          .X*         -       -       -       \
+   - |  mov[1]  mov[1]       -       -\n\
+  \      44    0          --           X.*    add[1]  mpy[1]  add[1]  \
+   add[1] |       -       -       -       -\n\
+  \      45    1          --           X.*    add[1]       -       -       \
+   - |       -       -       -       -\n\
+  \      46    0          --           --   (nothing issued)\n\
+  \      47    1          --           --   (nothing issued)\n"
+
+let test_trace_golden () =
+  (* Pins the inspector's exact rendering on a tiny 2-thread, 2-cluster
+     run: the header, the '*' issued markers, '--' stall cells and the
+     routed packets. Any formatting or simulation change shows up as a
+     diff here. *)
+  let machine = Vliw_isa.Machine.make ~clusters:2 () in
+  let scheme = (Vliw_merge.Catalog.find_exn "1S").scheme in
+  let config = Sim.Config.make ~machine scheme in
+  let profiles =
+    [
+      Vliw_workloads.Benchmarks.find_exn "mcf";
+      Vliw_workloads.Benchmarks.find_exn "g721encode";
+    ]
+  in
+  let options =
+    { Sim.Trace.cycles = 8; warmup = 40; perfect_mem = false; seed = 0x7ACEL }
+  in
+  Alcotest.(check string) "golden trace" golden_trace
+    (Sim.Trace.run config ~options profiles)
+
 let suite =
   ( "sim",
     [
@@ -251,4 +318,7 @@ let suite =
       Alcotest.test_case "target instrs stops run" `Quick test_target_instrs_stops;
       Alcotest.test_case "ablation flags" `Quick test_ablation_flags;
       Alcotest.test_case "metrics derived values" `Quick test_metrics_derived;
+      Alcotest.test_case "horizontal waste fractional slots" `Quick
+        test_horizontal_waste_fractional;
+      Alcotest.test_case "trace golden" `Quick test_trace_golden;
     ] )

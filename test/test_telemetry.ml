@@ -1,0 +1,337 @@
+(* The telemetry subsystem: counters, histograms, the event ring
+   buffer, sinks, Chrome-trace export — and the two system-level
+   guarantees: telemetry never changes simulation results, and the
+   stall-attribution counters decompose wasted slots exactly. *)
+
+module T = Vliw_telemetry
+module E = Vliw_experiments
+
+(* --- Counters -------------------------------------------------------- *)
+
+let test_counters_basics () =
+  let t = T.Counters.create () in
+  let a = T.Counters.counter t "a" in
+  let b = T.Counters.counter t "b" in
+  T.Counters.add a 5;
+  T.Counters.incr a;
+  T.Counters.incr b;
+  Alcotest.(check int) "a" 6 (T.Counters.value a);
+  let a' = T.Counters.counter t "a" in
+  T.Counters.incr a';
+  Alcotest.(check int) "same name, same counter" 7 (T.Counters.value a);
+  let s = T.Counters.snapshot t in
+  Alcotest.(check (list (pair string int)))
+    "snapshot name-sorted"
+    [ ("a", 7); ("b", 1) ]
+    s.counters;
+  Alcotest.(check int) "count absent = 0" 0 (T.Counters.count s "zzz")
+
+let test_counters_merge () =
+  let mk pairs =
+    let t = T.Counters.create () in
+    List.iter (fun (n, v) -> T.Counters.add (T.Counters.counter t n) v) pairs;
+    T.Counters.snapshot t
+  in
+  let m = T.Counters.merge (mk [ ("x", 1); ("y", 2) ]) (mk [ ("y", 40); ("z", 5) ]) in
+  Alcotest.(check (list (pair string int)))
+    "pointwise sum"
+    [ ("x", 1); ("y", 42); ("z", 5) ]
+    m.counters;
+  Alcotest.(check (list (pair string int)))
+    "empty is neutral" m.counters
+    (T.Counters.merge T.Counters.empty m).counters
+
+let test_histogram_quantiles () =
+  let t = T.Counters.create () in
+  let bounds = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let h = T.Counters.histogram t "h" ~bounds in
+  (* 1..100 once each: with unit-wide buckets the bucketed quantile
+     must track Stats.percentile closely. *)
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Array.iter (T.Counters.observe h) xs;
+  let s = T.Counters.snapshot t in
+  let hs = List.assoc "h" s.histograms in
+  Alcotest.(check int) "total" 100 hs.total;
+  List.iter
+    (fun p ->
+      let expect = Vliw_util.Stats.percentile xs p in
+      let got = T.Counters.quantile hs p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within a bucket of Stats.percentile" p)
+        true
+        (abs_float (got -. expect) <= 1.0))
+    [ 50.0; 90.0; 95.0; 99.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (T.Counters.hist_mean hs);
+  Alcotest.(check bool) "flat exposes p50" true
+    (List.mem_assoc "h.p50" (T.Counters.flat s))
+
+(* --- Recorder and sinks ---------------------------------------------- *)
+
+let issue ~threads ~ops =
+  T.Event.Issue
+    { threads; threads_merged = List.length threads; slots_filled = ops }
+
+let test_recorder_wraps () =
+  let r = T.Recorder.create ~capacity:4 () in
+  for c = 0 to 9 do
+    T.Recorder.record r ~cycle:c (issue ~threads:[ c ] ~ops:1)
+  done;
+  Alcotest.(check int) "length capped" 4 (T.Recorder.length r);
+  Alcotest.(check int) "dropped" 6 (T.Recorder.dropped r);
+  Alcotest.(check (list int))
+    "keeps newest, oldest-first"
+    [ 6; 7; 8; 9 ]
+    (List.map (fun (e : T.Recorder.entry) -> e.cycle) (T.Recorder.to_list r))
+
+let test_sinks () =
+  Alcotest.(check bool) "null disabled" false (T.Sink.enabled T.Sink.null);
+  let hits = ref 0 in
+  let counting = T.Sink.fn (fun ~cycle:_ _ -> incr hits) in
+  Alcotest.(check bool) "fn enabled" true (T.Sink.enabled counting);
+  T.Sink.emit T.Sink.null ~cycle:0 (issue ~threads:[ 0 ] ~ops:1);
+  T.Sink.emit counting ~cycle:0 (issue ~threads:[ 0 ] ~ops:1);
+  Alcotest.(check int) "null swallows, fn counts" 1 !hits;
+  let both = T.Sink.both counting (T.Sink.fn (fun ~cycle:_ _ -> incr hits)) in
+  T.Sink.emit both ~cycle:1 (issue ~threads:[ 1 ] ~ops:2);
+  Alcotest.(check int) "both fans out" 3 !hits;
+  Alcotest.(check bool) "both with null collapses" true
+    (T.Sink.both counting T.Sink.null == counting)
+
+let test_event_keys () =
+  let cases =
+    [
+      (T.Event.Fetch_stall { thread = 0; penalty = 20 }, "events.fetch_stall");
+      ( T.Event.Merge_reject { thread = 1; reason = T.Event.Conflict },
+        "events.merge_reject.conflict" );
+      ( T.Event.Merge_reject { thread = 1; reason = T.Event.Capacity },
+        "events.merge_reject.capacity" );
+      ( T.Event.Merge_reject { thread = 1; reason = T.Event.Priority },
+        "events.merge_reject.priority" );
+      (issue ~threads:[ 0; 2 ] ~ops:5, "events.issue");
+      ( T.Event.Cache_miss { thread = 3; level = T.Event.L1i },
+        "events.cache_miss.l1i" );
+      ( T.Event.Cache_miss { thread = 3; level = T.Event.L1d },
+        "events.cache_miss.l1d" );
+      ( T.Event.Bmt_switch { from_thread = 0; to_thread = 1 },
+        "events.bmt_switch" );
+    ]
+  in
+  List.iter
+    (fun (ev, key) ->
+      Alcotest.(check string) key key (T.Event.counter_key ev);
+      Alcotest.(check bool)
+        (key ^ " args render") true
+        (List.for_all (fun (k, v) -> k <> "" && v <> "") (T.Event.args ev)))
+    cases
+
+(* --- Simulator integration ------------------------------------------- *)
+
+let run_with_counters ?policy scheme_name =
+  let scheme = (Vliw_merge.Catalog.find_exn scheme_name).scheme in
+  let config = Vliw_sim.Config.make ?policy scheme in
+  let mix = Vliw_workloads.Mixes.find_exn "LLHH" in
+  let counters = T.Counters.create () in
+  let metrics =
+    Vliw_sim.Multitask.run config ~schedule:Vliw_sim.Multitask.quick_schedule
+      ~counters mix.members
+  in
+  (metrics, T.Counters.snapshot counters)
+
+let test_attribution_exact_sum () =
+  List.iter
+    (fun (scheme, policy) ->
+      let metrics, snap = run_with_counters ?policy scheme in
+      let label =
+        scheme ^ match policy with None -> "" | Some _ -> "+policy"
+      in
+      Alcotest.(check int)
+        (label ^ ": attributed waste = wasted slots")
+        (T.Report.wasted snap) (T.Report.attributed snap);
+      Alcotest.(check int)
+        (label ^ ": cycles counter matches metrics")
+        metrics.Vliw_sim.Metrics.cycles
+        (T.Counters.count snap "core.cycles");
+      Alcotest.(check int)
+        (label ^ ": offered slots match metrics")
+        metrics.Vliw_sim.Metrics.slots_offered
+        (T.Counters.count snap "slots.offered");
+      Alcotest.(check int)
+        (label ^ ": filled slots = ops issued")
+        metrics.Vliw_sim.Metrics.ops
+        (T.Counters.count snap "slots.filled");
+      Alcotest.(check bool)
+        (label ^ ": render mentions the total") true
+        (let r = T.Report.render snap in
+         let needle = "total wasted" in
+         let n = String.length r and m = String.length needle in
+         let rec go i = i + m <= n && (String.sub r i m = needle || go (i + 1)) in
+         go 0))
+    [
+      ("2SC3", None);
+      ("3SSS", None);
+      ("C4", None);
+      ("1S", None);
+      ("2SC3", Some Vliw_sim.Policy.Imt);
+      ("2SC3", Some (Vliw_sim.Policy.Bmt { switch_penalty = 4 }));
+    ]
+
+let test_events_match_metrics () =
+  let scheme = (Vliw_merge.Catalog.find_exn "2SC3").scheme in
+  let config = Vliw_sim.Config.make scheme in
+  let mix = Vliw_workloads.Mixes.find_exn "MMHH" in
+  let ops = ref 0 and issues = ref 0 in
+  let sink =
+    T.Sink.fn (fun ~cycle:_ ev ->
+        match ev with
+        | T.Event.Issue { slots_filled; _ } ->
+          incr issues;
+          ops := !ops + slots_filled
+        | _ -> ())
+  in
+  let metrics =
+    Vliw_sim.Multitask.run config ~schedule:Vliw_sim.Multitask.quick_schedule
+      ~telemetry:sink mix.members
+  in
+  Alcotest.(check int) "sum of Issue slots = ops" metrics.Vliw_sim.Metrics.ops !ops;
+  Alcotest.(check bool) "issue events occurred" true (!issues > 0)
+
+(* The acceptance property: telemetry is observation-only. The (mix x
+   scheme) IPC grid must be bit-identical with per-cell counters
+   attached vs without, at jobs=1 and jobs=4. *)
+let grid_equal a b =
+  a.E.Common.scheme_names = b.E.Common.scheme_names
+  && a.E.Common.mix_names = b.E.Common.mix_names
+  && a.E.Common.ipc = b.E.Common.ipc
+
+let scheme_subsets = [| [ "1S"; "3CCC" ]; [ "2SC3" ]; [ "3SSS"; "2SC3" ] |]
+
+let mix_subsets = [| [ "LLHH" ]; [ "LLLL"; "HHHH" ]; [ "MMMM" ] |]
+
+let test_telemetry_observation_only =
+  QCheck.Test.make ~count:3
+    ~name:"sweep: telemetry on/off bit-identical at jobs=1 and jobs=4"
+    QCheck.(triple (int_bound 1000) (int_bound 2) (int_bound 2))
+    (fun (seed, si, mi) ->
+      let run ~jobs ~telemetry =
+        let scheme_names, mix_names, cells =
+          E.Sweep.run_cells ~scale:E.Common.Quick ~seed:(Int64.of_int seed)
+            ~scheme_names:scheme_subsets.(si) ~mix_names:mix_subsets.(mi) ~jobs
+            ~telemetry ()
+        in
+        E.Sweep.grid_of_cells ~scheme_names ~mix_names cells
+      in
+      let reference = run ~jobs:1 ~telemetry:false in
+      grid_equal reference (run ~jobs:1 ~telemetry:true)
+      && grid_equal reference (run ~jobs:4 ~telemetry:true)
+      && grid_equal reference (run ~jobs:4 ~telemetry:false))
+
+(* --- Chrome trace export --------------------------------------------- *)
+
+(* Minimal structural JSON check: braces/brackets balance outside
+   strings, and the document is a single object. Not a full parser, but
+   catches unterminated strings, trailing commas in our writer, and
+   unbalanced nesting; the CI smoke job runs a real parser on top. *)
+let json_balanced s =
+  let depth = ref 0 and in_str = ref false and esc = ref false and ok = ref true in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !esc then esc := false
+        else if c = '\\' then esc := true
+        else if c = '"' then in_str := false
+        else ()
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let contains ~needle haystack =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let test_chrome_trace_of_recorder () =
+  let machine = Vliw_isa.Machine.make ~clusters:2 () in
+  let scheme = (Vliw_merge.Catalog.find_exn "1S").scheme in
+  let config = Vliw_sim.Config.make ~machine scheme in
+  let profiles =
+    [
+      Vliw_workloads.Benchmarks.find_exn "mcf";
+      Vliw_workloads.Benchmarks.find_exn "g721encode";
+    ]
+  in
+  let options =
+    { Vliw_sim.Trace.cycles = 200; warmup = 50; perfect_mem = false; seed = 0x7ACEL }
+  in
+  let lanes, recorder = Vliw_sim.Trace.record config ~options profiles in
+  Alcotest.(check (list string)) "lane names" [ "T0:mcf"; "T1:g721encode" ] lanes;
+  Alcotest.(check bool) "events recorded" true (T.Recorder.length recorder > 0);
+  let json = T.Chrome_trace.of_recorder ~lanes recorder in
+  Alcotest.(check bool) "balanced JSON" true (json_balanced json);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle json))
+    [ "traceEvents"; "thread_name"; "T0:mcf"; "T1:g721encode"; "issue" ]
+
+let test_sweep_telemetry_exports () =
+  let _, _, cells =
+    E.Sweep.run_cells ~scale:E.Common.Quick ~scheme_names:[ "1S"; "2SC3" ]
+      ~mix_names:[ "LLHH" ] ~jobs:2 ~telemetry:true ()
+  in
+  Alcotest.(check int) "two cells" 2 (Array.length cells);
+  Array.iter
+    (fun (c : E.Sweep.cell) ->
+      Alcotest.(check bool) "cell has telemetry" true (c.telemetry <> None);
+      Alcotest.(check bool) "worker id in range" true
+        (c.worker >= 0 && c.worker < 2);
+      Alcotest.(check bool) "start offset sane" true (c.started_s >= 0.0))
+    cells;
+  let snap = E.Sweep.merged_telemetry cells in
+  Alcotest.(check bool) "merged cycles > 0" true
+    (T.Counters.count snap "core.cycles" > 0);
+  Alcotest.(check int) "merged attribution still exact"
+    (T.Report.wasted snap) (T.Report.attributed snap);
+  let json = E.Sweep.chrome_trace cells in
+  Alcotest.(check bool) "sweep trace balanced" true (json_balanced json);
+  Alcotest.(check bool) "worker lane named" true
+    (contains ~needle:"worker 0" json);
+  Alcotest.(check bool) "cell slice named" true
+    (contains ~needle:"LLHH/2SC3" json);
+  let header, rows = E.Sweep.telemetry_csv cells in
+  Alcotest.(check (list string))
+    "csv header" [ "mix"; "scheme"; "counter"; "value" ] header;
+  Alcotest.(check bool) "csv rows present" true (List.length rows > 0);
+  List.iter
+    (fun row -> Alcotest.(check int) "csv row width" 4 (List.length row))
+    rows;
+  (* Counters.to_csv on the merged snapshot feeds Vliw_util.Csv too. *)
+  let h2, r2 = T.Counters.to_csv snap in
+  Alcotest.(check (list string)) "counter csv header" [ "counter"; "value" ] h2;
+  Alcotest.(check bool) "counter csv writes" true
+    (String.length (Vliw_util.Csv.to_string ~header:h2 r2) > 0)
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "counters basics" `Quick test_counters_basics;
+      Alcotest.test_case "counters merge" `Quick test_counters_merge;
+      Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+      Alcotest.test_case "recorder ring buffer" `Quick test_recorder_wraps;
+      Alcotest.test_case "sinks" `Quick test_sinks;
+      Alcotest.test_case "event keys and args" `Quick test_event_keys;
+      Alcotest.test_case "stall attribution sums exactly" `Quick
+        test_attribution_exact_sum;
+      Alcotest.test_case "issue events match metrics" `Quick
+        test_events_match_metrics;
+      QCheck_alcotest.to_alcotest test_telemetry_observation_only;
+      Alcotest.test_case "chrome trace of a recorder" `Quick
+        test_chrome_trace_of_recorder;
+      Alcotest.test_case "sweep telemetry exports" `Quick
+        test_sweep_telemetry_exports;
+    ] )
