@@ -25,6 +25,141 @@ let regenerate_all ~jobs () =
       print_string text)
     E.Registry.standard
 
+(* --- machine-readable benchmark (bench --json) ----------------------
+
+   Writes BENCH_sim.json: stepping throughput and decision-cache hit
+   rates per scheme family, the wall clock of regenerating every
+   standard experiment, and a fixed CPU calibration loop. The
+   calibration lets a CI gate compare `exp_all_calibrated` (wall clock
+   in calibration units) across machines of different speeds. *)
+
+let calibrate () =
+  (* Fixed allocation-free integer workload: ~10^8 RNG draws. *)
+  let rng = Vliw_util.Rng.create 0x5CA1AB1EL in
+  let acc = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 25_000_000 do
+    acc := !acc lxor Vliw_util.Rng.int rng 1024
+  done;
+  ignore (Sys.opaque_identity !acc);
+  Unix.gettimeofday () -. t0
+
+let json_scheme_names = [ "1S"; "C4"; "3CCC"; "3SSS"; "2SC3" ]
+
+type scheme_bench = {
+  sb_name : string;
+  sb_threads : int;
+  sb_cycles_per_sec : float;
+  sb_words_per_cycle : float;
+  sb_hit_rate : float;
+  sb_evictions : int;
+}
+
+let bench_scheme name =
+  let entry = Vliw_merge.Catalog.find_exn name in
+  let config = Vliw_sim.Config.make entry.scheme in
+  let mix = Vliw_workloads.Mixes.find_exn "LLHH" in
+  let rng = Vliw_util.Rng.create 7L in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng)
+          config.Vliw_sim.Config.machine p)
+      mix.members
+  in
+  let threads =
+    Array.of_list
+      (List.mapi
+         (fun id program ->
+           Vliw_sim.Thread_state.create ~id
+             ~seed:(Vliw_util.Rng.next_int64 rng)
+             program)
+         programs)
+  in
+  let mem = Vliw_mem.Mem_system.create config.Vliw_sim.Config.machine in
+  let core = Vliw_sim.Core.create config mem in
+  let n = Vliw_sim.Config.contexts config in
+  Vliw_sim.Core.install core
+    (Array.init n (fun i ->
+         if i < Array.length threads then Some threads.(i) else None));
+  for _ = 1 to 50_000 do
+    Vliw_sim.Core.step core
+  done;
+  let n_steps = 1_000_000 in
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n_steps do
+    Vliw_sim.Core.step core
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = (Gc.allocated_bytes () -. a0) /. 8.0 in
+  let hit_rate, evictions =
+    match Vliw_sim.Core.memo_stats core with
+    | None -> (0.0, 0)
+    | Some s ->
+      let total = s.hits + s.misses in
+      ((if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total),
+       s.evictions)
+  in
+  {
+    sb_name = name;
+    sb_threads = n;
+    sb_cycles_per_sec = float_of_int n_steps /. dt;
+    sb_words_per_cycle = words /. float_of_int n_steps;
+    sb_hit_rate = hit_rate;
+    sb_evictions = evictions;
+  }
+
+let time_exp_all ~scale ~jobs () =
+  let ctx = E.Registry.make_ctx ~scale ~jobs () in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun entry -> ignore (E.Registry.run_entry ctx entry : string * _))
+    E.Registry.standard;
+  Unix.gettimeofday () -. t0
+
+let write_json ~path ~scale_name ~calib ~exp_all_s schemes =
+  let buf = Buffer.create 1024 in
+  let fmt = Printf.bprintf in
+  fmt buf "{\n";
+  fmt buf "  \"schema\": 1,\n";
+  fmt buf "  \"scale\": \"%s\",\n" scale_name;
+  fmt buf "  \"calibration_s\": %.4f,\n" calib;
+  fmt buf "  \"exp_all_wall_s\": %.3f,\n" exp_all_s;
+  fmt buf "  \"exp_all_calibrated\": %.3f,\n" (exp_all_s /. calib);
+  fmt buf "  \"schemes\": [\n";
+  List.iteri
+    (fun i sb ->
+      fmt buf
+        "    { \"name\": \"%s\", \"threads\": %d, \"cycles_per_sec\": %.0f, \
+         \"words_per_cycle\": %.1f, \"memo_hit_rate\": %.4f, \
+         \"memo_evictions\": %d }%s\n"
+        sb.sb_name sb.sb_threads sb.sb_cycles_per_sec sb.sb_words_per_cycle
+        sb.sb_hit_rate sb.sb_evictions
+        (if i = List.length schemes - 1 then "" else ","))
+    schemes;
+  fmt buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let run_json ~scale_name ~jobs ~path () =
+  let scale =
+    match scale_name with
+    | "quick" -> E.Common.Quick
+    | "full" -> E.Common.Full
+    | _ -> E.Common.Default
+  in
+  Printf.printf "calibrating...\n%!";
+  let calib = calibrate () in
+  Printf.printf "stepping throughput per scheme...\n%!";
+  let schemes = List.map bench_scheme json_scheme_names in
+  Printf.printf "regenerating all standard experiments (%s)...\n%!" scale_name;
+  let exp_all_s = time_exp_all ~scale ~jobs () in
+  write_json ~path ~scale_name ~calib ~exp_all_s schemes;
+  Printf.printf "wrote %s (exp-all %.1fs, %.1f calibration units)\n%!" path
+    exp_all_s (exp_all_s /. calib)
+
 (* --- Bechamel micro-benchmarks --- *)
 
 open Bechamel
@@ -135,15 +270,24 @@ let print_bechamel merged =
 let () =
   let argv = Array.to_list Sys.argv in
   let bench_only = List.mem "--timing-only" argv in
-  let jobs =
-    (* `--jobs N` parallelizes the sweep-backed regenerations. *)
+  let find_val flag default =
     let rec find = function
-      | "--jobs" :: n :: _ -> (try int_of_string n with _ -> 1)
+      | f :: v :: _ when f = flag -> v
       | _ :: rest -> find rest
-      | [] -> 1
+      | [] -> default
     in
     find argv
   in
+  let jobs =
+    (* `--jobs N` parallelizes the sweep-backed regenerations. *)
+    try int_of_string (find_val "--jobs" "1") with _ -> 1
+  in
+  if List.mem "--json" argv then begin
+    let scale_name = find_val "--scale" "quick" in
+    let path = find_val "--out" "BENCH_sim.json" in
+    run_json ~scale_name ~jobs ~path ();
+    exit 0
+  end;
   if not bench_only then regenerate_all ~jobs ();
   heading "Micro-benchmarks (Bechamel, monotonic clock)";
   let groups =

@@ -21,8 +21,8 @@ let show_pair title (t0, t1) =
   Format.printf "@.%s@." title;
   Format.printf "  Thread 0: %a@." (Isa.Instr.pp machine) t0;
   Format.printf "  Thread 1: %a@." (Isa.Instr.pp machine) t1;
-  let p0 = M.Packet.of_instr ~thread:0 t0 in
-  let p1 = M.Packet.of_instr ~thread:1 t1 in
+  let p0 = M.Packet.of_instr machine ~thread:0 t0 in
+  let p1 = M.Packet.of_instr machine ~thread:1 t1 in
   let csmt = M.Conflict.csmt_compatible p0 p1 in
   let smt = M.Conflict.smt_compatible machine p0 p1 in
   Format.printf "  CSMT (cluster-level): %s@."

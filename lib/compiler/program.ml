@@ -109,6 +109,14 @@ let generate ~seed ?(mode = `Block) (m : Isa.Machine.t) (p : Profile.t) =
           fall_through = (r + 1) mod n_regions;
         })
   in
+  (* Precompute every instruction's merge signature here, in the
+     compiling domain: a sweep shares compiled programs across worker
+     domains, and eager precomputation means workers only ever read the
+     per-instruction cache. *)
+  Array.iter
+    (fun b ->
+      Array.iter (fun i -> ignore (Isa.Instr.signature m i)) b.instrs)
+    blocks;
   let total_ops =
     Array.fold_left
       (fun acc b ->
@@ -120,10 +128,16 @@ let generate ~seed ?(mode = `Block) (m : Isa.Machine.t) (p : Profile.t) =
   in
   { profile = p; blocks; entry = 0; instr_bytes; mode; total_ops; total_instrs }
 
-let exit_target b pc =
-  Array.fold_left
-    (fun acc (idx, target) -> if idx = pc then Some target else acc)
-    None b.exits
+(* Top-level downward scan, equivalent to the fold it replaces (the
+   last matching exit wins) but closure-free on the retire path. *)
+let rec exit_scan exits pc i =
+  if i < 0 then None
+  else begin
+    let idx, target = exits.(i) in
+    if idx = pc then Some target else exit_scan exits pc (i - 1)
+  end
+
+let exit_target b pc = exit_scan b.exits pc (Array.length b.exits - 1)
 
 let block_of_addr t addr =
   let n = Array.length t.blocks in

@@ -10,9 +10,23 @@
     routing block, pinning each operation to the slot it occupies in its
     own thread's instruction, so operation-level merging succeeds only
     when pinned slots happen not to collide. It quantifies how much of
-    SMT's advantage the routing hardware buys. *)
+    SMT's advantage the routing hardware buys.
+
+    All checks run on the packets' precomputed signatures (cluster masks,
+    packed class counts, pinned-slot masks) — pure integer arithmetic,
+    no list traversal, no routing. The historical list-walking
+    implementations live on in {!Reference} as the property-test
+    oracle. *)
 
 type routing_mode = Flexible | Fixed_slots
+
+type failure =
+  | Cluster_conflict
+      (** The packets want the same resource: overlapping cluster masks
+          (CSMT) or colliding pinned slots (fixed-slot SMT). *)
+  | Slot_capacity
+      (** The combined operations exceed a cluster's slot constraints
+          (SMT). *)
 
 val csmt_compatible : Packet.t -> Packet.t -> bool
 (** Cluster-usage masks are disjoint. *)
@@ -24,14 +38,6 @@ val smt_compatible : Vliw_isa.Machine.t -> Packet.t -> Packet.t -> bool
 val smt_compatible_fixed : Vliw_isa.Machine.t -> Packet.t -> Packet.t -> bool
 (** Operation-level check without a routing block. Strictly stronger
     than {!smt_compatible}. *)
-
-type failure =
-  | Cluster_conflict
-      (** The packets want the same resource: overlapping cluster masks
-          (CSMT) or colliding pinned slots (fixed-slot SMT). *)
-  | Slot_capacity
-      (** The combined operations exceed a cluster's slot constraints
-          (SMT). *)
 
 val check :
   Vliw_isa.Machine.t ->
@@ -52,3 +58,27 @@ val compatible :
   Packet.t ->
   bool
 (** [check = None]. *)
+
+(** The pre-signature list-walking implementations, kept as the oracle
+    for fast≡reference property tests. [thread_slot_mask] re-routes one
+    thread's operations per call — the cost the signature layer removes
+    from the per-cycle path. *)
+module Reference : sig
+  val smt_compatible : Vliw_isa.Machine.t -> Packet.t -> Packet.t -> bool
+
+  val thread_slot_mask :
+    Vliw_isa.Machine.t -> Packet.entry list -> int -> int option
+  (** Pinned slots of one thread's operations within a cluster, via a
+      fresh {!Routing.route} pass; [None] when they cannot be placed. *)
+
+  val smt_check_fixed :
+    Vliw_isa.Machine.t -> Packet.t -> Packet.t -> failure option
+
+  val check :
+    Vliw_isa.Machine.t ->
+    ?routing:routing_mode ->
+    Scheme_kind.t ->
+    Packet.t ->
+    Packet.t ->
+    failure option
+end

@@ -43,6 +43,17 @@ val select :
     entries. [routing] (default [Flexible]) selects the SMT conflict
     check variant. *)
 
+val select_reference :
+  Vliw_isa.Machine.t ->
+  ?routing:Conflict.routing_mode ->
+  Scheme.t ->
+  ?rotation:int ->
+  Packet.t option array ->
+  selection
+(** Same contract as {!select}, evaluated with the pre-signature
+    list-walking conflict checks ({!Conflict.Reference}). The oracle the
+    fast path is property-tested against; not for the hot path. *)
+
 val select_instrs :
   Vliw_isa.Machine.t ->
   ?routing:Conflict.routing_mode ->
@@ -51,3 +62,48 @@ val select_instrs :
   Vliw_isa.Instr.t option array ->
   selection
 (** Convenience wrapper turning instructions into packets first. *)
+
+(** Bounded memo table over selection outcomes.
+
+    A scheme's selection is a pure function of (rotation, per-port
+    signature); running mixes repeat a small set of instruction shapes,
+    so the same key recurs across cycles. On a hit the recorded outcome
+    is replayed — the packet rebuilt bit-identically by folding
+    {!Packet.union} over the live ports in the recorded union order —
+    without evaluating the scheme tree. The table is flushed whole when
+    it reaches its capacity bound. *)
+module Memo : sig
+  type t
+
+  type stats = {
+    hits : int;
+    misses : int;
+    evictions : int;  (** Whole-table flushes on reaching capacity. *)
+    size : int;  (** Entries currently cached. *)
+  }
+
+  val create :
+    ?cap:int ->
+    Vliw_isa.Machine.t ->
+    routing:Conflict.routing_mode ->
+    Scheme.t ->
+    t
+  (** One table per (machine, routing, scheme) — create one per core so
+      sweep worker domains never share it. [cap] (default [65536]) bounds
+      the entry count. *)
+
+  val select : t -> ?rotation:int -> Packet.t option array -> selection
+  (** Memoizing {!Engine.select}. Port [i] must be [None] or a packet of
+      hardware thread [i] exactly (the simulator's candidate packets),
+      since replayed thread ids are positional. *)
+
+  val select_issue : t -> ?rotation:int -> Packet.t option array -> selection
+  (** Like {!select} but the returned [packet] is [None] whenever more
+      than one candidate is live: the scheme tree is evaluated with
+      signature-only unions and hits skip packet reconstruction. For
+      callers that only need [issued]/[rejected] — the simulator's
+      per-cycle loop. [issued] and [rejected] are identical to
+      {!select}'s. *)
+
+  val stats : t -> stats
+end

@@ -1,12 +1,32 @@
 type entry = { thread : int; op : Vliw_isa.Op.t }
 
-type t = { clusters : entry list array; threads : int; mask : int }
+type t = {
+  clusters : entry list array;
+  threads : int;
+  mask : int;
+  counts : int array;
+  pins : int array;
+  nops : int;
+  sid : int;
+}
 
-let of_instr ~thread (instr : Vliw_isa.Instr.t) =
+let of_instr (m : Vliw_isa.Machine.t) ~thread (instr : Vliw_isa.Instr.t) =
+  let sg = Vliw_isa.Instr.signature m instr in
   let clusters = Array.map (List.map (fun op -> { thread; op })) instr.ops in
-  let mask = ref 0 in
-  Array.iteri (fun c ops -> if ops <> [] then mask := !mask lor (1 lsl c)) clusters;
-  { clusters; threads = 1 lsl thread; mask = !mask }
+  {
+    clusters;
+    threads = 1 lsl thread;
+    mask = sg.sg_mask;
+    counts = sg.sg_counts;
+    pins = sg.sg_pins;
+    nops = sg.sg_ops;
+    sid = sg.sg_id;
+  }
+
+(* Pinned masks combine by union, except that inability to place ([-1])
+   is absorbing: a merged packet is unroutable in fixed-slot mode as soon
+   as any contributor is. *)
+let union_pins a b = if a = -1 || b = -1 then -1 else a lor b
 
 let union a b =
   assert (Array.length a.clusters = Array.length b.clusters);
@@ -14,10 +34,29 @@ let union a b =
     clusters = Array.map2 (fun x y -> x @ y) a.clusters b.clusters;
     threads = a.threads lor b.threads;
     mask = a.mask lor b.mask;
+    counts = Array.map2 ( + ) a.counts b.counts;
+    pins = Array.map2 union_pins a.pins b.pins;
+    nops = a.nops + b.nops;
+    sid = -1;
   }
 
-let op_count t =
-  Array.fold_left (fun acc ops -> acc + List.length ops) 0 t.clusters
+(* Signature-only union: combines everything the conflict checks and
+   issue accounting read, but skips the per-cluster operation-list
+   appends — the dominant allocation of a full union. The result's
+   [clusters] is empty and must never be read; decision paths that only
+   need issued/rejected threads use this. *)
+let union_sig a b =
+  {
+    clusters = [||];
+    threads = a.threads lor b.threads;
+    mask = a.mask lor b.mask;
+    counts = Array.map2 ( + ) a.counts b.counts;
+    pins = Array.map2 union_pins a.pins b.pins;
+    nops = a.nops + b.nops;
+    sid = -1;
+  }
+
+let op_count t = t.nops
 
 let bits_to_list bits =
   let rec go i acc =

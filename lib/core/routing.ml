@@ -36,7 +36,17 @@ let route_cluster (m : Vliw_isa.Machine.t) entries =
   let ok_alu = List.for_all (fun e -> claim (fun _ -> true) e) alus in
   if ok_fixed && ok_alu then Some slots else None
 
+(* Invocation counter, so tests can pin down how often the simulator
+   actually routes: at most once per issued packet, never inside the
+   per-cycle conflict checks. *)
+let route_calls = Atomic.make 0
+
+let calls () = Atomic.get route_calls
+
+let reset_calls () = Atomic.set route_calls 0
+
 let route m (p : Packet.t) =
+  Atomic.incr route_calls;
   let n = Array.length p.clusters in
   let out = Array.make n [||] in
   let rec go c =

@@ -21,5 +21,12 @@ val route : Vliw_isa.Machine.t -> Packet.t -> routed option
 val occupancy : routed -> int
 (** Number of filled slots. *)
 
+val calls : unit -> int
+(** Number of {!route} invocations process-wide since the last
+    {!reset_calls}. Lets tests assert the merge fast path never routes
+    inside a conflict check. *)
+
+val reset_calls : unit -> unit
+
 val pp : Vliw_isa.Machine.t -> Format.formatter -> routed -> unit
 (** Figure-1-style rendering with thread tags, e.g. "ld[0]". *)

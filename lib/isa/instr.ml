@@ -1,27 +1,60 @@
-type t = { ops : Op.t list array; addr : int }
+type signature = {
+  sg_id : int;
+  sg_mask : int;
+  sg_counts : int array;
+  sg_pins : int array;
+  sg_ops : int;
+}
 
-let make ~clusters ~addr = { ops = Array.make clusters []; addr }
+type t = {
+  ops : Op.t list array;
+  addr : int;
+  mutable sg : (Machine.t * signature) option;
+}
 
-let of_cluster_ops ~addr ops = { ops; addr }
+let make ~clusters ~addr = { ops = Array.make clusters []; addr; sg = None }
+
+let of_cluster_ops ~addr ops = { ops; addr; sg = None }
 
 let cluster_mask t =
   let mask = ref 0 in
   Array.iteri (fun c ops -> if ops <> [] then mask := !mask lor (1 lsl c)) t.ops;
   !mask
 
-let op_count t = Array.fold_left (fun acc ops -> acc + List.length ops) 0 t.ops
+let op_count t =
+  match t.sg with
+  | Some (_, sg) -> sg.sg_ops
+  | None -> Array.fold_left (fun acc ops -> acc + List.length ops) 0 t.ops
 
 let ops_in t c = t.ops.(c)
 
 let is_empty t = Array.for_all (fun ops -> ops = []) t.ops
 
-let has_branch t =
+let has_branch_slow t =
   Array.exists (List.exists (fun (op : Op.t) -> op.klass = Op.Branch)) t.ops
 
 let mem_ops t =
   Array.fold_left
     (fun acc ops -> acc @ List.filter Op.is_mem ops)
     [] t.ops
+
+(* Top-level recursion (rather than nested closures over [f]) keeps the
+   per-retirement iteration allocation-free. *)
+let rec iter_mem_list f = function
+  | [] -> ()
+  | (op : Op.t) :: rest ->
+    if Op.is_mem op then f op;
+    iter_mem_list f rest
+
+let iter_mem_ops f t =
+  for c = 0 to Array.length t.ops - 1 do
+    iter_mem_list f t.ops.(c)
+  done
+
+let rec count_mem_list acc = function
+  | [] -> acc
+  | (op : Op.t) :: rest ->
+    count_mem_list (if Op.is_mem op then acc + 1 else acc) rest
 
 let class_counts ops ~mem ~mul ~branch ~alu =
   let count (op : Op.t) =
@@ -38,6 +71,145 @@ let fits_cluster (m : Machine.t) ops =
   class_counts ops ~mem ~mul ~branch ~alu;
   !mem <= m.n_lsu && !mul <= m.n_mul && !branch <= m.n_branch
   && !mem + !mul + !branch + !alu <= m.issue_width
+
+(* --- signatures: the merge engine's precomputed view -----------------
+
+   A signature condenses everything the per-cycle conflict checks need
+   into integers: the cluster-occupancy mask, one packed per-cluster
+   class-count word, and the fixed-slot pinned mask from a single greedy
+   layout pass. Conflict checks then reduce to bitmask tests and packed
+   additions, with no list traversal and no re-routing. *)
+
+(* Packed class counts: mem | mul<<15 | branch<<30 | total<<45. Fifteen
+   bits per field keeps sums of any realistic number of merged packets
+   far from overflow in a 63-bit int, and lets two packed words be
+   combined with plain [+]. *)
+let count_shift_mul = 15
+let count_shift_branch = 30
+let count_shift_total = 45
+let count_field = 0x7FFF
+
+let pack_counts ops =
+  let mem = ref 0 and mul = ref 0 and branch = ref 0 and alu = ref 0 in
+  class_counts ops ~mem ~mul ~branch ~alu;
+  !mem
+  lor (!mul lsl count_shift_mul)
+  lor (!branch lsl count_shift_branch)
+  lor ((!mem + !mul + !branch + !alu) lsl count_shift_total)
+
+let rec sum_mem_fields counts i acc =
+  if i < 0 then acc
+  else sum_mem_fields counts (i - 1) (acc + (counts.(i) land count_field))
+
+let rec sum_mem_lists ops i acc =
+  if i < 0 then acc else sum_mem_lists ops (i - 1) (count_mem_list acc ops.(i))
+
+let mem_op_count t =
+  match t.sg with
+  | Some (_, sg) -> sum_mem_fields sg.sg_counts (Array.length sg.sg_counts - 1) 0
+  | None -> sum_mem_lists t.ops (Array.length t.ops - 1) 0
+
+let packed_fits (m : Machine.t) packed =
+  packed land count_field <= m.n_lsu
+  && (packed lsr count_shift_mul) land count_field <= m.n_mul
+  && (packed lsr count_shift_branch) land count_field <= m.n_branch
+  && packed lsr count_shift_total <= m.issue_width
+
+(* Same greedy discipline as the routing block applied to one thread's
+   operations in isolation: fixed-slot classes claim their dedicated
+   slots in list order, ALU/copy operations fill any free slot. Returns
+   the bitmask of claimed slots, or -1 when the operations cannot be
+   placed at all. *)
+let pinned_mask (m : Machine.t) ops =
+  let used = ref 0 in
+  let claim pred =
+    let rec find s =
+      if s >= m.issue_width then false
+      else if !used land (1 lsl s) = 0 && pred s then begin
+        used := !used lor (1 lsl s);
+        true
+      end
+      else find (s + 1)
+    in
+    find 0
+  in
+  let flexible (op : Op.t) =
+    match op.klass with Op.Alu | Op.Copy -> true | _ -> false
+  in
+  let fixed, alus = List.partition (fun op -> not (flexible op)) ops in
+  let ok_fixed =
+    List.for_all
+      (fun (op : Op.t) -> claim (fun s -> Machine.slot_allows m ~slot:s op.klass))
+      fixed
+  in
+  let ok_alu = List.for_all (fun _ -> claim (fun _ -> true)) alus in
+  if ok_fixed && ok_alu then !used else -1
+
+(* Signature interning: distinct signature contents get small dense ids,
+   so downstream decision caches can key on one word per port instead of
+   the full per-cluster arrays. The table is global and mutex-protected;
+   it is only consulted on the compute path, which the compiler runs
+   eagerly (and in the parent domain) at program-generation time. *)
+let intern_mutex = Mutex.create ()
+
+let intern_tbl : (int * int array * int array, int) Hashtbl.t =
+  Hashtbl.create 256
+
+let intern sg_mask sg_counts sg_pins =
+  Mutex.protect intern_mutex (fun () ->
+      let key = (sg_mask, sg_counts, sg_pins) in
+      match Hashtbl.find_opt intern_tbl key with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length intern_tbl in
+        Hashtbl.add intern_tbl key id;
+        id)
+
+let intern_count () = Mutex.protect intern_mutex (fun () -> Hashtbl.length intern_tbl)
+
+let compute_signature (m : Machine.t) t =
+  let n = Array.length t.ops in
+  let counts = Array.make n 0 in
+  let pins = Array.make n 0 in
+  let mask = ref 0 in
+  let total = ref 0 in
+  for c = 0 to n - 1 do
+    let ops = t.ops.(c) in
+    if ops <> [] then begin
+      mask := !mask lor (1 lsl c);
+      counts.(c) <- pack_counts ops;
+      pins.(c) <- pinned_mask m ops;
+      total := !total + List.length ops
+    end
+  done;
+  {
+    sg_id = intern !mask counts pins;
+    sg_mask = !mask;
+    sg_counts = counts;
+    sg_pins = pins;
+    sg_ops = !total;
+  }
+
+(* Memoized per instruction. The compiler precomputes signatures in the
+   parent domain (Program.generate), so worker domains of a sweep only
+   ever read the cache. A machine mismatch (tests reusing an instruction
+   across machines) recomputes and recaches. *)
+let signature (m : Machine.t) t =
+  match t.sg with
+  | Some (m', sg) when m' == m -> sg
+  | Some (m', sg) when m' = m -> sg
+  | _ ->
+    let sg = compute_signature m t in
+    t.sg <- Some (m, sg);
+    sg
+
+let has_branch t =
+  match t.sg with
+  | Some (_, sg) ->
+    Array.exists
+      (fun w -> (w lsr count_shift_branch) land count_field <> 0)
+      sg.sg_counts
+  | None -> has_branch_slow t
 
 let well_formed (m : Machine.t) t =
   Array.length t.ops = m.clusters && Array.for_all (fits_cluster m) t.ops

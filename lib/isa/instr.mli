@@ -5,9 +5,29 @@
     cycle. Instructions are the unit of merging — the paper's VLIW
     semantics forbid issuing only part of an instruction. *)
 
+type signature = {
+  sg_id : int;
+      (** Dense intern id: signatures with equal content share an id
+          process-wide, so decision caches can key on one word. *)
+  sg_mask : int;  (** Bitmask of occupied clusters. *)
+  sg_counts : int array;
+      (** Per-cluster packed class counts (see {!pack_counts}); [0] for
+          empty clusters. *)
+  sg_pins : int array;
+      (** Per-cluster fixed-slot pinned masks: the slots this
+          instruction's operations claim when laid out in isolation
+          ({!pinned_mask}); [0] for empty clusters, [-1] when the
+          cluster's operations cannot be placed. *)
+  sg_ops : int;  (** Total operation count. *)
+}
+(** The merge engine's precomputed, immutable view of an instruction:
+    everything the per-cycle conflict checks need, as integers. *)
+
 type t = {
   ops : Op.t list array;  (** Per-cluster operations; length = clusters. *)
   addr : int;  (** Static byte address, used for ICache lookups. *)
+  mutable sg : (Machine.t * signature) option;
+      (** Signature cache, filled by {!signature}. Treat as private. *)
 }
 
 val make : clusters:int -> addr:int -> t
@@ -31,6 +51,14 @@ val has_branch : t -> bool
 val mem_ops : t -> Op.t list
 (** All loads and stores, in cluster order. *)
 
+val iter_mem_ops : (Op.t -> unit) -> t -> unit
+(** Allocation-free iteration over all loads and stores, in cluster
+    order. *)
+
+val mem_op_count : t -> int
+(** Number of loads and stores; read from the packed signature counts
+    when a signature is cached, so the retire path pays no traversal. *)
+
 val class_counts : Op.t list -> mem:int ref -> mul:int ref -> branch:int ref -> alu:int ref -> unit
 (** Accumulate per-class counts of an operation list. *)
 
@@ -42,6 +70,35 @@ val fits_cluster : Machine.t -> Op.t list -> bool
 val well_formed : Machine.t -> t -> bool
 (** Every cluster of the instruction individually satisfies
     {!fits_cluster} and the cluster count matches the machine. *)
+
+(** {1 Signatures}
+
+    Signatures let the merge engine's conflict checks run as pure
+    integer/bitmask arithmetic: class counts are packed into one word
+    per cluster ([mem | mul<<15 | branch<<30 | total<<45]) so two
+    clusters' demands combine with [+], and fixed-slot pinned masks are
+    computed once instead of re-routing per merge check. *)
+
+val pack_counts : Op.t list -> int
+(** Packed class-count word of an operation list. *)
+
+val packed_fits : Machine.t -> int -> bool
+(** Whether a packed class-count word satisfies one cluster's slot
+    constraints — the packed equivalent of {!fits_cluster}, also valid
+    for the sum of several packed words. *)
+
+val pinned_mask : Machine.t -> Op.t list -> int
+(** Bitmask of the issue slots the operations claim under the greedy
+    fixed-slot layout (the same discipline as the routing block), or
+    [-1] when they cannot be placed. *)
+
+val intern_count : unit -> int
+(** Number of distinct signatures interned process-wide. *)
+
+val signature : Machine.t -> t -> signature
+(** The instruction's signature for the given machine, memoized on the
+    instruction. The compiler precomputes this at program-generation
+    time so simulation never recomputes it. *)
 
 val pp : Machine.t -> Format.formatter -> t -> unit
 (** Renders like the paper's Figure 1: one cell per issue slot, "-" for

@@ -31,7 +31,10 @@ let create ~seed ~working_set_bytes ~seq_frac ~region_base =
 
 let next t =
   if Rng.bernoulli t.rng t.seq_frac then begin
-    t.seq_ptr <- (t.seq_ptr + 4) mod t.hot_bytes;
+    (* seq_ptr stays below hot_bytes, so the wrap is one compare rather
+       than a division. *)
+    let p = t.seq_ptr + 4 in
+    t.seq_ptr <- (if p >= t.hot_bytes then p - t.hot_bytes else p);
     t.base + t.seq_ptr
   end
   else begin

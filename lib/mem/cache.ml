@@ -2,6 +2,7 @@ type t = {
   sets : int;
   ways : int;
   line_shift : int;
+  set_bits : int;  (* log2 sets when sets is a power of two, else -1 *)
   tags : int array;  (* sets * ways, -1 = invalid *)
   stamps : int array;  (* LRU timestamps, parallel to tags *)
   mutable clock : int;
@@ -24,6 +25,7 @@ let create (g : Vliw_isa.Machine.cache_geom) =
     sets;
     ways = g.ways;
     line_shift = log2 g.line_bytes;
+    set_bits = (if is_pow2 sets then log2 sets else -1);
     tags = Array.make (sets * g.ways) (-1);
     stamps = Array.make (sets * g.ways) 0;
     clock = 0;
@@ -37,27 +39,37 @@ let locate t addr =
   let tag = line / t.sets in
   (set * t.ways, tag)
 
-let find t base tag =
-  let rec go w =
-    if w >= t.ways then None
-    else if t.tags.(base + w) = tag then Some (base + w)
-    else go (w + 1)
-  in
-  go 0
+(* Index of the way holding [tag], or -1. Top-level recursion with an
+   int sentinel keeps the per-access lookup allocation-free (a nested
+   [let rec] would build a closure per call). *)
+let rec find_way tags tag limit idx =
+  if idx >= limit then -1
+  else if tags.(idx) = tag then idx
+  else find_way tags tag limit (idx + 1)
+
+let find t base tag = find_way t.tags tag (base + t.ways) base
 
 let probe t addr =
   let base, tag = locate t addr in
-  find t base tag <> None
+  find t base tag >= 0
 
 let access t addr =
-  let base, tag = locate t addr in
+  (* [locate] open-coded: the tuple return would allocate per access,
+     and for power-of-two set counts (the usual geometry) the set/tag
+     split is shift-and-mask instead of two integer divisions. *)
+  let line = addr lsr t.line_shift in
+  let pow2 = t.set_bits >= 0 in
+  let set = if pow2 then line land (t.sets - 1) else line mod t.sets in
+  let tag = if pow2 then line lsr t.set_bits else line / t.sets in
+  let base = set * t.ways in
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  match find t base tag with
-  | Some idx ->
+  let idx = find t base tag in
+  if idx >= 0 then begin
     t.stamps.(idx) <- t.clock;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (* Evict the least recently used way (empty ways have stamp 0). *)
     let victim = ref base in
@@ -67,6 +79,7 @@ let access t addr =
     t.tags.(!victim) <- tag;
     t.stamps.(!victim) <- t.clock;
     false
+  end
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -20,6 +20,11 @@ type t = {
   mutable switch_stall_until : int;  (* BMT context-switch bubble *)
   mutable telemetry : Tel.Sink.t;
   attribution : Tel.Report.handles option;
+  counters : Tel.Counters.t option;
+  memo : Merge.Engine.Memo.t option;  (* decision cache, Merged policy *)
+  mutable memo_flushed : int * int * int;
+      (* (hits, misses, evictions) already booked into [counters], so
+         repeated [metrics] calls stay idempotent *)
 }
 
 let create ?(telemetry = Tel.Sink.null) ?counters config mem =
@@ -29,6 +34,14 @@ let create ?(telemetry = Tel.Sink.null) ?counters config mem =
     | None -> (telemetry, None)
     | Some c ->
       (Tel.Sink.both telemetry (Tel.Counters.sink c), Some (Tel.Report.attach c))
+  in
+  let memo =
+    match config.Config.policy with
+    | Policy.Merged ->
+      Some
+        (Merge.Engine.Memo.create config.Config.machine
+           ~routing:config.Config.routing config.Config.scheme)
+    | Policy.Imt | Policy.Bmt _ -> None
   in
   {
     config;
@@ -47,6 +60,9 @@ let create ?(telemetry = Tel.Sink.null) ?counters config mem =
     switch_stall_until = 0;
     telemetry;
     attribution;
+    counters;
+    memo;
+    memo_flushed = (0, 0, 0);
   }
 
 let set_sink t sink = t.telemetry <- sink
@@ -62,10 +78,11 @@ let candidate t ~hw (th : Thread_state.t) =
   if Thread_state.stalled th ~now:t.cycle then None
   else begin
     match th.pending with
-    | Some instr -> Some instr
+    | Some _ as r -> r
     | None ->
       let instr = Thread_state.current_instr th in
-      th.pending <- Some instr;
+      let r = Some instr in
+      th.pending <- r;
       let stall = Mem.Mem_system.ifetch t.mem instr.addr in
       if stall > 0 then begin
         th.resume_at <- t.cycle + stall;
@@ -78,22 +95,23 @@ let candidate t ~hw (th : Thread_state.t) =
         end;
         None
       end
-      else Some instr
+      else r
   end
 
 let retire t ~hw (th : Thread_state.t) (instr : Isa.Instr.t) =
   th.instrs_retired <- th.instrs_retired + 1;
   th.ops_retired <- th.ops_retired + Isa.Instr.op_count instr;
   let dstall = ref 0 in
-  List.iter
-    (fun (_ : Isa.Op.t) ->
-      let addr = Mem.Addr_stream.next th.addr_stream in
-      let s = Mem.Mem_system.daccess t.mem addr in
-      if s > 0 && Tel.Sink.enabled t.telemetry then
-        Tel.Sink.emit t.telemetry ~cycle:t.cycle
-          (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1d });
-      if t.config.stall_on_dmiss then dstall := !dstall + s)
-    (Isa.Instr.mem_ops instr);
+  (* The per-operation work depends only on the operation count, so a
+     counted loop replaces the closure-based iteration. *)
+  for _ = 1 to Isa.Instr.mem_op_count instr do
+    let addr = Mem.Addr_stream.next th.addr_stream in
+    let s = Mem.Mem_system.daccess t.mem addr in
+    if s > 0 && Tel.Sink.enabled t.telemetry then
+      Tel.Sink.emit t.telemetry ~cycle:t.cycle
+        (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1d });
+    if t.config.stall_on_dmiss then dstall := !dstall + s
+  done;
   let bstall = ref 0 in
   if Isa.Instr.has_branch instr then begin
     let taken =
@@ -115,6 +133,7 @@ let retire t ~hw (th : Thread_state.t) (instr : Isa.Instr.t) =
   end
   else Thread_state.advance_fall_through th;
   th.pending <- None;
+  th.pending_packet <- None;
   th.resume_at <- t.cycle + 1 + !dstall + !bstall;
   th.stall_src <-
     (if !dstall >= !bstall && !dstall > 0 then Thread_state.Mem_stall
@@ -133,11 +152,16 @@ let first_ready t start =
   in
   go 0
 
-let select_policy t ~rotation : Merge.Engine.selection =
+let select_policy t ~want_packet ~rotation : Merge.Engine.selection =
   match t.config.policy with
   | Policy.Merged ->
-    Merge.Engine.select t.config.machine ~routing:t.config.routing
-      t.config.scheme ~rotation t.avail
+    (match t.memo with
+    | Some memo ->
+      if want_packet then Merge.Engine.Memo.select memo ~rotation t.avail
+      else Merge.Engine.Memo.select_issue memo ~rotation t.avail
+    | None ->
+      Merge.Engine.select t.config.machine ~routing:t.config.routing
+        t.config.scheme ~rotation t.avail)
   | Policy.Imt ->
     (* One thread per cycle, round-robin with stalled-thread skipping. *)
     (match first_ready t (t.cycle mod t.n) with
@@ -266,7 +290,7 @@ let attribute t (h : Tel.Report.handles) (sel : Merge.Engine.selection)
     if !rem > 0 then Tel.Counters.add h.h_ilp !rem
   end
 
-let step_record t =
+let step_common t ~want_packet =
   for i = 0 to t.n - 1 do
     t.avail.(i) <-
       (match t.contexts.(i) with
@@ -274,10 +298,23 @@ let step_record t =
       | Some th ->
         (match candidate t ~hw:i th with
         | None -> None
-        | Some instr -> Some (Merge.Packet.of_instr ~thread:i instr)))
+        | Some instr ->
+          (* Wrap once per fetched instruction, not once per cycle; the
+             cache dies with [pending] at retirement. A context switch
+             can land the thread on a different hardware slot, so reuse
+             only a packet tagged with this slot. *)
+          (match th.pending_packet with
+          | Some (p : Merge.Packet.t) as r when p.threads = 1 lsl i -> r
+          | _ ->
+            let p =
+              Merge.Packet.of_instr t.config.Config.machine ~thread:i instr
+            in
+            let r = Some p in
+            th.pending_packet <- r;
+            r)))
   done;
   let rotation = if t.config.rotate_priority then t.cycle mod t.n else 0 in
-  let sel = select_policy t ~rotation in
+  let sel = select_policy t ~want_packet ~rotation in
   let issued_ops = ref 0 in
   List.iter
     (fun hw ->
@@ -325,6 +362,14 @@ let step_record t =
     | Some h -> attribute t h sel ~issued_ops:!issued_ops ~priority
     | None -> ()
   end;
+  sel
+
+let step t =
+  ignore (step_common t ~want_packet:false : Merge.Engine.selection);
+  t.cycle <- t.cycle + 1
+
+let step_record t =
+  let sel = step_common t ~want_packet:true in
   let record =
     {
       cycle = t.cycle;
@@ -339,8 +384,6 @@ let step_record t =
   t.cycle <- t.cycle + 1;
   record
 
-let step t = ignore (step_record t)
-
 let cycle (t : t) = t.cycle
 
 let ops_issued t = t.ops
@@ -351,7 +394,27 @@ let issue_hist t = Array.copy t.issue_hist
 
 let vertical_waste_cycles t = t.vertical
 
+let memo_stats t = Option.map Merge.Engine.Memo.stats t.memo
+
+(* Book the decision-cache counters for everything not yet flushed, so
+   [metrics] may be called repeatedly without double counting. *)
+let flush_memo_counters t =
+  match (t.memo, t.counters) with
+  | Some memo, Some c ->
+    let s = Merge.Engine.Memo.stats memo in
+    let fh, fm, fe = t.memo_flushed in
+    Tel.Counters.add (Tel.Counters.counter c Tel.Report.n_memo_hits) (s.hits - fh);
+    Tel.Counters.add
+      (Tel.Counters.counter c Tel.Report.n_memo_misses)
+      (s.misses - fm);
+    Tel.Counters.add
+      (Tel.Counters.counter c Tel.Report.n_memo_evictions)
+      (s.evictions - fe);
+    t.memo_flushed <- (s.hits, s.misses, s.evictions)
+  | _ -> ()
+
 let metrics t ~all_threads : Metrics.t =
+  flush_memo_counters t;
   let ia, im = Mem.Mem_system.icache_stats t.mem in
   let da, dm = Mem.Mem_system.dcache_stats t.mem in
   {

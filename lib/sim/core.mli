@@ -57,7 +57,13 @@ val issue_hist : t -> int array
 
 val vertical_waste_cycles : t -> int
 
+val memo_stats : t -> Vliw_merge.Engine.Memo.stats option
+(** Decision-cache statistics; [None] unless the policy is
+    {!Policy.Merged} (IMT/BMT never consult the merge engine). *)
+
 val metrics :
   t -> all_threads:Thread_state.t array -> Metrics.t
 (** Snapshot including memory-system statistics and per-thread
-    counters. *)
+    counters. Also flushes decision-cache statistics into the [counters]
+    registry given at {!create} (idempotently), under
+    [merge.memo.*]. *)

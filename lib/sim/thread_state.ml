@@ -11,6 +11,9 @@ type t = {
   mutable pc : int;
   mutable resume_at : int;
   mutable pending : Vliw_isa.Instr.t option;
+  mutable pending_packet : Vliw_merge.Packet.t option;
+      (* [pending] wrapped as a merge candidate, built once per fetched
+         instruction instead of once per cycle; cleared with [pending]. *)
   mutable instrs_retired : int;
   mutable ops_retired : int;
   mutable stall_src : stall_src;
@@ -36,6 +39,7 @@ let create ~id ~seed (program : Program.t) =
     pc = 0;
     resume_at = 0;
     pending = None;
+    pending_packet = None;
     instrs_retired = 0;
     ops_retired = 0;
     stall_src = Ready;

@@ -19,6 +19,10 @@ type t = {
   mutable resume_at : int;  (** First cycle the thread may issue again. *)
   mutable pending : Vliw_isa.Instr.t option;
       (** Fetched instruction waiting to issue. *)
+  mutable pending_packet : Vliw_merge.Packet.t option;
+      (** [pending] wrapped as a merge candidate, built once per fetched
+          instruction instead of once per cycle; cleared with
+          [pending]. *)
   mutable instrs_retired : int;
   mutable ops_retired : int;
   mutable stall_src : stall_src;

@@ -39,6 +39,13 @@ let n_h_capacity = "waste.horizontal.merge_capacity"
 let n_h_priority = "waste.horizontal.merge_priority"
 let n_h_ilp = "waste.horizontal.ilp"
 
+(* Merge-engine decision cache (Vliw_merge.Engine.Memo), flushed by the
+   core at metrics time. Not waste categories: they describe simulator
+   throughput, not machine behaviour. *)
+let n_memo_hits = "merge.memo.hits"
+let n_memo_misses = "merge.memo.misses"
+let n_memo_evictions = "merge.memo.evictions"
+
 let attach c =
   {
     cycles = Counters.counter c n_cycles;
@@ -98,6 +105,17 @@ let render s =
       pct_of offered waste;
     ];
   let drift = waste - attributed s in
+  let memo =
+    let hits = Counters.count s n_memo_hits in
+    let lookups = hits + Counters.count s n_memo_misses in
+    if lookups = 0 then ""
+    else
+      Printf.sprintf
+        "Merge decision cache: %d/%d lookups hit (%s), %d flushes\n" hits
+        lookups
+        (pct_of lookups hits)
+        (Counters.count s n_memo_evictions)
+  in
   Printf.sprintf
     "Stall attribution over %d cycles: %d slots offered, %d filled (%s), %d \
      wasted\n"
@@ -105,3 +123,4 @@ let render s =
   ^ Vliw_util.Text_table.render table
   ^ (if drift = 0 then ""
      else Printf.sprintf "WARNING: %d wasted slots unattributed\n" drift)
+  ^ memo

@@ -29,6 +29,16 @@ val attach : Counters.t -> handles
 val categories : (string * string) list
 (** Waste counter names with display labels, in render order. *)
 
+val n_memo_hits : string
+(** Counter name for merge decision-cache hits
+    ([merge.memo.hits]). Flushed by the simulator core at metrics time;
+    describes simulator throughput, not machine behaviour. *)
+
+val n_memo_misses : string
+
+val n_memo_evictions : string
+(** Whole-table flushes on reaching the capacity bound. *)
+
 val wasted : Counters.snapshot -> int
 (** [slots.offered - slots.filled]. *)
 

@@ -1,37 +1,122 @@
-type t = { mutable state : int64 }
+(* SplitMix64, implemented on unboxed native ints.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   OCaml's native int is 63 bits, so the 64-bit state and the scrambled
+   output are carried as two 32-bit limbs (hi, lo). This keeps the hot
+   path completely allocation-free: the Int64 formulation boxes roughly
+   ten intermediates per draw, and the simulator draws once per memory
+   operation and branch. The output sequence is bit-for-bit identical to
+   the Int64 formulation (cross-checked in test_util).
 
-let create seed = { state = seed }
+   [zhi]/[zlo] are scratch registers holding the scrambled output of the
+   latest draw; only [hi]/[lo] are generator state. *)
 
-let copy t = { state = t.state }
+type t = {
+  mutable hi : int;  (* state bits 32..63 *)
+  mutable lo : int;  (* state bits 0..31 *)
+  mutable zhi : int;
+  mutable zlo : int;
+}
 
-(* SplitMix64 step: advance by the golden gamma and scramble. *)
+let mask32 = 0xFFFFFFFF
+
+let create seed =
+  {
+    hi = Int64.to_int (Int64.shift_right_logical seed 32);
+    lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+    zhi = 0;
+    zlo = 0;
+  }
+
+let copy t = { hi = t.hi; lo = t.lo; zhi = 0; zlo = 0 }
+
+(* golden gamma 0x9E3779B97F4A7C15 *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
+
+(* z <- z lxor (z lsr k), on the (zhi, zlo) limbs; 0 < k < 32. *)
+let xor_shift t k =
+  let shi = t.zhi lsr k in
+  let slo = ((t.zhi land ((1 lsl k) - 1)) lsl (32 - k)) lor (t.zlo lsr k) in
+  t.zhi <- t.zhi lxor shi;
+  t.zlo <- t.zlo lxor slo
+
+(* z <- z * (c1·2^32 + c0) mod 2^64. Native multiplication yields the
+   exact low 63 bits of a product (wraparound is mod 2^63), so low-32
+   extractions of 32x32 products are direct; only the high half of
+   zlo·c0 needs a 16-bit limb split, because its bit 63 would be lost
+   to the native wraparound. *)
+let mul_const t c1 c0 =
+  let a1 = t.zhi and a0 = t.zlo in
+  let ah = a0 lsr 16 and al = a0 land 0xFFFF in
+  let bh = c0 lsr 16 and bl = c0 land 0xFFFF in
+  let low = al * bl in
+  let mid = (ah * bl) + (al * bh) in
+  let high = ah * bh in
+  let tt = low + ((mid land 0xFFFF) lsl 16) in
+  let p_lo = tt land mask32 in
+  let p_hi = high + (mid lsr 16) + (tt lsr 32) in
+  t.zlo <- p_lo;
+  t.zhi <- (p_hi + (a0 * c1) + (a1 * c0)) land mask32
+
+(* SplitMix64 step: advance by the golden gamma and scramble into
+   (zhi, zlo). *)
+let next t =
+  let lo = t.lo + gamma_lo in
+  t.lo <- lo land mask32;
+  t.hi <- (t.hi + gamma_hi + (lo lsr 32)) land mask32;
+  t.zhi <- t.hi;
+  t.zlo <- t.lo;
+  xor_shift t 30;
+  mul_const t 0xBF58476D 0x1CE4E5B9;
+  xor_shift t 27;
+  mul_const t 0x94D049BB 0x133111EB;
+  xor_shift t 31
+
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  next t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.zhi) 32)
+    (Int64.of_int t.zlo)
 
 let split t = create (next_int64 t)
 
 let int t bound =
   assert (bound > 0);
-  let mask = Int64.shift_right_logical (next_int64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  next t;
+  (* The Int64 formulation is (z lsr 1) rem bound. z lsr 1 is an
+     unsigned 63-bit value — one bit more than a native int holds
+     positively — so reduce limb-wise: z lsr 1 = zhi·2^31 + (zlo lsr 1).
+     For bounds below 2^30 every intermediate stays under 2^60. *)
+  if bound <= 0x40000000 then
+    (((t.zhi mod bound) * (0x80000000 mod bound)) + (t.zlo lsr 1))
+    mod bound
+  else
+    Int64.to_int
+      (Int64.rem
+         (Int64.logor
+            (Int64.shift_left (Int64.of_int t.zhi) 31)
+            (Int64.of_int (t.zlo lsr 1)))
+         (Int64.of_int bound))
 
 let int_in t lo hi =
   assert (hi >= lo);
   lo + int t (hi - lo + 1)
 
 let float t bound =
-  let mask = Int64.shift_right_logical (next_int64 t) 11 in
-  Int64.to_float mask /. 9007199254740992.0 *. bound
+  next t;
+  (* (z lsr 11) has 53 bits: exact as a float *)
+  float_of_int ((t.zhi lsl 21) lor (t.zlo lsr 11))
+  /. 9007199254740992.0 *. bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t =
+  next t;
+  t.zlo land 1 = 1
 
-let bernoulli t p = float t 1.0 < p
+(* Open-coded [float t 1.0 < p]: the uniform draw stays in registers
+   instead of crossing a function boundary as a boxed float. *)
+let bernoulli t p =
+  next t;
+  float_of_int ((t.zhi lsl 21) lor (t.zlo lsr 11)) /. 9007199254740992.0 < p
 
 let geometric t p =
   assert (p > 0.0 && p <= 1.0);

@@ -30,7 +30,7 @@ let test_all_stalled () =
 
 let test_single_available () =
   let i = instr_of [ [ Isa.Op.Alu ]; []; []; [] ] in
-  let avail = [| None; Some (M.Packet.of_instr ~thread:1 i); None; None |] in
+  let avail = [| None; Some (M.Packet.of_instr m ~thread:1 i); None; None |] in
   Alcotest.(check (list int)) "only thread 1" [ 1 ]
     (issued (scheme "3CCC") avail)
 
@@ -68,7 +68,7 @@ let test_rotation_remaps_priority () =
      with rotation 1, hardware thread 1 is wired to the priority port. *)
   let i = instr_of [ [ Isa.Op.Load ]; []; []; [] ] in
   let avail =
-    [| Some (M.Packet.of_instr ~thread:0 i); Some (M.Packet.of_instr ~thread:1 i) |]
+    [| Some (M.Packet.of_instr m ~thread:0 i); Some (M.Packet.of_instr m ~thread:1 i) |]
   in
   Alcotest.(check (list int)) "rot 0" [ 0 ] (issued (scheme "1S") ~rotation:0 avail);
   Alcotest.(check (list int)) "rot 1" [ 1 ] (issued (scheme "1S") ~rotation:1 avail)
@@ -105,7 +105,7 @@ let m8 = Isa.Machine.make ~clusters:4 ~issue_width:2 ~n_lsu:1 ~n_mul:1 ~n_branch
 let fig1_select name instrs =
   let avail =
     Array.of_list
-      (List.mapi (fun t i -> Some (M.Packet.of_instr ~thread:t i)) instrs)
+      (List.mapi (fun t i -> Some (M.Packet.of_instr m ~thread:t i)) instrs)
   in
   (M.Engine.select m8 (M.Catalog.find_exn name).scheme avail).issued
 
@@ -116,7 +116,7 @@ let test_fig1_pair1_no_merge () =
   let t0 = fig1_instr [ [ Isa.Op.Load; Isa.Op.Alu ]; [ Isa.Op.Alu ]; []; [ Isa.Op.Alu ] ] in
   let t1 = fig1_instr [ [ Isa.Op.Load ]; [ Isa.Op.Alu ]; []; [ Isa.Op.Alu ] ] in
   Alcotest.(check (list int)) "SMT cannot merge" [ 0 ] (fig1_select "1S" [ t0; t1 ]);
-  let p0 = M.Packet.of_instr ~thread:0 t0 and p1 = M.Packet.of_instr ~thread:1 t1 in
+  let p0 = M.Packet.of_instr m ~thread:0 t0 and p1 = M.Packet.of_instr m ~thread:1 t1 in
   Alcotest.(check bool) "CSMT cannot merge" false (M.Conflict.csmt_compatible p0 p1)
 
 let test_fig1_pair2_smt_only () =
@@ -124,7 +124,7 @@ let test_fig1_pair2_smt_only () =
   let t0 = fig1_instr [ [ Isa.Op.Alu ]; [ Isa.Op.Load ]; [ Isa.Op.Alu ]; [ Isa.Op.Alu ] ] in
   let t1 = fig1_instr [ [ Isa.Op.Copy ]; [ Isa.Op.Mul ]; [ Isa.Op.Store ]; [ Isa.Op.Alu ] ] in
   Alcotest.(check (list int)) "SMT merges" [ 0; 1 ] (fig1_select "1S" [ t0; t1 ]);
-  let p0 = M.Packet.of_instr ~thread:0 t0 and p1 = M.Packet.of_instr ~thread:1 t1 in
+  let p0 = M.Packet.of_instr m ~thread:0 t0 and p1 = M.Packet.of_instr m ~thread:1 t1 in
   Alcotest.(check bool) "CSMT conflicts at cluster level" false
     (M.Conflict.csmt_compatible p0 p1)
 
@@ -132,7 +132,7 @@ let test_fig1_pair3_both () =
   (* Disjoint clusters: both granularities merge. *)
   let t0 = fig1_instr [ []; [ Isa.Op.Load; Isa.Op.Alu ]; [ Isa.Op.Store ]; [] ] in
   let t1 = fig1_instr [ [ Isa.Op.Alu; Isa.Op.Copy ]; []; []; [ Isa.Op.Alu; Isa.Op.Mul ] ] in
-  let p0 = M.Packet.of_instr ~thread:0 t0 and p1 = M.Packet.of_instr ~thread:1 t1 in
+  let p0 = M.Packet.of_instr m ~thread:0 t0 and p1 = M.Packet.of_instr m ~thread:1 t1 in
   Alcotest.(check bool) "CSMT merges" true (M.Conflict.csmt_compatible p0 p1);
   Alcotest.(check bool) "SMT merges" true (M.Conflict.smt_compatible m8 p0 p1);
   Alcotest.(check (list int)) "issued" [ 0; 1 ] (fig1_select "1S" [ t0; t1 ])
@@ -146,7 +146,7 @@ let prop_equiv name_a name_b =
     (fun instrs ->
       let avail =
         Array.mapi
-          (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i)
+          (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i)
           instrs
       in
       issued (scheme name_a) avail = issued (scheme name_b) avail)
@@ -161,7 +161,7 @@ let prop_issued_subset_available =
     (fun (s, instrs) ->
       Q.assume (M.Scheme.validate s = Ok ());
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       List.for_all (fun t -> avail.(t) <> None) (issued s avail))
 
@@ -171,7 +171,7 @@ let prop_merged_packet_routable =
     (fun (s, instrs) ->
       Q.assume (M.Scheme.validate s = Ok ());
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       match (M.Engine.select m s avail).packet with
       | None -> true
@@ -184,7 +184,7 @@ let prop_csmt_one_thread_per_cluster =
   Q.Test.make ~name:"CSMT-only schemes: one thread per cluster" ~count:400
     (Tgen.avail_arb 4) (fun instrs ->
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       match (M.Engine.select m (scheme "3CCC") avail).packet with
       | None -> true
@@ -202,7 +202,7 @@ let prop_smt_issues_at_least_priority =
       Q.assume (M.Scheme.validate s = Ok ());
       Q.assume (Array.exists Option.is_some instrs);
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       issued s avail <> [])
 
@@ -256,7 +256,7 @@ let prop_parallel_csmt_matches_spec =
     (Tgen.avail_arb 4)
     (fun instrs ->
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       let inputs =
         Array.to_list avail
@@ -274,7 +274,7 @@ let prop_selection_maximal =
     (Tgen.avail_arb 4)
     (fun instrs ->
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       let sel = M.Engine.select m (scheme "3CCC") avail in
       match sel.packet with
@@ -295,7 +295,7 @@ let prop_six_thread_engine =
   Q.Test.make ~name:"6-thread schemes behave" ~count:200 (Tgen.avail_arb 6)
     (fun instrs ->
       let avail =
-        Array.mapi (fun t i -> Option.map (M.Packet.of_instr ~thread:t) i) instrs
+        Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
       in
       let s = M.Scheme_name.parse_exn "2SC5" in
       let sel = M.Engine.select m s avail in

@@ -64,7 +64,7 @@ let test_max_nodes_filter () =
 let ops klasses = List.mapi (fun i k -> Isa.Op.make k i) klasses
 
 let packet thread klass_lists =
-  M.Packet.of_instr ~thread
+  M.Packet.of_instr m ~thread
     (Isa.Instr.of_cluster_ops ~addr:0 (Array.of_list (List.map ops klass_lists)))
 
 let test_fixed_slots_stricter_example () =
@@ -92,8 +92,8 @@ let prop_fixed_implies_flexible =
   Q.Test.make ~name:"fixed-slot compatibility implies flexible" ~count:300
     Q.(pair (Tgen.instr_arb ()) (Tgen.instr_arb ()))
     (fun (i1, i2) ->
-      let a = M.Packet.of_instr ~thread:0 i1 in
-      let b = M.Packet.of_instr ~thread:1 i2 in
+      let a = M.Packet.of_instr m ~thread:0 i1 in
+      let b = M.Packet.of_instr m ~thread:1 i2 in
       Q.assume (M.Conflict.smt_compatible_fixed m a b);
       M.Conflict.smt_compatible m a b)
 

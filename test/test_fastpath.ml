@@ -1,0 +1,302 @@
+(* The merge-engine fast path against its oracle.
+
+   [Engine.select] runs the signature-based integer conflict checks;
+   [Engine.select_reference] evaluates the same scheme tree with the
+   original list-walking checks (and live routing). The properties here
+   pin the two to bit-identical selections over the full 4-thread
+   design space, both routing modes and all rotations, and pin the
+   decision cache ([Engine.Memo]) to the uncached engine — including
+   across evictions. *)
+
+module Isa = Vliw_isa
+module M = Vliw_merge
+module Q = QCheck
+
+let m = Isa.Machine.default
+
+let packets_of instrs =
+  Array.mapi (fun t i -> Option.map (M.Packet.of_instr m ~thread:t) i) instrs
+
+let routing_modes = [ M.Conflict.Flexible; M.Conflict.Fixed_slots ]
+
+let routing_name = function
+  | M.Conflict.Flexible -> "flexible"
+  | M.Conflict.Fixed_slots -> "fixed"
+
+let same_selection (a : M.Engine.selection) (b : M.Engine.selection) =
+  a.issued = b.issued && a.rejected = b.rejected && a.packet = b.packet
+
+let show_selection (s : M.Engine.selection) =
+  Printf.sprintf "issued=[%s] rejected=[%s] packet=%s"
+    (String.concat ";" (List.map string_of_int s.issued))
+    (String.concat ";"
+       (List.map
+          (fun (r : M.Engine.reject) -> string_of_int r.thread)
+          s.rejected))
+    (match s.packet with
+    | None -> "none"
+    | Some p -> Printf.sprintf "threads=%x mask=%x" p.threads p.mask)
+
+(* --- fast = reference, randomized over schemes/avail/rotation ------- *)
+
+let four_thread_space = M.Scheme_space.enumerate 4
+
+let prop_fast_equals_reference =
+  Q.Test.make ~name:"select = select_reference (random schemes)" ~count:800
+    (Q.triple
+       (Q.make ~print:string_of_int (Q.Gen.int_bound (List.length four_thread_space - 1)))
+       (Tgen.avail_arb 4)
+       (Q.make ~print:string_of_int (Q.Gen.int_bound 3)))
+    (fun (si, instrs, rotation) ->
+      let scheme = List.nth four_thread_space si in
+      let avail = packets_of instrs in
+      List.for_all
+        (fun routing ->
+          same_selection
+            (M.Engine.select m ~routing scheme ~rotation avail)
+            (M.Engine.select_reference m ~routing scheme ~rotation avail))
+        routing_modes)
+
+(* Same property over random tree shapes beyond the enumerated space
+   (parallel CSMT nodes, 6 threads). *)
+let prop_fast_equals_reference_random_trees =
+  Q.Test.make ~name:"select = select_reference (random trees, 6 threads)"
+    ~count:400
+    (Q.pair (Tgen.scheme_arb 6) (Tgen.avail_arb 6))
+    (fun (scheme, instrs) ->
+      let avail = packets_of instrs in
+      List.for_all
+        (fun routing ->
+          same_selection
+            (M.Engine.select m ~routing scheme avail)
+            (M.Engine.select_reference m ~routing scheme avail))
+        routing_modes)
+
+(* Exhaustive over the design space with a fixed adversarial avail: every
+   enumerated 4-thread scheme, both routings, all rotations. *)
+let test_fast_equals_reference_exhaustive () =
+  let ops klasses = List.mapi (fun i k -> Isa.Op.make k i) klasses in
+  let instr_of klass_lists =
+    Isa.Instr.of_cluster_ops ~addr:0 (Array.of_list (List.map ops klass_lists))
+  in
+  let avails =
+    [
+      (* dense: every thread competes for cluster 0 *)
+      [|
+        Some (instr_of [ [ Isa.Op.Load; Isa.Op.Alu ]; []; []; [] ]);
+        Some (instr_of [ [ Isa.Op.Alu ]; [ Isa.Op.Mul ]; []; [] ]);
+        Some (instr_of [ [ Isa.Op.Branch ]; []; [ Isa.Op.Alu ]; [] ]);
+        Some (instr_of [ [ Isa.Op.Alu; Isa.Op.Alu ]; []; []; [ Isa.Op.Store ] ]);
+      |];
+      (* sparse with stalls *)
+      [|
+        None;
+        Some (instr_of [ []; [ Isa.Op.Alu ]; []; [] ]);
+        None;
+        Some (instr_of [ []; [ Isa.Op.Mul; Isa.Op.Alu ]; []; [] ]);
+      |];
+      (* nop-only packets merge with anything *)
+      [|
+        Some (Isa.Instr.make ~clusters:4 ~addr:0);
+        Some (instr_of [ [ Isa.Op.Alu ]; [ Isa.Op.Alu ]; [ Isa.Op.Alu ]; [ Isa.Op.Alu ] ]);
+        Some (Isa.Instr.make ~clusters:4 ~addr:0);
+        None;
+      |];
+    ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun instrs ->
+          let avail = packets_of instrs in
+          List.iter
+            (fun routing ->
+              for rotation = 0 to 3 do
+                let fast = M.Engine.select m ~routing scheme ~rotation avail in
+                let slow =
+                  M.Engine.select_reference m ~routing scheme ~rotation avail
+                in
+                incr checked;
+                if not (same_selection fast slow) then
+                  Alcotest.failf "%s, %s, rot %d:\nfast %s\nref  %s"
+                    (M.Scheme.to_string scheme) (routing_name routing) rotation
+                    (show_selection fast) (show_selection slow)
+              done)
+            routing_modes)
+        avails)
+    four_thread_space;
+  Alcotest.(check bool) "covered the space" true (!checked > 1000)
+
+(* --- decision cache = uncached engine ------------------------------- *)
+
+let prop_memo_matches_select =
+  Q.Test.make ~name:"Memo.select/select_issue = select" ~count:600
+    (Q.triple
+       (Q.make ~print:string_of_int (Q.Gen.int_bound (List.length four_thread_space - 1)))
+       (Q.list_of_size (Q.Gen.return 6) (Tgen.avail_arb 4))
+       (Q.make ~print:string_of_int (Q.Gen.int_bound 3)))
+    (fun (si, avail_list, rotation) ->
+      let scheme = List.nth four_thread_space si in
+      List.for_all
+        (fun routing ->
+          let memo = M.Engine.Memo.create m ~routing scheme in
+          List.for_all
+            (fun instrs ->
+              let avail = packets_of instrs in
+              let plain = M.Engine.select m ~routing scheme ~rotation avail in
+              (* Two passes per avail: the second one exercises the hit
+                 path for cacheable densities. *)
+              List.for_all
+                (fun (_ : int) ->
+                  let full = M.Engine.Memo.select memo ~rotation avail in
+                  let issue = M.Engine.Memo.select_issue memo ~rotation avail in
+                  same_selection full plain
+                  && issue.issued = plain.issued
+                  && issue.rejected = plain.rejected
+                  &&
+                  (* select_issue materializes a packet only for the
+                     0/1-live closed forms. *)
+                  match issue.packet with
+                  | None -> true
+                  | Some _ -> List.length plain.issued <= 1)
+                [ 1; 2 ])
+            avail_list)
+        routing_modes)
+
+let test_memo_eviction () =
+  let scheme = (M.Catalog.find_exn "3SSS").scheme in
+  let routing = M.Conflict.Flexible in
+  let memo = M.Engine.Memo.create ~cap:8 m ~routing scheme in
+  (* Distinct 2-live keys: vary one thread's instruction shape so the
+     signature id changes each round; with cap 8 the table must flush. *)
+  let mk n_alu =
+    let ops = List.init n_alu (fun i -> Isa.Op.make Isa.Op.Alu i) in
+    Isa.Instr.of_cluster_ops ~addr:0 [| ops; []; []; [] |]
+  in
+  let fixed = mk 1 in
+  (* Flood the table with more distinct (shape, rotation) keys than the
+     cap holds, checking every cached answer against the plain engine. *)
+  for round = 0 to 39 do
+    let variable =
+      let n = (round mod 10) + 1 in
+      let ops =
+        List.init (min 4 n) (fun i -> Isa.Op.make Isa.Op.Alu i)
+        @ (if n > 4 then [ Isa.Op.make Isa.Op.Load 9 ] else [])
+      in
+      let cl = Array.make 4 [] in
+      cl.(round mod 4) <- ops;
+      Isa.Instr.of_cluster_ops ~addr:(round * 64) cl
+    in
+    let avail = packets_of [| Some fixed; Some variable; None; None |] in
+    for rotation = 0 to 3 do
+      let cached = M.Engine.Memo.select memo ~rotation avail in
+      let plain = M.Engine.select m ~routing scheme ~rotation avail in
+      if not (same_selection cached plain) then
+        Alcotest.failf "round %d rot %d: cached %s plain %s" round rotation
+          (show_selection cached) (show_selection plain)
+    done
+  done;
+  let stats = M.Engine.Memo.stats memo in
+  Alcotest.(check bool) "table flushed at least once" true (stats.evictions > 0);
+  Alcotest.(check bool) "bounded by cap" true (stats.size <= 8);
+  (* Post-flush the table still serves: the same lookup twice in a row
+     must hit. *)
+  let avail = packets_of [| Some fixed; Some (mk 2); None; None |] in
+  let first = M.Engine.Memo.select memo avail in
+  let before = (M.Engine.Memo.stats memo).hits in
+  let second = M.Engine.Memo.select memo avail in
+  let after = (M.Engine.Memo.stats memo).hits in
+  Alcotest.(check bool) "identical selections" true
+    (same_selection first second);
+  Alcotest.(check int) "second lookup hits" (before + 1) after
+
+let test_memo_closed_forms () =
+  let scheme = (M.Catalog.find_exn "3CCC").scheme in
+  let memo = M.Engine.Memo.create m ~routing:M.Conflict.Flexible scheme in
+  let empty = M.Engine.Memo.select memo (Array.make 4 None) in
+  Alcotest.(check (list int)) "0 live issues nothing" [] empty.issued;
+  Alcotest.(check bool) "0 live, no packet" true (empty.packet = None);
+  let i = Isa.Instr.of_cluster_ops ~addr:0 [| [ Isa.Op.make Isa.Op.Alu 0 ]; []; []; [] |] in
+  let avail = packets_of [| None; None; Some i; None |] in
+  let one = M.Engine.Memo.select memo avail in
+  Alcotest.(check (list int)) "1 live issues alone" [ 2 ] one.issued;
+  Alcotest.(check bool) "1 live reuses the candidate packet" true
+    (one.packet == avail.(2));
+  let stats = M.Engine.Memo.stats memo in
+  Alcotest.(check int) "closed forms never touch the table" 0
+    (stats.hits + stats.misses)
+
+(* --- signatures ----------------------------------------------------- *)
+
+let test_signature_empty () =
+  let nop = Isa.Instr.make ~clusters:4 ~addr:0 in
+  let sg = Isa.Instr.signature m nop in
+  Alcotest.(check int) "empty mask" 0 sg.sg_mask;
+  Alcotest.(check int) "no ops" 0 sg.sg_ops;
+  Alcotest.(check bool) "id interned" true (sg.sg_id >= 0)
+
+let test_signature_shared_id () =
+  let mk () =
+    Isa.Instr.of_cluster_ops ~addr:4096
+      [| [ Isa.Op.make Isa.Op.Load 0; Isa.Op.make Isa.Op.Alu 1 ]; []; [ Isa.Op.make Isa.Op.Mul 2 ]; [] |]
+  in
+  let a = Isa.Instr.signature m (mk ()) in
+  let b = Isa.Instr.signature m (mk ()) in
+  Alcotest.(check int) "structurally equal instrs intern to one id" a.sg_id
+    b.sg_id;
+  Alcotest.(check int) "mask covers clusters 0 and 2" 0b101 a.sg_mask
+
+let prop_signature_counts_consistent =
+  Q.Test.make ~name:"signature counts agree with the op lists" ~count:300
+    (Tgen.instr_arb ())
+    (fun instr ->
+      let sg = Isa.Instr.signature m instr in
+      sg.sg_ops = Isa.Instr.op_count instr
+      && Isa.Instr.mem_op_count instr = List.length (Isa.Instr.mem_ops instr)
+      && sg.sg_mask = Isa.Instr.cluster_mask instr)
+
+(* --- routing stays off the per-cycle path --------------------------- *)
+
+let test_no_routing_per_cycle () =
+  let profiles = (Vliw_workloads.Mixes.find_exn "LLHH").members in
+  let config = Vliw_sim.Config.make (M.Catalog.find_exn "2SC3").scheme in
+  M.Routing.reset_calls ();
+  let metrics =
+    Vliw_sim.Multitask.run config ~seed:11L
+      ~schedule:Vliw_sim.Multitask.quick_schedule profiles
+  in
+  Alcotest.(check bool) "simulated some cycles" true
+    (metrics.Vliw_sim.Metrics.cycles > 0);
+  (* Signatures are computed at Program.generate time; the per-cycle
+     conflict checks are pure integer arithmetic. A single route call
+     here means the fast path regressed to re-routing. *)
+  Alcotest.(check int) "route calls during simulation" 0 (M.Routing.calls ());
+  (* The counter itself works: the fixed-slot reference checks re-route
+     each thread's operations on every comparison. *)
+  let i =
+    Isa.Instr.of_cluster_ops ~addr:0
+      [| [ Isa.Op.make Isa.Op.Alu 0 ]; []; []; [] |]
+  in
+  let avail = packets_of [| Some i; Some i; None; None |] in
+  ignore
+    (M.Engine.select_reference m ~routing:M.Conflict.Fixed_slots
+       (M.Catalog.find_exn "1S").scheme avail
+      : M.Engine.selection);
+  Alcotest.(check bool) "reference path routes" true (M.Routing.calls () > 0)
+
+let suite =
+  ( "fastpath",
+    [
+      Alcotest.test_case "fast = reference, exhaustive space" `Quick
+        test_fast_equals_reference_exhaustive;
+      Alcotest.test_case "memo eviction stays correct" `Quick test_memo_eviction;
+      Alcotest.test_case "memo closed forms" `Quick test_memo_closed_forms;
+      Alcotest.test_case "signature of empty instr" `Quick test_signature_empty;
+      Alcotest.test_case "signature interning" `Quick test_signature_shared_id;
+      Alcotest.test_case "no routing per cycle" `Quick test_no_routing_per_cycle;
+      Tgen.to_alcotest prop_fast_equals_reference;
+      Tgen.to_alcotest prop_fast_equals_reference_random_trees;
+      Tgen.to_alcotest prop_memo_matches_select;
+      Tgen.to_alcotest prop_signature_counts_consistent;
+    ] )

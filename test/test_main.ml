@@ -10,6 +10,7 @@ let () =
       Test_compiler.suite;
       Test_merge.suite;
       Test_engine.suite;
+      Test_fastpath.suite;
       Test_cost.suite;
       Test_sim.suite;
       Test_workloads.suite;

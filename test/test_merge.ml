@@ -11,7 +11,7 @@ let instr_of klass_lists =
   Isa.Instr.of_cluster_ops ~addr:0 (Array.of_list (List.map ops klass_lists))
 
 let packet ?(thread = 0) klass_lists =
-  M.Packet.of_instr ~thread (instr_of klass_lists)
+  M.Packet.of_instr m ~thread (instr_of klass_lists)
 
 (* --- Packet --- *)
 
@@ -33,7 +33,7 @@ let test_packet_union () =
   Alcotest.(check int) "ops" 2 (M.Packet.op_count u)
 
 let test_packet_empty () =
-  let p = M.Packet.of_instr ~thread:0 (Isa.Instr.make ~clusters:4 ~addr:0) in
+  let p = M.Packet.of_instr m ~thread:0 (Isa.Instr.make ~clusters:4 ~addr:0) in
   Alcotest.(check bool) "empty" true (M.Packet.is_empty p);
   Alcotest.(check int) "mask" 0 p.mask
 
@@ -68,8 +68,8 @@ let prop_csmt_implies_smt =
   Q.Test.make ~name:"cluster-level compatibility implies op-level" ~count:300
     Q.(pair (Tgen.instr_arb ()) (Tgen.instr_arb ()))
     (fun (i1, i2) ->
-      let a = M.Packet.of_instr ~thread:0 i1 in
-      let b = M.Packet.of_instr ~thread:1 i2 in
+      let a = M.Packet.of_instr m ~thread:0 i1 in
+      let b = M.Packet.of_instr m ~thread:1 i2 in
       Q.assume (M.Conflict.csmt_compatible a b);
       M.Conflict.smt_compatible m a b)
 
@@ -77,8 +77,8 @@ let prop_conflict_symmetric =
   Q.Test.make ~name:"conflict checks are symmetric" ~count:300
     Q.(pair (Tgen.instr_arb ()) (Tgen.instr_arb ()))
     (fun (i1, i2) ->
-      let a = M.Packet.of_instr ~thread:0 i1 in
-      let b = M.Packet.of_instr ~thread:1 i2 in
+      let a = M.Packet.of_instr m ~thread:0 i1 in
+      let b = M.Packet.of_instr m ~thread:1 i2 in
       M.Conflict.csmt_compatible a b = M.Conflict.csmt_compatible b a
       && M.Conflict.smt_compatible m a b = M.Conflict.smt_compatible m b a)
 
@@ -115,8 +115,8 @@ let prop_smt_compatible_routes =
   Q.Test.make ~name:"compatible merges always route" ~count:300
     Q.(pair (Tgen.instr_arb ()) (Tgen.instr_arb ()))
     (fun (i1, i2) ->
-      let a = M.Packet.of_instr ~thread:0 i1 in
-      let b = M.Packet.of_instr ~thread:1 i2 in
+      let a = M.Packet.of_instr m ~thread:0 i1 in
+      let b = M.Packet.of_instr m ~thread:1 i2 in
       Q.assume (M.Conflict.smt_compatible m a b);
       match M.Routing.route m (M.Packet.union a b) with
       | None -> false
@@ -126,7 +126,7 @@ let prop_smt_compatible_routes =
 let prop_routed_slots_legal =
   Q.Test.make ~name:"routed slots respect capabilities" ~count:300
     (Tgen.instr_arb ()) (fun i ->
-      let p = M.Packet.of_instr ~thread:0 i in
+      let p = M.Packet.of_instr m ~thread:0 i in
       match M.Routing.route m p with
       | None -> false
       | Some routed ->

@@ -76,6 +76,59 @@ let test_gaussian_moments () =
   Alcotest.(check bool) "mean ~3" true (abs_float (mean -. 3.0) < 0.1);
   Alcotest.(check bool) "sd ~2" true (abs_float (sd -. 2.0) < 0.1)
 
+(* The limb-based implementation against a straight Int64 SplitMix64:
+   identical raw streams, and identical [int]/[float]/[bool] projections
+   (the projections' limb arithmetic is the part most worth pinning). *)
+module Ref64 = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+  let float t bound =
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    /. 9007199254740992.0 *. bound
+
+  let bool t = Int64.logand (next t) 1L = 1L
+end
+
+let test_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let a = Rng.create seed and b = Ref64.create seed in
+      for _ = 1 to 200 do
+        Alcotest.(check int64) "raw stream" (Ref64.next b) (Rng.next_int64 a)
+      done;
+      (* Projections, including bounds around the 2^30 fast/slow split. *)
+      List.iter
+        (fun bound ->
+          let a = Rng.create seed and b = Ref64.create seed in
+          for _ = 1 to 100 do
+            Alcotest.(check int) "int projection" (Ref64.int b bound)
+              (Rng.int a bound)
+          done)
+        [ 2; 7; 4096; 0x40000000; 0x40000001; max_int ];
+      let a = Rng.create seed and b = Ref64.create seed in
+      for _ = 1 to 100 do
+        Alcotest.(check (float 0.0)) "float projection" (Ref64.float b 1.0)
+          (Rng.float a 1.0)
+      done;
+      let a = Rng.create seed and b = Ref64.create seed in
+      for _ = 1 to 100 do
+        Alcotest.(check bool) "bool projection" (Ref64.bool b) (Rng.bool a)
+      done)
+    [ 0L; 1L; 42L; -1L; 0x5EEDL; Int64.min_int; Int64.max_int; 0xDEADBEEFCAFEL ]
+
 let prop_int_bound =
   Q.Test.make ~name:"int within bound" ~count:500
     Q.(pair (int_range 1 1_000_000) small_int)
@@ -105,6 +158,8 @@ let suite =
   ( "rng",
     [
       Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "matches Int64 SplitMix64" `Quick
+        test_matches_int64_reference;
       Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
       Alcotest.test_case "copy independent" `Quick test_copy_independent;
       Alcotest.test_case "split independent" `Quick test_split_independent;
