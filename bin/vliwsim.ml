@@ -3,12 +3,25 @@
    Subcommands:
    - exp: regenerate a paper table/figure (or all of them)
    - run: one simulation of a scheme on a workload, with ablation flags
+   - check: run the self-check battery (invariants + select oracle probe)
    - schemes: list the scheme catalog with hardware costs
-   - benchmarks: list the benchmark profiles *)
+   - benchmarks: list the benchmark profiles
+
+   Exit codes (uniform across subcommands): 0 success, 1 runtime error
+   (simulation/check/IO failure; diagnostic on stderr), 2 usage error
+   (bad flags, unknown names; diagnostic on stderr). *)
 
 open Cmdliner
 
 module E = Vliw_experiments
+
+exception Usage_error of string
+(* Raised by command bodies on a bad invocation (unknown experiment /
+   scheme / mix / benchmark, inconsistent flags); mapped to exit code 2
+   alongside cmdliner's own parse errors. Runtime failures propagate as
+   ordinary exceptions and exit 1. *)
+
+let usage fmt = Printf.ksprintf (fun s -> raise (Usage_error s)) fmt
 
 let scale_conv =
   let parse = function
@@ -104,11 +117,37 @@ let sweep_telemetry ctx =
     else None
   else None
 
-let run_experiment scale seed csv_dir jobs quiet telemetry name =
+(* After any run that forced the shared sweep: surface degraded cells
+   (retry budget exhausted, rendered "n/a") on stderr so a clean-looking
+   table never hides them. *)
+let warn_degraded ctx =
+  if Lazy.is_val ctx.E.Registry.fig10 then begin
+    let cells = (Lazy.force ctx.E.Registry.fig10).E.Fig10.cells in
+    match E.Sweep.degraded cells with
+    | [] -> ()
+    | ds ->
+      Printf.eprintf "warning: %d sweep cell(s) degraded to n/a:\n"
+        (List.length ds);
+      List.iter
+        (fun (c : E.Sweep.cell) ->
+          Printf.eprintf "  %s/%s after %d attempt(s): %s\n" c.mix c.scheme
+            c.attempts
+            (Option.value ~default:"unknown error" c.error))
+        ds;
+      prerr_string "%!"
+  end
+
+let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
+    checkpoint resume name =
+  if resume && checkpoint = None then
+    usage "--resume requires --checkpoint FILE (no journal to resume from)";
+  if max_retries < 0 then usage "--max-retries must be non-negative";
   let ctx =
     E.Registry.make_ctx ~scale ~seed ~jobs
       ?progress:(progress_reporter ~quiet ())
-      ~telemetry ()
+      ~telemetry ~max_retries ?checkpoint ~resume
+      ~log:(fun msg -> Printf.eprintf "note: %s\n%!" msg)
+      ()
   in
   let one entry =
     let text, csv = E.Registry.run_entry ctx entry in
@@ -126,10 +165,7 @@ let run_experiment scale seed csv_dir jobs quiet telemetry name =
   | id ->
     (match E.Registry.find id with
     | Some entry -> one entry
-    | None ->
-      prerr_endline
-        ("unknown experiment: " ^ id ^ " (see `vliwsim exp list`)");
-      exit 2));
+    | None -> usage "unknown experiment: %s (see `vliwsim exp list`)" id));
   if telemetry then begin
     match sweep_telemetry ctx with
     | None ->
@@ -143,6 +179,7 @@ let run_experiment scale seed csv_dir jobs quiet telemetry name =
       print_string (Vliw_telemetry.Report.render snap);
       export_csv csv_dir "telemetry.csv" (E.Sweep.telemetry_csv cells)
   end;
+  warn_degraded ctx;
   0
 
 let exp_cmd =
@@ -174,19 +211,48 @@ let exp_cmd =
              the aggregated stall attribution (observation-only; results \
              are unchanged). With $(b,--csv), also writes telemetry.csv.")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Retry a failing sweep cell up to $(docv) times before \
+             recording it as degraded (n/a) instead of aborting the \
+             sweep. Retries cannot change results: cells are pure \
+             functions of their seeds.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal every completed cell of the shared (mix x scheme) \
+             sweep to $(docv) (atomic rewrite per cell; kill-safe at any \
+             point).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore cells already recorded in the $(b,--checkpoint) \
+             journal instead of re-simulating them (bit-identical); only \
+             missing cells run. A journal from a different configuration \
+             is ignored.")
+  in
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(
       const run_experiment $ scale_arg $ seed_arg $ csv_arg $ jobs_arg
-      $ quiet_arg $ telemetry_arg $ name_arg)
+      $ quiet_arg $ telemetry_arg $ retries_arg $ checkpoint_arg
+      $ resume_arg $ name_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
 let resolve_scheme name =
   match Vliw_merge.Scheme_name.parse name with
   | Ok scheme -> scheme
-  | Error msg ->
-    prerr_endline ("unknown scheme " ^ name ^ ": " ^ msg);
-    exit 2
+  | Error msg -> usage "unknown scheme %s: %s" name msg
 
 let run_sim scale seed scheme_name mix_name benchmarks perfect fixed_priority
     no_stall_dmiss fixed_slots trace_len =
@@ -197,17 +263,13 @@ let run_sim scale seed scheme_name mix_name benchmarks perfect fixed_priority
     | [] ->
       (match Vliw_workloads.Mixes.find mix_name with
       | Some mix -> mix.members
-      | None ->
-        prerr_endline ("unknown mix: " ^ mix_name);
-        exit 2)
+      | None -> usage "unknown mix: %s" mix_name)
     | names ->
       List.map
         (fun n ->
           match Vliw_workloads.Benchmarks.find n with
           | Some p -> p
-          | None ->
-            prerr_endline ("unknown benchmark: " ^ n);
-            exit 2)
+          | None -> usage "unknown benchmark: %s" n)
         names
   in
   let routing =
@@ -352,9 +414,7 @@ let run_trace scheme_name mix_name cycles perfect format output =
   let mix =
     match Vliw_workloads.Mixes.find mix_name with
     | Some m -> m
-    | None ->
-      prerr_endline ("unknown mix: " ^ mix_name);
-      exit 2
+    | None -> usage "unknown mix: %s" mix_name
   in
   let config = Vliw_sim.Config.make scheme in
   let n = Vliw_sim.Config.contexts config in
@@ -438,9 +498,7 @@ let run_profile scale seed jobs quiet trace_out csv_dir name =
   let entry =
     match E.Registry.find name with
     | Some entry -> entry
-    | None ->
-      prerr_endline ("unknown experiment: " ^ name ^ " (see `vliwsim exp list`)");
-      exit 2
+    | None -> usage "unknown experiment: %s (see `vliwsim exp list`)" name
   in
   ignore (E.Registry.run_entry ctx entry);
   match sweep_telemetry ctx with
@@ -512,25 +570,19 @@ let run_compile bench_name mode_str trace_len dump seed =
   let profile =
     match Vliw_workloads.Benchmarks.find bench_name with
     | Some p -> p
-    | None ->
-      prerr_endline ("unknown benchmark: " ^ bench_name);
-      exit 2
+    | None -> usage "unknown benchmark: %s" bench_name
   in
   let mode =
     match mode_str with
     | "block" -> `Block
     | "trace" -> `Trace trace_len
-    | other ->
-      prerr_endline ("unknown mode " ^ other ^ " (block|trace)");
-      exit 2
+    | other -> usage "unknown mode %s (block|trace)" other
   in
   let machine = Vliw_isa.Machine.default in
   let program = Vliw_compiler.Program.generate ~seed ~mode machine profile in
   (match Vliw_compiler.Program.validate machine program with
   | Ok () -> ()
-  | Error msg ->
-    prerr_endline ("generated program failed validation: " ^ msg);
-    exit 1);
+  | Error msg -> failwith ("generated program failed validation: " ^ msg));
   Format.printf "benchmark %s, %s scheduling@." profile.name
     (match mode with `Block -> "block" | `Trace n -> Printf.sprintf "%d-block trace" n);
   Format.printf "  regions: %d, instructions: %d, operations: %d@."
@@ -571,9 +623,102 @@ let benchmarks_cmd =
     (Cmd.info "benchmarks" ~doc:"List the Table 1 benchmark profiles.")
     Term.(const list_benchmarks $ const ())
 
+(* --- check ---------------------------------------------------------- *)
+
+let run_check scale seed jobs quiet =
+  Vliw_sim.Invariants.set_enforced true;
+  let failures = ref 0 in
+  let report name = function
+    | Ok () -> Printf.printf "ok   %s\n%!" name
+    | Error msg ->
+      incr failures;
+      Printf.printf "FAIL %s: %s\n%!" name msg
+  in
+  let catching f =
+    match f () with
+    | () -> Ok ()
+    | exception Vliw_sim.Invariants.Violation msg -> Error msg
+  in
+  (* Fast path vs oracle on every catalog scheme. *)
+  List.iter
+    (fun (e : Vliw_merge.Catalog.entry) ->
+      report
+        ("select = select_reference: " ^ e.name)
+        (catching (fun () -> Vliw_sim.Invariants.check_select ~seed e.scheme)))
+    Vliw_merge.Catalog.all;
+  (* Every registered experiment with enforcement on: each simulation's
+     metrics record passes through [Invariants.check_metrics] (Multitask
+     hook) and each telemetry cell through [check_attribution]. One ctx:
+     the shared fig10 grid is forced once and reused. *)
+  let ctx =
+    E.Registry.make_ctx ~scale ~seed ~jobs
+      ?progress:(progress_reporter ~quiet ())
+      ~telemetry:true ()
+  in
+  List.iter
+    (fun entry ->
+      report
+        ("experiment: " ^ E.Registry.id entry)
+        (catching (fun () -> ignore (E.Registry.run_entry ctx entry))))
+    E.Registry.standard;
+  (match sweep_telemetry ctx with
+  | None -> ()
+  | Some cells ->
+    report "sweep: no degraded cells"
+      (match E.Sweep.degraded cells with
+      | [] -> Ok ()
+      | ds ->
+        Error
+          (String.concat "; "
+             (List.map
+                (fun (c : E.Sweep.cell) ->
+                  Printf.sprintf "%s/%s: %s" c.mix c.scheme
+                    (Option.value ~default:"unknown error" c.error))
+                ds)));
+    report "sweep: exact stall attribution"
+      (catching (fun () ->
+           Vliw_sim.Invariants.check_attribution (E.Sweep.merged_telemetry cells))));
+  if !failures = 0 then begin
+    print_endline "all checks passed";
+    0
+  end
+  else begin
+    Printf.eprintf "%d check(s) failed\n" !failures;
+    1
+  end
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the self-check battery: conservation invariants on every \
+          registered experiment (telemetry on, enforcement on) and the \
+          sampled select-vs-oracle probe on every catalog scheme. Exits 1 \
+          if any check fails.")
+    Term.(const run_check $ scale_arg $ seed_arg $ jobs_arg $ quiet_arg)
+
 let () =
   let doc = "Thread merging schemes for multithreaded clustered VLIW processors" in
   let info = Cmd.info "vliwsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info
-          [ exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd;
-            schemes_cmd; benchmarks_cmd ]))
+  let group =
+    Cmd.group info
+      [
+        exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd; check_cmd;
+        schemes_cmd; benchmarks_cmd;
+      ]
+  in
+  (* Uniform exit-code policy. [~catch:false] lets command-body
+     exceptions reach us instead of cmdliner's backtrace dump (which
+     exits 124): usage problems (ours or cmdliner's) are 2, runtime
+     failures are 1, and both diagnose on stderr. *)
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1 (* unreachable with ~catch:false *)
+  | exception Usage_error msg ->
+    Printf.eprintf "vliwsim: %s\n" msg;
+    exit 2
+  | exception e ->
+    Printf.eprintf "vliwsim: error: %s\n" (Printexc.to_string e);
+    exit 1

@@ -1,0 +1,61 @@
+(** Sweep checkpoint journal: crash-safe persistence of completed
+    (mix, scheme) cells, so an interrupted sweep resumes instead of
+    restarting.
+
+    A journal is a plain-text file: a magic line, a [meta] header
+    pinning the sweep configuration (scale, master seed, scheme and mix
+    lists, telemetry flag), then one line per completed cell. IPC values
+    are stored as the hex image of their IEEE-754 bits, which is what
+    makes a resumed grid bit-identical to an uninterrupted run. Every
+    save goes through {!Vliw_util.Csv.atomically} (temp-file + rename),
+    so a kill mid-save leaves the previous journal intact, never a torn
+    file.
+
+    Degraded cells (retry budget exhausted) are not journaled: resuming
+    a sweep retries them rather than pinning the failure. *)
+
+type meta = {
+  scale : string;  (** {!Common.scale_name} of the sweep's scale. *)
+  seed : int64;  (** Master seed. *)
+  scheme_names : string list;
+  mix_names : string list;
+  telemetry : bool;
+}
+(** The sweep configuration a journal belongs to. {!Vliw_experiments.Sweep}
+    refuses to resume from a journal whose [meta] differs — cells from a
+    different grid must never be spliced in. *)
+
+type record = {
+  mix : string;
+  scheme : string;
+  row_seed : int64;  (** The row's derived simulation seed, for audit. *)
+  ipc : float;
+  attempts : int;  (** Simulation attempts the cell took (1 = no retry). *)
+  counters : (string * int) list option;
+      (** Telemetry counter snapshot, when the sweep ran with telemetry.
+          Histograms are not journaled; a resumed cell restores its
+          counters only. *)
+}
+
+type t = { meta : meta; records : record list }
+
+val create : meta -> t
+(** Empty journal for a sweep configuration. *)
+
+val add : t -> record -> t
+(** Append one completed cell (persist with {!save}). *)
+
+val find : t -> mix:string -> scheme:string -> record option
+
+val meta_equal : meta -> meta -> bool
+
+val save : path:string -> t -> unit
+(** Atomic whole-file rewrite (temp + rename). *)
+
+val load : path:string -> (t, string) result
+(** Parse a journal. Malformed cell lines are dropped (the sweep simply
+    re-runs those cells); a missing file, bad magic or unparsable meta
+    line is an [Error]. *)
+
+val to_string : t -> string
+(** The serialized journal text (what {!save} writes). *)

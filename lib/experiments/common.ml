@@ -15,7 +15,23 @@ let schedule_of_scale = function
       max_cycles = 20_000_000;
     }
 
+let scale_name = function
+  | Quick -> "quick"
+  | Default -> "default"
+  | Full -> "full"
+
+let scale_of_name = function
+  | "quick" -> Some Quick
+  | "default" -> Some Default
+  | "full" -> Some Full
+  | _ -> None
+
 let default_seed = 0xC5EEDL
+
+(* Degraded sweep cells carry [nan]; every renderer funnels through here
+   so they surface as "n/a" instead of a garbage number. *)
+let ipc_string ?(decimals = 4) v =
+  if Float.is_nan v then "n/a" else Printf.sprintf "%.*f" decimals v
 
 let single_thread_ipc ?(scale = Default) ?(seed = default_seed) ~perfect profile =
   let config = Vliw_sim.Config.make (Vliw_merge.Scheme.thread 0) in
@@ -55,8 +71,7 @@ let grid_csv grid =
   let header = "mix" :: grid.scheme_names in
   let rows =
     List.mapi
-      (fun i mix ->
-        mix :: Array.to_list (Array.map (Printf.sprintf "%.4f") grid.ipc.(i)))
+      (fun i mix -> mix :: Array.to_list (Array.map ipc_string grid.ipc.(i)))
       grid.mix_names
   in
   (header, rows)

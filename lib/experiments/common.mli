@@ -8,7 +8,18 @@ val schedule_of_scale : scale -> Vliw_sim.Multitask.schedule
     rates. Full: the paper's parameters scaled to minutes per
     simulation. *)
 
+val scale_name : scale -> string
+(** "quick" / "default" / "full" — the CLI spelling, also the spelling
+    checkpoint journals record. *)
+
+val scale_of_name : string -> scale option
+(** Inverse of {!scale_name}. *)
+
 val default_seed : int64
+
+val ipc_string : ?decimals:int -> float -> string
+(** Fixed-point rendering of an IPC value; [nan] (a degraded sweep
+    cell) renders as ["n/a"]. [decimals] defaults to 4. *)
 
 val single_thread_ipc :
   ?scale:scale -> ?seed:int64 -> perfect:bool -> Vliw_compiler.Profile.t -> float

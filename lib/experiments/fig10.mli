@@ -19,8 +19,16 @@ val run :
   ?jobs:int ->
   ?progress:(Sweep.progress -> unit) ->
   ?telemetry:bool ->
+  ?max_retries:int ->
+  ?cell_timeout_s:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?log:(string -> unit) ->
   unit ->
   data
+(** The fault-tolerance knobs ([max_retries], [cell_timeout_s],
+    [checkpoint], [resume], [log]) are passed to {!Sweep.run_cells}
+    verbatim; see its documentation. *)
 
 val group_ipc : data -> string -> float array
 (** Per-mix IPC of a group (average over members). *)

@@ -1,8 +1,9 @@
 type data = { single : float; two_thread : float; four_thread : float }
 
-let run ?scale ?seed ?jobs ?progress () =
+let run ?scale ?seed ?jobs ?progress ?max_retries () =
   let grid =
-    Sweep.run ?scale ?seed ~scheme_names:[ "ST"; "1S"; "3SSS" ] ?jobs ?progress ()
+    Sweep.run ?scale ?seed ~scheme_names:[ "ST"; "1S"; "3SSS" ] ?jobs ?progress
+      ?max_retries ()
   in
   {
     single = Common.grid_average grid "ST";

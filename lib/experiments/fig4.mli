@@ -13,8 +13,10 @@ val run :
   ?seed:int64 ->
   ?jobs:int ->
   ?progress:(Sweep.progress -> unit) ->
+  ?max_retries:int ->
   unit ->
   data
+(** [max_retries] is passed to {!Sweep.run} (cell retry budget). *)
 
 val four_over_two_pct : data -> float
 

@@ -21,18 +21,35 @@ type ctx = {
   jobs : int;  (* worker domains for sweep cells; 0 = auto, 1 = serial *)
   progress : (Sweep.progress -> unit) option;
   telemetry : bool;  (* attach per-cell counter registries to the sweep *)
+  max_retries : int;  (* per-cell retry budget before a cell degrades *)
+  checkpoint : string option;  (* journal path for the shared fig10 sweep *)
+  resume : bool;  (* restore journaled fig10 cells instead of re-running *)
+  log : string -> unit;  (* diagnostic sink (journal warnings etc.) *)
   fig10 : Fig10.data Lazy.t;
 }
 
+(* The checkpoint journal is wired to the shared fig10 sweep only: it is
+   the expensive artifact every downstream figure reads, and a single
+   journal path cannot serve two sweeps with different configurations
+   (fig4's 3-scheme grid would clobber fig10's 16-scheme one). The retry
+   budget applies to every sweep-backed experiment. *)
 let make_ctx ?(scale = Common.Default) ?(seed = Common.default_seed) ?(jobs = 1)
-    ?progress ?(telemetry = false) () =
+    ?progress ?(telemetry = false) ?(max_retries = 0) ?checkpoint
+    ?(resume = false) ?(log = fun (_ : string) -> ()) () =
   {
     scale;
     seed;
     jobs;
     progress;
     telemetry;
-    fig10 = lazy (Fig10.run ~scale ~seed ~jobs ?progress ~telemetry ());
+    max_retries;
+    checkpoint;
+    resume;
+    log;
+    fig10 =
+      lazy
+        (Fig10.run ~scale ~seed ~jobs ?progress ~telemetry ~max_retries
+           ?checkpoint ~resume ~log ());
   }
 
 type csv = string list * string list list
@@ -72,7 +89,7 @@ let all : t list =
     entry "fig4" "Figure 4"
       (fun ctx ->
         Fig4.run ~scale:ctx.scale ~seed:ctx.seed ~jobs:ctx.jobs
-          ?progress:ctx.progress ())
+          ?progress:ctx.progress ~max_retries:ctx.max_retries ())
       Fig4.render;
     entry "fig5" "Figure 5" (fun _ -> Fig5.run ()) Fig5.render ~csv:Fig5.csv_rows;
     entry "fig6" "Figure 6"

@@ -11,6 +11,15 @@ type ctx = {
   telemetry : bool;
       (** Attach per-cell counter registries to the shared sweep
           (observation-only; results are unchanged). *)
+  max_retries : int;
+      (** Per-cell retry budget before a sweep cell degrades to "n/a";
+          applies to every sweep-backed experiment. *)
+  checkpoint : string option;
+      (** Journal path for the shared fig10 sweep (only that sweep: a
+          single journal cannot serve differently-shaped grids). *)
+  resume : bool;
+      (** Restore journaled fig10 cells instead of re-simulating. *)
+  log : string -> unit;  (** Diagnostic sink (journal warnings etc.). *)
   fig10 : Fig10.data Lazy.t;
       (** Forced at most once per ctx; shared by fig6, fig10, fig11,
           fig12 and claims. *)
@@ -22,8 +31,14 @@ val make_ctx :
   ?jobs:int ->
   ?progress:(Sweep.progress -> unit) ->
   ?telemetry:bool ->
+  ?max_retries:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?log:(string -> unit) ->
   unit ->
   ctx
+(** Defaults: [max_retries = 0], no checkpoint, [resume = false],
+    silent [log]. *)
 
 type csv = string list * string list list
 

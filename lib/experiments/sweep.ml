@@ -19,20 +19,67 @@
      comparison controlled and keeps the parallel/serial scheme
      equivalences (3CCC = C4, 2SC3 = 3SCC) bit-exact in simulation.
 
+   Fault tolerance (both opt-in, off by default):
+
+   - A cell whose simulation raises (or trips [inject_failure], or
+     exceeds [cell_timeout_s]) is retried up to [max_retries] times,
+     then recorded as a degraded cell — [ipc = nan], [error = Some _],
+     rendered as "n/a" — instead of aborting the sweep and discarding
+     every completed cell. Retry/degradation counts ride the telemetry
+     counters ([sweep.retries] etc.) and the [attempts]/[error] fields.
+     Retries are harmless to determinism: a cell simulation is a pure
+     function of its row seed, so a retried cell produces the identical
+     result.
+
+   - With [checkpoint], every completed cell is journaled (atomic
+     temp+rename via [Checkpoint]); with [resume], journaled cells are
+     restored — bit-identical, the journal stores raw IPC bits — and
+     only the missing cells simulate. A journal whose configuration
+     header does not match the requested sweep is ignored.
+
    Each cell records its own wall-clock time, and an optional progress
    callback (serialized across workers) makes long sweeps observable. *)
+
+module Counters = Vliw_telemetry.Counters
+module Report = Vliw_telemetry.Report
 
 type cell = {
   mix : string;
   scheme : string;
-  ipc : float;
+  ipc : float;  (* nan for a degraded cell *)
   elapsed_s : float;  (* wall-clock seconds spent simulating this cell *)
   started_s : float;  (* start offset from the sweep epoch (wall clock) *)
   worker : int;  (* pool worker that simulated the cell *)
-  telemetry : Vliw_telemetry.Counters.snapshot option;
+  telemetry : Counters.snapshot option;
+  attempts : int;  (* simulation attempts; 0 for a cell restored from
+                      a checkpoint without re-simulation *)
+  error : string option;  (* Some _ iff the cell is degraded *)
 }
 
 type progress = { completed : int; total : int; last : cell }
+
+exception Cell_timeout of { elapsed_s : float; limit_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Cell_timeout { elapsed_s; limit_s } ->
+      Some
+        (Printf.sprintf "Sweep.Cell_timeout (%.2fs > limit %.2fs)" elapsed_s
+           limit_s)
+    | _ -> None)
+
+(* Deterministic fault injection for the fault-tolerance tests: when
+   set, a cell attempt at (row, col) raises before simulating iff the
+   hook returns [true]. Called once per attempt, possibly from a worker
+   domain — install it before the sweep starts and make it domain-safe
+   if it is stateful. *)
+let inject_failure : (row:int -> col:int -> bool) option ref = ref None
+
+let degraded cells =
+  Array.to_list cells |> List.filter (fun c -> c.error <> None)
+
+let total_retries cells =
+  Array.fold_left (fun acc c -> acc + max 0 (c.attempts - 1)) 0 cells
 
 let default_scheme_names () =
   List.map
@@ -61,8 +108,13 @@ let compile_mix ~machine ~seed mix_name =
       Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
     mix.members
 
+let snapshot_with extra base =
+  { Counters.counters = List.sort compare (extra @ base); histograms = [] }
+
 let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
-    ?scheme_names ?mix_names ?(jobs = 1) ?progress ?(telemetry = false) () =
+    ?scheme_names ?mix_names ?(jobs = 1) ?progress ?(telemetry = false)
+    ?(max_retries = 0) ?cell_timeout_s ?checkpoint ?(resume = false)
+    ?(log = fun (_ : string) -> ()) () =
   let scheme_names =
     match scheme_names with Some names -> names | None -> default_scheme_names ()
   in
@@ -74,7 +126,8 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
   (* Resolve schemes and compile programs up front, in the parent
      domain: cells must not race on catalog lookups or compilation. *)
   let entries =
-    List.map (fun name -> Vliw_merge.Catalog.find_exn name) scheme_names
+    Array.of_list
+      (List.map (fun name -> Vliw_merge.Catalog.find_exn name) scheme_names)
   in
   let rows =
     List.map
@@ -82,48 +135,239 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
         (mix_name, row_seed ~seed mix_name, compile_mix ~machine ~seed mix_name))
       mix_names
   in
+  let meta =
+    {
+      Checkpoint.scale = Common.scale_name scale;
+      seed;
+      scheme_names;
+      mix_names;
+      telemetry;
+    }
+  in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+      let fresh () = Checkpoint.create meta in
+      let initial =
+        if resume then begin
+          match Checkpoint.load ~path with
+          | Ok j when Checkpoint.meta_equal j.Checkpoint.meta meta -> j
+          | Ok _ ->
+            log
+              (path
+             ^ ": checkpoint belongs to a different sweep configuration; \
+                starting fresh");
+            fresh ()
+          | Error msg ->
+            if Sys.file_exists path then log (msg ^ "; starting fresh");
+            fresh ()
+        end
+        else fresh ()
+      in
+      (* Persist the header immediately: a kill before the first cell
+         completes must still leave a resumable journal behind. *)
+      Checkpoint.save ~path initial;
+      Some (ref initial, path)
+  in
+  let resumed ~mix ~scheme =
+    match journal with
+    | Some (j, _) when resume -> Checkpoint.find !j ~mix ~scheme
+    | _ -> None
+  in
   let epoch = Unix.gettimeofday () in
+  (* One simulation attempt; raises on an injected fault, a simulator
+     exception, or a blown per-cell timeout. The timeout is enforced
+     after the fact (a domain cannot be preempted mid-simulation): the
+     attempt's result is discarded and the cell retried or degraded. *)
+  let attempt_once ~row ~col ~config ~row_seed ~programs =
+    (match !inject_failure with
+    | Some f when f ~row ~col ->
+      failwith (Printf.sprintf "injected fault in cell (%d, %d)" row col)
+    | _ -> ());
+    let t0 = Unix.gettimeofday () in
+    let counters = if telemetry then Some (Counters.create ()) else None in
+    let metrics =
+      Vliw_sim.Multitask.run_programs config ~seed:row_seed ~schedule ?counters
+        programs
+    in
+    Option.iter
+      (fun c ->
+        if Vliw_sim.Invariants.enforced () then
+          Vliw_sim.Invariants.check_attribution (Counters.snapshot c))
+      counters;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match cell_timeout_s with
+    | Some limit_s when elapsed > limit_s ->
+      raise (Cell_timeout { elapsed_s = elapsed; limit_s })
+    | _ -> ());
+    (metrics, counters, t0, elapsed)
+  in
+  let simulate_cell ~row ~col ~mix_name ~row_seed ~programs
+      ~(entry : Vliw_merge.Catalog.entry) ~worker =
+    let config = Vliw_sim.Config.make ~machine entry.scheme in
+    let rec go ~attempt ~timeouts =
+      match attempt_once ~row ~col ~config ~row_seed ~programs with
+      | metrics, counters, t0, elapsed ->
+        Option.iter
+          (fun c ->
+            if attempt > 1 then
+              Counters.add
+                (Counters.counter c Report.n_sweep_retries)
+                (attempt - 1);
+            if timeouts > 0 then
+              Counters.add (Counters.counter c Report.n_sweep_timeouts) timeouts)
+          counters;
+        {
+          mix = mix_name;
+          scheme = entry.name;
+          ipc = Vliw_sim.Metrics.ipc metrics;
+          elapsed_s = elapsed;
+          started_s = t0 -. epoch;
+          worker;
+          telemetry = Option.map Counters.snapshot counters;
+          attempts = attempt;
+          error = None;
+        }
+      | exception e ->
+        let timeouts =
+          match e with Cell_timeout _ -> timeouts + 1 | _ -> timeouts
+        in
+        if attempt <= max_retries then go ~attempt:(attempt + 1) ~timeouts
+        else begin
+          let telemetry_snap =
+            if telemetry then
+              Some
+                (snapshot_with
+                   ((Report.n_sweep_degraded, 1)
+                   :: (Report.n_sweep_retries, attempt - 1)
+                   :: (if timeouts > 0 then [ (Report.n_sweep_timeouts, timeouts) ]
+                       else []))
+                   [])
+            else None
+          in
+          {
+            mix = mix_name;
+            scheme = entry.name;
+            ipc = Float.nan;
+            elapsed_s = 0.0;
+            started_s = Unix.gettimeofday () -. epoch;
+            worker;
+            telemetry = telemetry_snap;
+            attempts = attempt;
+            error = Some (Printexc.to_string e);
+          }
+        end
+    in
+    go ~attempt:1 ~timeouts:0
+  in
+  let restore_cell ~(record : Checkpoint.record) ~worker =
+    let telemetry_snap =
+      if telemetry then
+        Some
+          (snapshot_with
+             [ (Report.n_sweep_resumed, 1) ]
+             (Option.value ~default:[] record.counters))
+      else None
+    in
+    {
+      mix = record.mix;
+      scheme = record.scheme;
+      ipc = record.ipc;
+      elapsed_s = 0.0;
+      started_s = Unix.gettimeofday () -. epoch;
+      worker;
+      telemetry = telemetry_snap;
+      attempts = 0;
+      error = None;
+    }
+  in
   let tasks =
     Array.of_list
-      (List.concat_map
-         (fun (mix_name, row_seed, programs) ->
-           List.map
-             (fun (entry : Vliw_merge.Catalog.entry) ~worker ->
-               let t0 = Unix.gettimeofday () in
-               let config = Vliw_sim.Config.make ~machine entry.scheme in
-               let counters =
-                 if telemetry then Some (Vliw_telemetry.Counters.create ())
-                 else None
-               in
-               let metrics =
-                 Vliw_sim.Multitask.run_programs config ~seed:row_seed ~schedule
-                   ?counters programs
-               in
-               {
-                 mix = mix_name;
-                 scheme = entry.name;
-                 ipc = Vliw_sim.Metrics.ipc metrics;
-                 elapsed_s = Unix.gettimeofday () -. t0;
-                 started_s = t0 -. epoch;
-                 worker;
-                 telemetry = Option.map Vliw_telemetry.Counters.snapshot counters;
-               })
-             entries)
-         rows)
+      (List.concat
+         (List.mapi
+            (fun row (mix_name, row_seed, programs) ->
+              Array.to_list
+                (Array.mapi
+                   (fun col entry ~worker ->
+                     match
+                       resumed ~mix:mix_name
+                         ~scheme:entry.Vliw_merge.Catalog.name
+                     with
+                     | Some record -> restore_cell ~record ~worker
+                     | None ->
+                       simulate_cell ~row ~col ~mix_name ~row_seed ~programs
+                         ~entry ~worker)
+                   entries))
+            rows))
+  in
+  let row_seed_of_mix =
+    let seeds = List.map (fun (m, s, _) -> (m, s)) rows in
+    fun mix -> List.assoc mix seeds
+  in
+  (* Runs inside the pool's serialized result callback: journal the
+     fresh cell (atomic rewrite), then report progress. A journal write
+     failure (unwritable path, full disk) aborts the sweep with the
+     real error rather than silently dropping checkpoints. *)
+  let journal_cell (cell : cell) =
+    match journal with
+    | Some (j, path) when cell.error = None ->
+      if Checkpoint.find !j ~mix:cell.mix ~scheme:cell.scheme = None then begin
+        j :=
+          Checkpoint.add !j
+            {
+              Checkpoint.mix = cell.mix;
+              scheme = cell.scheme;
+              row_seed = row_seed_of_mix cell.mix;
+              ipc = cell.ipc;
+              attempts = cell.attempts;
+              counters =
+                Option.map (fun (s : Counters.snapshot) -> s.counters)
+                  cell.telemetry;
+            };
+        Checkpoint.save ~path !j
+      end
+    | _ -> ()
   in
   let on_result =
-    match progress with
-    | None -> None
-    | Some f ->
-      let total = Array.length tasks in
-      let completed = ref 0 in
-      (* The pool serializes this callback across workers. *)
-      Some
-        (fun _i cell ->
-          incr completed;
-          f { completed = !completed; total; last = cell })
+    let total = Array.length tasks in
+    let completed = ref 0 in
+    Some
+      (fun _i (res : (cell, exn) result) ->
+        match res with
+        | Error _ -> () (* repackaged as a degraded cell below *)
+        | Ok cell ->
+          journal_cell cell;
+          (match progress with
+          | None -> ()
+          | Some f ->
+            incr completed;
+            f { completed = !completed; total; last = cell }))
   in
-  let cells = Vliw_util.Pool.run_with_worker ~jobs ?on_result tasks in
+  (* [simulate_cell] already contains every expected failure, so a task
+     exception here means the harness itself broke (e.g. the journal
+     write raised). [run_results] still isolates it to its cell. *)
+  let results = Vliw_util.Pool.run_results ~jobs ?on_result tasks in
+  let n_schemes = Array.length entries in
+  let cells =
+    Array.mapi
+      (fun idx -> function
+        | Ok cell -> cell
+        | Error e ->
+          let mix_name, _, _ = List.nth rows (idx / n_schemes) in
+          {
+            mix = mix_name;
+            scheme = entries.(idx mod n_schemes).Vliw_merge.Catalog.name;
+            ipc = Float.nan;
+            elapsed_s = 0.0;
+            started_s = 0.0;
+            worker = 0;
+            telemetry = None;
+            attempts = 0;
+            error = Some (Printexc.to_string e);
+          })
+      results
+  in
   (scheme_names, mix_names, cells)
 
 let grid_of_cells ~scheme_names ~mix_names cells =
@@ -134,9 +378,11 @@ let grid_of_cells ~scheme_names ~mix_names cells =
   in
   Common.make_grid ~scheme_names ~mix_names ~ipc
 
-let run ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress () =
+let run ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress ?max_retries
+    ?cell_timeout_s ?checkpoint ?resume ?log () =
   let scheme_names, mix_names, cells =
-    run_cells ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress ()
+    run_cells ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress
+      ?max_retries ?cell_timeout_s ?checkpoint ?resume ?log ()
   in
   grid_of_cells ~scheme_names ~mix_names cells
 
@@ -148,8 +394,8 @@ let merged_telemetry cells =
     (fun acc c ->
       match c.telemetry with
       | None -> acc
-      | Some s -> Vliw_telemetry.Counters.merge acc s)
-    Vliw_telemetry.Counters.empty cells
+      | Some s -> Counters.merge acc s)
+    Counters.empty cells
 
 let chrome_trace ?(process_name = "vliwsim sweep") cells =
   let spans =
@@ -164,7 +410,7 @@ let chrome_trace ?(process_name = "vliwsim sweep") cells =
                [
                  ("mix", c.mix);
                  ("scheme", c.scheme);
-                 ("ipc", Printf.sprintf "%.4f" c.ipc);
+                 ("ipc", Common.ipc_string c.ipc);
                ];
            })
   in
@@ -183,6 +429,6 @@ let telemetry_csv cells =
            | Some s ->
              List.map
                (fun (name, v) -> [ c.mix; c.scheme; name; string_of_int v ])
-               s.Vliw_telemetry.Counters.counters)
+               s.Counters.counters)
   in
   ([ "mix"; "scheme"; "counter"; "value" ], rows)

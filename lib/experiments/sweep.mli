@@ -10,12 +10,21 @@
     All scheme columns within a row deliberately share the row seed, so
     schemes are compared on identical workloads and the parallel/serial
     scheme equivalences (3CCC = C4, 2SC3 = 3SCC) stay bit-exact in
-    simulation. *)
+    simulation.
+
+    Fault tolerance (opt-in): a cell whose simulation raises — or trips
+    {!inject_failure}, or exceeds [cell_timeout_s] — is retried up to
+    [max_retries] times, then recorded as a {e degraded} cell
+    ([ipc = nan], [error = Some _]) instead of aborting the sweep.
+    Because a cell is a pure function of its row seed, retries cannot
+    change results. With [checkpoint], completed cells are journaled
+    crash-safely ({!Checkpoint}); with [resume], journaled cells are
+    restored bit-identically and only missing cells simulate. *)
 
 type cell = {
   mix : string;
   scheme : string;
-  ipc : float;
+  ipc : float;  (** [nan] iff the cell is degraded ([error <> None]). *)
   elapsed_s : float;  (** Wall-clock seconds spent simulating the cell. *)
   started_s : float;
       (** Start offset from the sweep's epoch (the moment [run_cells]
@@ -24,10 +33,41 @@ type cell = {
   telemetry : Vliw_telemetry.Counters.snapshot option;
       (** Per-cell counter snapshot when telemetry was requested.
           Timing/worker/telemetry fields are observational: they vary
-          run to run, while [ipc] is bit-deterministic. *)
+          run to run, while [ipc] is bit-deterministic. Harness
+          accounting rides here too: [sweep.retries], [sweep.timeouts],
+          [sweep.degraded], [sweep.resumed_cells]. *)
+  attempts : int;
+      (** Simulation attempts the cell took (1 = first try succeeded;
+          0 = restored from a checkpoint without re-simulation). *)
+  error : string option;
+      (** [Some _] iff the cell degraded: every attempt (1 + retries)
+          failed. Degraded cells render as "n/a" and are not journaled,
+          so a resumed sweep retries them. *)
 }
 
 type progress = { completed : int; total : int; last : cell }
+
+exception Cell_timeout of { elapsed_s : float; limit_s : float }
+(** Raised {e inside} a cell attempt when it overran [cell_timeout_s].
+    Enforcement is post-hoc — a domain cannot be preempted mid-
+    simulation — so the attempt runs to completion, its result is
+    discarded, and the cell is retried or degraded like any other
+    failure. *)
+
+val inject_failure : (row:int -> col:int -> bool) option ref
+(** Deterministic fault-injection hook for tests: when set, each cell
+    attempt at (row, col) — mix-major indices into the sweep — first
+    consults the hook and raises [Failure] if it returns [true]. The
+    hook is consulted once {e per attempt} (so "fail twice then
+    succeed" schedules need stateful hooks) and may be called from any
+    worker domain — make stateful hooks domain-safe. Reset to [None]
+    after use. *)
+
+val degraded : cell array -> cell list
+(** The degraded cells of a sweep, in mix-major order. *)
+
+val total_retries : cell array -> int
+(** Total failed attempts across all cells (Σ max(0, attempts - 1)). *)
 
 val row_seed : seed:int64 -> string -> int64
 (** The simulation seed of a mix row, a pure function of the master
@@ -40,12 +80,17 @@ val run :
   ?mix_names:string list ->
   ?jobs:int ->
   ?progress:(progress -> unit) ->
+  ?max_retries:int ->
+  ?cell_timeout_s:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?log:(string -> unit) ->
   unit ->
   Common.grid
 (** IPC of every (mix, scheme) pair. Defaults: all 4-thread schemes of
     the catalog, all Table 2 mixes, [jobs = 1]. [jobs <= 0] uses one
     worker per core. [progress] is called after every cell, serialized
-    across workers. *)
+    across workers. See {!run_cells} for the fault-tolerance knobs. *)
 
 val run_cells :
   ?scale:Common.scale ->
@@ -55,6 +100,11 @@ val run_cells :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?telemetry:bool ->
+  ?max_retries:int ->
+  ?cell_timeout_s:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?log:(string -> unit) ->
   unit ->
   string list * string list * cell array
 (** Like {!run} but returns the raw cells (mix-major order) with their
@@ -62,14 +112,36 @@ val run_cells :
     names. [telemetry] (default [false]) attaches a fresh counter
     registry to each cell's simulation and snapshots it into
     {!cell.telemetry}; counting is observation-only, so IPC results are
-    unchanged. *)
+    unchanged.
+
+    Fault-tolerance knobs:
+    - [max_retries] (default 0): failed cell attempts beyond the first
+      are retried this many times before the cell degrades.
+    - [cell_timeout_s]: post-hoc per-attempt wall-clock limit; an
+      overrunning attempt counts as a failure ({!Cell_timeout}).
+    - [checkpoint]: journal every completed cell to this path, written
+      atomically after each cell; a valid journal (with the header
+      already written) exists from the moment the sweep starts, so a
+      kill at any point leaves a resumable file. A journal write
+      failure (unwritable path) aborts the sweep.
+    - [resume] (default false): restore cells recorded in [checkpoint]
+      instead of re-simulating them — bit-identical, the journal stores
+      raw IEEE-754 bits. A journal whose configuration header does not
+      match this sweep (scale, seed, schemes, mixes, telemetry) is
+      ignored with a [log] warning and the sweep starts fresh.
+    - [log] (default silent): diagnostic sink for journal warnings.
+
+    Restored cells have [attempts = 0], [elapsed_s = 0.], and — when
+    telemetry is on — their journaled counters plus
+    [sweep.resumed_cells = 1]. *)
 
 val grid_of_cells :
   scheme_names:string list ->
   mix_names:string list ->
   cell array ->
   Common.grid
-(** Fold mix-major cells into a grid. *)
+(** Fold mix-major cells into a grid (degraded cells surface as
+    [nan]). *)
 
 val total_elapsed_s : cell array -> float
 (** Sum of per-cell wall-clock times (CPU-seconds of simulation, not

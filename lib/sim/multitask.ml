@@ -51,7 +51,12 @@ let run_programs config ?(perfect_mem = false) ?(seed = 0x5EEDL)
     done;
     if done_ () then finished := true
   done;
-  Core.metrics core ~all_threads:threads
+  let metrics = Core.metrics core ~all_threads:threads in
+  (* Self-check every result in enforcing builds (test suite, CI,
+     VLIWSIM_INVARIANTS=1): the conservation laws hold for any workload
+     unless the core's bookkeeping broke. *)
+  if Invariants.enforced () then Invariants.check_metrics metrics;
+  metrics
 
 let run config ?perfect_mem ?(seed = 0x5EEDL) ?schedule ?mode ?telemetry
     ?counters profiles =

@@ -46,6 +46,14 @@ let n_memo_hits = "merge.memo.hits"
 let n_memo_misses = "merge.memo.misses"
 let n_memo_evictions = "merge.memo.evictions"
 
+(* Sweep fault tolerance (Vliw_experiments.Sweep), bumped once per cell
+   attempt outcome. Like the memo counters these describe harness
+   behaviour, not machine behaviour, and stay out of the waste sum. *)
+let n_sweep_retries = "sweep.retries"
+let n_sweep_degraded = "sweep.degraded"
+let n_sweep_timeouts = "sweep.timeouts"
+let n_sweep_resumed = "sweep.resumed_cells"
+
 let attach c =
   {
     cycles = Counters.counter c n_cycles;

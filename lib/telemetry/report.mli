@@ -39,6 +39,24 @@ val n_memo_misses : string
 val n_memo_evictions : string
 (** Whole-table flushes on reaching the capacity bound. *)
 
+val n_sweep_retries : string
+(** Counter name for sweep cell attempts that failed and were retried
+    ([sweep.retries]). Bumped by [Vliw_experiments.Sweep]; harness
+    fault-tolerance accounting, outside the waste sum. *)
+
+val n_sweep_degraded : string
+(** Cells that exhausted their retry budget and were recorded as
+    degraded ([sweep.degraded]). *)
+
+val n_sweep_timeouts : string
+(** Cell attempts whose wall-clock exceeded the per-cell timeout
+    ([sweep.timeouts]); each timed-out attempt also counts as a retry
+    or a degradation. *)
+
+val n_sweep_resumed : string
+(** Cells restored from a checkpoint journal instead of being simulated
+    ([sweep.resumed_cells]). *)
+
 val wasted : Counters.snapshot -> int
 (** [slots.offered - slots.filled]. *)
 

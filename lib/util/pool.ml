@@ -10,7 +10,10 @@
    Tasks are claimed from a shared atomic counter, so an uneven mix of
    cheap and expensive tasks still load-balances. The first exception
    raised by any task aborts the remaining unclaimed tasks and is
-   re-raised in the caller once every worker has stopped. *)
+   re-raised in the caller once every worker has stopped; callers that
+   need fault isolation instead (one bad task must not sink the batch)
+   use [run_results], which captures each task's exception as an
+   [Error] and keeps going. *)
 
 let auto_jobs () = max 1 (Domain.recommended_domain_count ())
 
@@ -57,15 +60,33 @@ let run_with_worker ?(jobs = 1) ?on_result (tasks : (worker:int -> 'a) array) :
             continue := false
       done
     in
-    (* The calling domain is worker 0; helpers take 1 .. jobs-1. *)
-    let helpers =
-      Array.init (jobs - 1) (fun k -> Domain.spawn (worker ~worker:(k + 1)))
-    in
-    worker ~worker:0 ();
-    Array.iter Domain.join helpers;
+    (* The calling domain is worker 0; helpers take 1 .. jobs-1. If a
+       later [Domain.spawn] itself raises (e.g. the runtime's domain
+       limit), the already-spawned helpers must still be joined — set
+       [failure] first so they stop claiming tasks, join, then re-raise
+       the spawn error instead of leaking live domains. *)
+    let helpers : unit Domain.t option array = Array.make (jobs - 1) None in
+    (try
+       for k = 0 to jobs - 2 do
+         helpers.(k) <- Some (Domain.spawn (worker ~worker:(k + 1)))
+       done;
+       worker ~worker:0 ()
+     with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+    Array.iter (function Some d -> Domain.join d | None -> ()) helpers;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
 
 let run ?jobs ?on_result (tasks : (unit -> 'a) array) : 'a array =
   run_with_worker ?jobs ?on_result
     (Array.map (fun task ~worker:_ -> task ()) tasks)
+
+(* Fault isolation: wrapping every task so it cannot raise means the
+   abort path above is never taken — each failure is contained in its
+   own [Error] slot and every other task still runs. *)
+let run_results ?jobs ?on_result (tasks : (worker:int -> 'a) array) :
+    ('a, exn) result array =
+  run_with_worker ?jobs ?on_result
+    (Array.map
+       (fun task ~worker ->
+         match task ~worker with v -> Ok v | exception e -> Error e)
+       tasks)

@@ -10,7 +10,10 @@ val run : ?jobs:int -> ?on_result:(int -> 'a -> unit) -> (unit -> 'a) array -> '
     {!auto_jobs}; [jobs] is capped at the task count. [on_result i v]
     is invoked once per completed task, serialized across workers. The
     first exception raised by a task aborts unclaimed tasks and is
-    re-raised in the caller. Tasks must not share mutable state. *)
+    re-raised in the caller — only after every spawned helper domain has
+    been joined (including when [Domain.spawn] itself fails mid-way
+    through pool creation, so partially-created pools never leak
+    domains). Tasks must not share mutable state. *)
 
 val run_with_worker :
   ?jobs:int ->
@@ -21,3 +24,14 @@ val run_with_worker :
     domain is worker [0], spawned helpers are [1 .. jobs-1]. Which task
     lands on which worker depends on timing — only results (task-order)
     are deterministic. Useful for per-worker lanes in timelines. *)
+
+val run_results :
+  ?jobs:int ->
+  ?on_result:(int -> ('a, exn) result -> unit) ->
+  (worker:int -> 'a) array ->
+  ('a, exn) result array
+(** Fault-isolating variant: a task that raises yields [Error exn] in
+    its slot and does not abort the batch — every other task still
+    runs. [on_result] observes successes and failures alike (serialized
+    across workers). This is the primitive the sweep engine's degraded
+    cells are built on. *)

@@ -1,25 +1,29 @@
+(* Every aggregate here rejects the empty array with [Invalid_argument]
+   instead of guessing a value. The historical behaviour — [assert] for
+   the order statistics (which vanishes under -noassert) and a silent
+   [0.0] from [mean] — let empty inputs flow through experiment
+   aggregation unnoticed; now they fail loudly at the call site. *)
+
+let require_nonempty fn xs =
+  if Array.length xs = 0 then
+    invalid_arg (Printf.sprintf "Stats.%s: empty array" fn)
+
 let sum xs = Array.fold_left ( +. ) 0.0 xs
 
 let mean xs =
-  let n = Array.length xs in
-  if n = 0 then 0.0 else sum xs /. float_of_int n
+  require_nonempty "mean" xs;
+  sum xs /. float_of_int (Array.length xs)
 
 let geomean xs =
-  let n = Array.length xs in
-  if n = 0 then 0.0
-  else begin
-    let acc = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
-    exp (acc /. float_of_int n)
-  end
+  require_nonempty "geomean" xs;
+  let acc = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+  exp (acc /. float_of_int (Array.length xs))
 
 let stddev xs =
-  let n = Array.length xs in
-  if n = 0 then 0.0
-  else begin
-    let m = mean xs in
-    let var = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
-    sqrt (var /. float_of_int n)
-  end
+  require_nonempty "stddev" xs;
+  let m = mean xs in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  sqrt (var /. float_of_int (Array.length xs))
 
 let sorted_copy xs =
   let ys = Array.copy xs in
@@ -27,15 +31,17 @@ let sorted_copy xs =
   ys
 
 let median xs =
+  require_nonempty "median" xs;
   let ys = sorted_copy xs in
   let n = Array.length ys in
-  assert (n > 0);
   if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
 
 let percentile xs p =
+  require_nonempty "percentile" xs;
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg (Printf.sprintf "Stats.percentile: p = %g not in [0, 100]" p);
   let ys = sorted_copy xs in
   let n = Array.length ys in
-  assert (n > 0 && p >= 0.0 && p <= 100.0);
   if n = 1 then ys.(0)
   else begin
     let rank = p /. 100.0 *. float_of_int (n - 1) in
@@ -46,7 +52,7 @@ let percentile xs p =
   end
 
 let min_max xs =
-  assert (Array.length xs > 0);
+  require_nonempty "min_max" xs;
   Array.fold_left
     (fun (mn, mx) x -> (min mn x, max mx x))
     (xs.(0), xs.(0))
@@ -64,6 +70,7 @@ type summary = {
 }
 
 let summarize xs =
+  require_nonempty "summarize" xs;
   let mn, mx = min_max xs in
   {
     n = Array.length xs;

@@ -1,24 +1,38 @@
-(** Small statistics toolbox for experiment reporting. *)
+(** Small statistics toolbox for experiment reporting.
+
+    Every aggregate raises [Invalid_argument] on the empty array — there
+    is no meaningful mean/median/extremum of nothing, and a silent [0.0]
+    (the historical behaviour of {!mean}) or an [assert] that disappears
+    under [-noassert] (the historical guard of the order statistics) both
+    let empty inputs corrupt downstream aggregation unnoticed. *)
 
 val mean : float array -> float
-(** Arithmetic mean; 0 for the empty array. *)
+(** Arithmetic mean. @raise Invalid_argument on the empty array. *)
 
 val geomean : float array -> float
-(** Geometric mean of positive values; 0 for the empty array. *)
+(** Geometric mean of positive values.
+    @raise Invalid_argument on the empty array. *)
 
 val stddev : float array -> float
-(** Population standard deviation. *)
+(** Population standard deviation.
+    @raise Invalid_argument on the empty array. *)
 
 val median : float array -> float
-(** Median (averages the two central elements for even lengths). *)
+(** Median (averages the two central elements for even lengths).
+    @raise Invalid_argument on the empty array. *)
 
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation. *)
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation.
+    @raise Invalid_argument on the empty array or [p] outside
+    [\[0, 100\]]. *)
 
 val min_max : float array -> float * float
-(** Smallest and largest element of a non-empty array. *)
+(** Smallest and largest element.
+    @raise Invalid_argument on the empty array. *)
 
 val sum : float array -> float
+(** Sum; [0.0] for the empty array (the one aggregate with a true
+    identity element). *)
 
 val pct_diff : float -> float -> float
 (** [pct_diff a b] is [(a - b) / b * 100.], the percentage by which [a]
@@ -34,6 +48,6 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** Full summary of a non-empty array. *)
+(** Full summary. @raise Invalid_argument on the empty array. *)
 
 val pp_summary : Format.formatter -> summary -> unit

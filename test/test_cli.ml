@@ -1,0 +1,55 @@
+(* Table-driven exit-code contract of the vliwsim binary.
+
+   The convention (documented in bin/vliwsim.ml): 0 success, 1 runtime
+   error, 2 usage error — uniformly across subcommands, diagnostics on
+   stderr. Each case invokes the real executable (declared as a dune
+   test dependency) as a subprocess. *)
+
+let vliwsim = "../bin/vliwsim.exe"
+
+let run_cli args =
+  (* stdout/stderr silenced: only the exit code is under test here *)
+  match Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" vliwsim args) with
+  | n -> n
+
+let cases =
+  [
+    (* usage errors: exit 2 *)
+    ("exp no-such-experiment -q", 2);
+    ("exp fig4 --scale bogus -q", 2);
+    ("exp fig10 --resume -q", 2);
+    (* --resume without --checkpoint *)
+    ("exp fig10 --max-retries=-1 -q", 2);
+    ("no-such-subcommand", 2);
+    ("exp", 2);
+    (* missing positional argument *)
+    ("run --scheme NOPE --scale quick", 2);
+    ("run --mix NOPE --scale quick", 2);
+    ("run --benchmarks nope --scale quick", 2);
+    ("trace --mix NOPE", 2);
+    ("compile --benchmark nope", 2);
+    ("compile --mode nope", 2);
+    ("profile no-such-experiment -q", 2);
+    (* runtime errors: exit 1 (journal path in a missing directory) *)
+    ("exp fig10 --scale quick -q --checkpoint /nonexistent-dir/x/ck", 1);
+    (* successes: exit 0 *)
+    ("schemes", 0);
+    ("benchmarks", 0);
+    ("exp list", 0);
+    ("exp fig5 -q", 0);
+    ("--version", 0);
+    ("--help", 0);
+    ("exp --help", 0);
+  ]
+
+let test_exit_codes () =
+  List.iter
+    (fun (args, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "vliwsim %s -> exit %d" args expected)
+        expected (run_cli args))
+    cases
+
+let suite =
+  ( "cli",
+    [ Alcotest.test_case "exit code contract" `Quick test_exit_codes ] )

@@ -1,4 +1,8 @@
 let () =
+  (* Enforce the run invariants on every simulation the suite performs:
+     each metrics record is conservation-checked by the Multitask hook,
+     each telemetry snapshot by the attribution check. *)
+  Vliw_sim.Invariants.set_enforced true;
   Alcotest.run "vliw-merge-repro"
     [
       Test_rng.suite;
@@ -20,4 +24,6 @@ let () =
       Test_extensions.suite;
       Test_features.suite;
       Test_repro.suite;
+      Test_faults.suite;
+      Test_cli.suite;
     ]

@@ -10,7 +10,41 @@ let check_f name expected actual =
 
 let test_mean () =
   check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
-  check_f "empty" 0.0 (Stats.mean [||])
+  check_f "singleton" 7.25 (Stats.mean [| 7.25 |])
+
+(* Every aggregate rejects the empty array loudly: the historical
+   behaviours (mean returning 0.0, the order statistics asserting) let
+   empty inputs corrupt averages silently or vanish under -noassert. *)
+let test_empty_raises () =
+  let expect name f =
+    Alcotest.check_raises name
+      (Invalid_argument (Printf.sprintf "Stats.%s: empty array" name))
+      (fun () -> ignore (f ()))
+  in
+  expect "mean" (fun () -> Stats.mean [||]);
+  expect "geomean" (fun () -> Stats.geomean [||]);
+  expect "stddev" (fun () -> Stats.stddev [||]);
+  expect "median" (fun () -> Stats.median [||]);
+  expect "percentile" (fun () -> Stats.percentile [||] 50.0);
+  expect "min_max" (fun () -> Stats.min_max [||]);
+  expect "summarize" (fun () -> Stats.summarize [||]);
+  (* sum is the one aggregate with a true identity element *)
+  check_f "sum of empty is 0" 0.0 (Stats.sum [||])
+
+let test_percentile_domain () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  let expect_bad p =
+    Alcotest.check_raises
+      (Printf.sprintf "p = %g rejected" p)
+      (Invalid_argument (Printf.sprintf "Stats.percentile: p = %g not in [0, 100]" p))
+      (fun () -> ignore (Stats.percentile xs p))
+  in
+  expect_bad (-0.5);
+  expect_bad 100.5;
+  (* boundary values are legal and hit the extremes *)
+  check_f "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  check_f "p100 = max" 3.0 (Stats.percentile xs 100.0);
+  check_f "singleton any p" 9.0 (Stats.percentile [| 9.0 |] 73.0)
 
 let test_geomean () =
   check_f "geomean" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
@@ -71,6 +105,8 @@ let suite =
   ( "stats",
     [
       Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "empty arrays raise" `Quick test_empty_raises;
+      Alcotest.test_case "percentile domain" `Quick test_percentile_domain;
       Alcotest.test_case "geomean" `Quick test_geomean;
       Alcotest.test_case "stddev" `Quick test_stddev;
       Alcotest.test_case "median" `Quick test_median;
