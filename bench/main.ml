@@ -139,17 +139,52 @@ let write_json ~path ~scale_name ~calib ~exp_all_s schemes =
         (if i = List.length schemes - 1 then "" else ","))
     schemes;
   fmt buf "  ]\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc
+  (* Atomic rewrite: the CI perf gate parses this file, so a killed
+     bench run must not leave a truncated JSON behind. *)
+  Vliw_util.Atomic_io.write_file ~path (Buffer.contents buf)
 
-let run_json ~scale_name ~jobs ~path () =
+(* Bench runs join the same ledger as exp/run: the calibrated exp-all
+   wall clock and per-scheme stepping throughput become gauges, so
+   `vliwsim runs list` shows perf trends next to result drift. A ledger
+   failure never fails the benchmark that produced good numbers. *)
+let record_ledger ~scale_name ~jobs ~calib ~exp_all_s ~wall_s schemes =
+  let module Ledger = Vliw_telemetry.Ledger in
+  let gauges =
+    [
+      ("calibration_s", calib);
+      ("exp_all_wall_s", exp_all_s);
+      ("exp_all_calibrated", exp_all_s /. calib);
+    ]
+    @ List.concat_map
+        (fun sb ->
+          [
+            ("cycles_per_sec." ^ sb.sb_name, sb.sb_cycles_per_sec);
+            ("memo_hit_rate." ^ sb.sb_name, sb.sb_hit_rate);
+          ])
+        schemes
+  in
+  match
+    Ledger.append ~dir:Ledger.default_dir
+      (Ledger.make ~gauges ~cmd:"bench" ~label:"json" ~scale:scale_name
+         ~seed:E.Common.default_seed ~jobs
+         ~scheme_names:(List.map (fun sb -> sb.sb_name) schemes)
+         ~mix_names:[] ~wall_s ())
+  with
+  | run ->
+    Printf.printf "recorded run %s in %s\n%!" run.Ledger.id
+      (Ledger.ledger_path ~dir:Ledger.default_dir)
+  | exception e ->
+    Printf.eprintf "warning: could not record bench ledger entry: %s\n%!"
+      (Printexc.to_string e)
+
+let run_json ~scale_name ~jobs ~path ~ledger () =
   let scale =
     match scale_name with
     | "quick" -> E.Common.Quick
     | "full" -> E.Common.Full
     | _ -> E.Common.Default
   in
+  let t0 = Unix.gettimeofday () in
   Printf.printf "calibrating...\n%!";
   let calib = calibrate () in
   Printf.printf "stepping throughput per scheme...\n%!";
@@ -157,6 +192,10 @@ let run_json ~scale_name ~jobs ~path () =
   Printf.printf "regenerating all standard experiments (%s)...\n%!" scale_name;
   let exp_all_s = time_exp_all ~scale ~jobs () in
   write_json ~path ~scale_name ~calib ~exp_all_s schemes;
+  if ledger then
+    record_ledger ~scale_name ~jobs ~calib ~exp_all_s
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      schemes;
   Printf.printf "wrote %s (exp-all %.1fs, %.1f calibration units)\n%!" path
     exp_all_s (exp_all_s /. calib)
 
@@ -285,7 +324,8 @@ let () =
   if List.mem "--json" argv then begin
     let scale_name = find_val "--scale" "quick" in
     let path = find_val "--out" "BENCH_sim.json" in
-    run_json ~scale_name ~jobs ~path ();
+    let ledger = not (List.mem "--no-ledger" argv) in
+    run_json ~scale_name ~jobs ~path ~ledger ();
     exit 0
   end;
   if not bench_only then regenerate_all ~jobs ();

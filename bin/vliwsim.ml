@@ -117,6 +117,100 @@ let sweep_telemetry ctx =
     else None
   else None
 
+(* --- run ledger / observability ------------------------------------- *)
+
+module Ledger = Vliw_telemetry.Ledger
+module Openmetrics = Vliw_telemetry.Openmetrics
+
+let runs_dir_arg =
+  Arg.(
+    value
+    & opt string Ledger.default_dir
+    & info [ "runs-dir" ] ~docv:"DIR"
+        ~doc:"Directory holding the run ledger (ledger.jsonl).")
+
+let no_ledger_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ledger" ]
+        ~doc:"Do not record this invocation in the run ledger.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write this run's counters and gauges as an \
+           OpenMetrics/Prometheus textfile exposition to $(docv) \
+           (atomic rewrite; point a node_exporter textfile collector \
+           at it).")
+
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE"
+        ~doc:
+          "Stream sweep lifecycle events (cell started / finished / \
+           retried / degraded, with ETA) as NDJSON to $(docv), flushed \
+           per line so $(b,tail -f) follows a live sweep. $(b,-) \
+           writes to stderr (suppressed by $(b,--quiet)).")
+
+let ledger_cells cells =
+  Array.map
+    (fun (c : E.Sweep.cell) ->
+      {
+        Ledger.mix = c.mix;
+        scheme = c.scheme;
+        ipc = c.ipc;
+        elapsed_s = c.elapsed_s;
+        started_s = c.started_s;
+        worker = c.worker;
+        attempts = c.attempts;
+        degraded = c.error <> None;
+      })
+    cells
+
+(* Persist a ledger record (unless opted out) and/or export it as an
+   OpenMetrics textfile. Both notes go to stderr: stdout carries only
+   experiment data. A ledger failure (read-only checkout, full disk)
+   must not fail the run that produced good results — warn and move on. *)
+let record_run ~no_ledger ~runs_dir ~metrics_out run =
+  let run =
+    if no_ledger then run
+    else
+      match Ledger.append ~dir:runs_dir run with
+      | run ->
+        Printf.eprintf "recorded run %s in %s\n%!" run.Ledger.id
+          (Ledger.ledger_path ~dir:runs_dir);
+        run
+      | exception e ->
+        Printf.eprintf "warning: could not record run ledger entry: %s\n%!"
+          (Printexc.to_string e);
+        run
+  in
+  Option.iter
+    (fun path ->
+      Vliw_util.Atomic_io.write_file ~path (Openmetrics.of_run run);
+      Printf.eprintf "wrote %s\n%!" path)
+    metrics_out;
+  run
+
+(* The --log-json sink: a mutex-protected NDJSON logger (events fire
+   from worker domains) plus a closer for the channel. "-" streams to
+   stderr and is the one form --quiet suppresses; a file is an artifact
+   the user asked for by path and is always written. *)
+let event_logger ~quiet log_json =
+  match log_json with
+  | None -> (None, fun () -> ())
+  | Some "-" ->
+    if quiet then (None, fun () -> ())
+    else (Some (E.Sweep.json_logger stderr), fun () -> ())
+  | Some path ->
+    let oc = open_out path in
+    (Some (E.Sweep.json_logger oc), fun () -> close_out oc)
+
 (* After any run that forced the shared sweep: surface degraded cells
    (retry budget exhausted, rendered "n/a") on stderr so a clean-looking
    table never hides them. *)
@@ -138,34 +232,37 @@ let warn_degraded ctx =
   end
 
 let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
-    checkpoint resume name =
+    checkpoint resume no_ledger runs_dir metrics_out log_json name =
   if resume && checkpoint = None then
     usage "--resume requires --checkpoint FILE (no journal to resume from)";
   if max_retries < 0 then usage "--max-retries must be non-negative";
+  let on_event, close_log = event_logger ~quiet log_json in
+  let t0 = Unix.gettimeofday () in
   let ctx =
     E.Registry.make_ctx ~scale ~seed ~jobs
       ?progress:(progress_reporter ~quiet ())
       ~telemetry ~max_retries ?checkpoint ~resume
       ~log:(fun msg -> Printf.eprintf "note: %s\n%!" msg)
-      ()
+      ?on_event ()
   in
   let one entry =
     let text, csv = E.Registry.run_entry ctx entry in
     print_string text;
     Option.iter (export_csv csv_dir (E.Registry.id entry ^ ".csv")) csv
   in
-  (match name with
-  | "list" -> list_experiments ()
-  | "all" ->
-    List.iter
-      (fun entry ->
-        one entry;
-        print_newline ())
-      E.Registry.standard
-  | id ->
-    (match E.Registry.find id with
-    | Some entry -> one entry
-    | None -> usage "unknown experiment: %s (see `vliwsim exp list`)" id));
+  Fun.protect ~finally:close_log (fun () ->
+      match name with
+      | "list" -> list_experiments ()
+      | "all" ->
+        List.iter
+          (fun entry ->
+            one entry;
+            print_newline ())
+          E.Registry.standard
+      | id -> (
+        match E.Registry.find id with
+        | Some entry -> one entry
+        | None -> usage "unknown experiment: %s (see `vliwsim exp list`)" id));
   if telemetry then begin
     match sweep_telemetry ctx with
     | None ->
@@ -180,6 +277,29 @@ let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
       export_csv csv_dir "telemetry.csv" (E.Sweep.telemetry_csv cells)
   end;
   warn_degraded ctx;
+  if name <> "list" then begin
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cells, scheme_names, mix_names, gauges =
+      if Lazy.is_val ctx.E.Registry.fig10 then begin
+        let d = Lazy.force ctx.E.Registry.fig10 in
+        ( ledger_cells d.E.Fig10.cells,
+          d.E.Fig10.grid.scheme_names,
+          d.E.Fig10.grid.mix_names,
+          [ ("ipc.mean", E.Common.grid_mean d.E.Fig10.grid) ] )
+      end
+      else ([||], [], [], [])
+    in
+    let counters =
+      match sweep_telemetry ctx with
+      | Some cells -> (E.Sweep.merged_telemetry cells).counters
+      | None -> []
+    in
+    ignore
+      (record_run ~no_ledger ~runs_dir ~metrics_out
+         (Ledger.make ~counters ~gauges ~cells ~cmd:"exp" ~label:name
+            ~scale:(E.Common.scale_name scale) ~seed ~jobs ~scheme_names
+            ~mix_names ~wall_s ()))
+  end;
   0
 
 let exp_cmd =
@@ -245,7 +365,8 @@ let exp_cmd =
     Term.(
       const run_experiment $ scale_arg $ seed_arg $ csv_arg $ jobs_arg
       $ quiet_arg $ telemetry_arg $ retries_arg $ checkpoint_arg
-      $ resume_arg $ name_arg)
+      $ resume_arg $ no_ledger_arg $ runs_dir_arg $ metrics_out_arg
+      $ log_json_arg $ name_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -255,8 +376,9 @@ let resolve_scheme name =
   | Error msg -> usage "unknown scheme %s: %s" name msg
 
 let run_sim scale seed scheme_name mix_name benchmarks perfect fixed_priority
-    no_stall_dmiss fixed_slots trace_len =
+    no_stall_dmiss fixed_slots trace_len no_ledger runs_dir metrics_out =
   let scheme = resolve_scheme scheme_name in
+  let t0 = Unix.gettimeofday () in
   let mode = match trace_len with None -> `Block | Some n -> `Trace n in
   let profiles =
     match benchmarks with
@@ -295,6 +417,40 @@ let run_sim scale seed scheme_name mix_name benchmarks perfect fixed_priority
     (fun (pt : Vliw_sim.Metrics.per_thread) ->
       Format.printf "  %-16s ops=%-9d instrs=%d@." pt.name pt.ops pt.instrs)
     metrics.per_thread;
+  let workload =
+    match benchmarks with
+    | [] -> mix_name
+    | names -> String.concat "," names
+  in
+  let label = Printf.sprintf "%s on %s" scheme_name workload in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* A one-cell grid, so `runs diff` can bit-compare and attribute drift
+     across single-simulation records just like sweep records. *)
+  let cells =
+    [|
+      {
+        Ledger.mix = workload;
+        scheme = scheme_name;
+        ipc = Vliw_sim.Metrics.ipc metrics;
+        elapsed_s = wall_s;
+        started_s = 0.0;
+        worker = 0;
+        attempts = 1;
+        degraded = false;
+      };
+    |]
+  in
+  ignore
+    (record_run ~no_ledger ~runs_dir ~metrics_out
+       (Ledger.make ~cells
+          ~gauges:
+            [
+              ("ipc", Vliw_sim.Metrics.ipc metrics);
+              ( "threads_merged.avg",
+                Vliw_sim.Metrics.avg_threads_merged metrics );
+            ]
+          ~cmd:"run" ~label ~scale:(E.Common.scale_name scale) ~seed ~jobs:1
+          ~scheme_names:[ scheme_name ] ~mix_names:[ workload ] ~wall_s ()));
   0
 
 let run_cmd =
@@ -349,7 +505,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_sim $ scale_arg $ seed_arg $ scheme_arg $ mix_arg $ bench_arg
-      $ perfect_arg $ fixed_arg $ nostall_arg $ fixedslots_arg $ tracelen_arg)
+      $ perfect_arg $ fixed_arg $ nostall_arg $ fixedslots_arg $ tracelen_arg
+      $ no_ledger_arg $ runs_dir_arg $ metrics_out_arg)
 
 (* --- schemes / benchmarks ------------------------------------------- *)
 
@@ -403,10 +560,9 @@ let write_or_print output text =
   match output with
   | None -> print_string text
   | Some path ->
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc text);
+    (* Atomic rewrite: a killed invocation never leaves a half-written
+       artifact behind for downstream tooling to choke on. *)
+    Vliw_util.Atomic_io.write_file ~path text;
     Printf.eprintf "wrote %s\n%!" path
 
 let run_trace scheme_name mix_name cycles perfect format output =
@@ -623,6 +779,227 @@ let benchmarks_cmd =
     (Cmd.info "benchmarks" ~doc:"List the Table 1 benchmark profiles.")
     Term.(const list_benchmarks $ const ())
 
+(* --- runs / report --------------------------------------------------- *)
+
+let find_run ~runs_dir wanted =
+  match Ledger.find ~dir:runs_dir wanted with
+  | Some r -> r
+  | None ->
+    if Ledger.load ~dir:runs_dir = [] then
+      usage "run ledger %s is empty (run `vliwsim exp ...` first)"
+        (Ledger.ledger_path ~dir:runs_dir)
+    else usage "unknown run id %s (see `vliwsim runs list`)" wanted
+
+let runs_list runs_dir =
+  match Ledger.load ~dir:runs_dir with
+  | [] ->
+    Printf.eprintf "no runs recorded in %s yet\n"
+      (Ledger.ledger_path ~dir:runs_dir);
+    0
+  | runs ->
+    let table =
+      Vliw_util.Text_table.create
+        ~header:
+          [ "Id"; "When"; "Cmd"; "Label"; "Scale"; "Jobs"; "Cells";
+            "Mean IPC"; "Wall(s)"; "Git" ]
+    in
+    List.iter
+      (fun (r : Ledger.run) ->
+        let tm = Unix.gmtime r.time_s in
+        Vliw_util.Text_table.add_row table
+          [
+            r.id;
+            Printf.sprintf "%04d-%02d-%02d %02d:%02d" (tm.Unix.tm_year + 1900)
+              (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
+              tm.Unix.tm_min;
+            r.cmd;
+            r.label;
+            r.scale;
+            string_of_int r.jobs;
+            string_of_int (Array.length r.cells);
+            E.Common.ipc_string ~decimals:2 (Ledger.mean_ipc r);
+            Printf.sprintf "%.2f" r.wall_s;
+            r.git_rev;
+          ])
+      runs;
+    print_string (Vliw_util.Text_table.render table);
+    0
+
+let runs_show runs_dir wanted =
+  let r = find_run ~runs_dir wanted in
+  Printf.printf "run %s: %s %s\n" r.Ledger.id r.cmd r.label;
+  Printf.printf "  recorded:    %s\n"
+    (let tm = Unix.gmtime r.time_s in
+     Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+       tm.Unix.tm_sec);
+  Printf.printf "  git:         %s\n" r.git_rev;
+  Printf.printf "  fingerprint: %s\n" r.fingerprint;
+  Printf.printf "  scale/seed:  %s / 0x%Lx, %d job(s), %.2fs wall\n" r.scale
+    r.seed r.jobs r.wall_s;
+  Printf.printf "  fault stats: %d retries, %d degraded, %d timeouts, %d resumed\n"
+    r.retries r.degraded r.timeouts r.resumed;
+  if Array.length r.cells > 0 then begin
+    Printf.printf "  grid digest: %s\n\n" (Ledger.grid_digest r.cells);
+    let table =
+      Vliw_util.Text_table.create ~header:("Mix" :: r.scheme_names)
+    in
+    let lookup = Hashtbl.create 64 in
+    Array.iter
+      (fun (c : Ledger.cell) -> Hashtbl.replace lookup (c.mix, c.scheme) c.ipc)
+      r.cells;
+    List.iter
+      (fun mix ->
+        Vliw_util.Text_table.add_row table
+          (mix
+          :: List.map
+               (fun scheme ->
+                 match Hashtbl.find_opt lookup (mix, scheme) with
+                 | Some ipc -> E.Common.ipc_string ~decimals:2 ipc
+                 | None -> "-")
+               r.scheme_names))
+      r.mix_names;
+    print_string (Vliw_util.Text_table.render table)
+  end;
+  if r.gauges <> [] then begin
+    print_newline ();
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-24s %.4f\n" k v)
+      r.gauges
+  end;
+  if r.counters <> [] then
+    Printf.printf "\n  %d telemetry counter(s) recorded (export with `vliwsim \
+                   runs export-metrics %s`)\n"
+      (List.length r.counters) r.id;
+  0
+
+let runs_diff runs_dir a b =
+  let ra = find_run ~runs_dir a and rb = find_run ~runs_dir b in
+  if ra.Ledger.fingerprint <> rb.Ledger.fingerprint then
+    Printf.eprintf
+      "note: configuration fingerprints differ (%s vs %s) — comparing anyway\n%!"
+      ra.fingerprint rb.fingerprint;
+  match Ledger.diff ra rb with
+  | Ledger.Identical ->
+    Printf.printf "runs %s and %s: IPC grids bit-identical (%d cells, digest %s)\n"
+      ra.id rb.id (Array.length ra.cells)
+      (Ledger.grid_digest ra.cells);
+    0
+  | Ledger.Shape_mismatch msg ->
+    Printf.printf "runs %s and %s: grids not comparable: %s\n" ra.id rb.id msg;
+    1
+  | Ledger.Drift { mix; scheme; ipc_a; ipc_b; differing } ->
+    Printf.printf
+      "runs %s and %s: %d of %d cells differ; first drift at (%s, %s): %s vs %s\n"
+      ra.id rb.id differing (Array.length ra.cells) mix scheme
+      (E.Common.ipc_string ~decimals:6 ipc_a)
+      (E.Common.ipc_string ~decimals:6 ipc_b);
+    Printf.printf "  %s: git %s, recorded %s\n" ra.id ra.git_rev
+      (Printf.sprintf "%.0f" ra.time_s);
+    Printf.printf "  %s: git %s, recorded %s\n" rb.id rb.git_rev
+      (Printf.sprintf "%.0f" rb.time_s);
+    1
+
+let runs_export_metrics runs_dir wanted output =
+  write_or_print output (Openmetrics.of_run (find_run ~runs_dir wanted));
+  0
+
+let runs_lint file =
+  if not (Sys.file_exists file) then usage "no such file: %s" file;
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  match Openmetrics.lint text with
+  | [] ->
+    Printf.printf "%s: OpenMetrics exposition OK\n" file;
+    0
+  | errors ->
+    List.iter (fun e -> Printf.eprintf "%s: %s\n" file e) errors;
+    Printf.eprintf "%s: %d violation(s)\n%!" file (List.length errors);
+    1
+
+let run_id_pos n doc = Arg.(required & pos n (some string) None & info [] ~docv:"RUN" ~doc)
+
+let runs_cmd =
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List every recorded run (newest last).")
+      Term.(const runs_list $ runs_dir_arg)
+  in
+  let show_cmd =
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Show one run in full: configuration, fault stats, the IPC \
+            grid and gauges. $(b,latest) resolves to the newest run.")
+      Term.(
+        const runs_show $ runs_dir_arg
+        $ run_id_pos 0 "Run id (or $(b,latest)).")
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Bit-compare two runs' IPC grids. Exits 0 when every cell is \
+            bit-identical; exits 1 and names the first differing (mix, \
+            scheme) cell otherwise.")
+      Term.(
+        const runs_diff $ runs_dir_arg
+        $ run_id_pos 0 "First run id (or $(b,latest))."
+        $ run_id_pos 1 "Second run id (or $(b,latest)).")
+  in
+  let export_cmd =
+    let id_arg =
+      Arg.(
+        value & pos 0 string "latest"
+        & info [] ~docv:"RUN" ~doc:"Run id (default $(b,latest)).")
+    in
+    Cmd.v
+      (Cmd.info "export-metrics"
+         ~doc:
+           "Render a recorded run as an OpenMetrics/Prometheus textfile \
+            exposition (counters, histograms, gauges).")
+      Term.(const runs_export_metrics $ runs_dir_arg $ id_arg $ output_arg)
+  in
+  let lint_cmd =
+    let file_arg =
+      Arg.(
+        required & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"Exposition file to validate.")
+    in
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Validate an OpenMetrics exposition file (HELP/TYPE \
+            discipline, counter _total suffixes, label escaping, # EOF \
+            terminator). Exits 1 on violations.")
+      Term.(const runs_lint $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:"Inspect the run ledger: list, show, diff, export metrics.")
+    [ list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd ]
+
+let run_report runs_dir wanted output =
+  let r = find_run ~runs_dir wanted in
+  let runs = Ledger.load ~dir:runs_dir in
+  write_or_print output (Vliw_telemetry.Html_report.render ~runs r);
+  0
+
+let report_cmd =
+  let run_arg =
+    Arg.(
+      value & opt string "latest"
+      & info [ "run" ] ~docv:"RUN"
+          ~doc:"Ledger run to report on (default $(b,latest)).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Generate a self-contained HTML dashboard for a recorded run: \
+          IPC grid, waste breakdown, stall attribution, sweep timeline \
+          and the cross-run trajectory. One file, inline SVG, no \
+          scripts, no external resources.")
+    Term.(const run_report $ runs_dir_arg $ run_arg $ output_arg)
+
 (* --- check ---------------------------------------------------------- *)
 
 let run_check scale seed jobs quiet =
@@ -704,7 +1081,7 @@ let () =
     Cmd.group info
       [
         exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd; check_cmd;
-        schemes_cmd; benchmarks_cmd;
+        runs_cmd; report_cmd; schemes_cmd; benchmarks_cmd;
       ]
   in
   (* Uniform exit-code policy. [~catch:false] lets command-body

@@ -7,7 +7,7 @@
    its IEEE-754 bits, so a resumed grid is bit-identical to an
    uninterrupted one — no decimal round-trip.
 
-   Persistence goes through [Vliw_util.Csv.atomically] (temp-file +
+   Persistence goes through [Vliw_util.Atomic_io] (temp-file +
    rename): a crash mid-save leaves either the previous journal or the
    new one, never a torn file. The journal is rewritten whole on every
    append; sweeps have at most a few hundred cells, so the O(cells)
@@ -141,8 +141,7 @@ let to_string t =
   String.concat "\n"
     ((magic :: meta_line t.meta :: List.map record_line t.records) @ [ "" ])
 
-let save ~path t =
-  Vliw_util.Csv.atomically ~path (fun oc -> output_string oc (to_string t))
+let save ~path t = Vliw_util.Atomic_io.write_file ~path (to_string t)
 
 (* Parse a "key=value key=value" tail into an assoc list. *)
 let parse_fields s =

@@ -7,7 +7,7 @@
     lists, telemetry flag), then one line per completed cell. IPC values
     are stored as the hex image of their IEEE-754 bits, which is what
     makes a resumed grid bit-identical to an uninterrupted run. Every
-    save goes through {!Vliw_util.Csv.atomically} (temp-file + rename),
+    save goes through {!Vliw_util.Atomic_io} (temp-file + rename),
     so a kill mid-save leaves the previous journal intact, never a torn
     file.
 

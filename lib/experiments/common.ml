@@ -67,6 +67,19 @@ let grid_column grid name =
 
 let grid_average grid name = Vliw_util.Stats.mean (grid_column grid name)
 
+(* Whole-grid mean, skipping degraded (nan) cells so one failed cell
+   doesn't poison a run-level summary gauge. *)
+let grid_mean grid =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (Array.iter (fun v ->
+         if not (Float.is_nan v) then begin
+           sum := !sum +. v;
+           incr n
+         end))
+    grid.ipc;
+  if !n = 0 then Float.nan else !sum /. float_of_int !n
+
 let grid_csv grid =
   let header = "mix" :: grid.scheme_names in
   let rows =

@@ -51,5 +51,9 @@ val grid_column : grid -> string -> float array
 val grid_average : grid -> string -> float
 (** Mean IPC across mixes for one scheme. *)
 
+val grid_mean : grid -> float
+(** Mean IPC over every non-nan cell of the grid (degraded cells are
+    skipped); nan when no cell is valid. *)
+
 val grid_csv : grid -> string list * string list list
 (** CSV header and rows (mix per row, scheme per column). *)

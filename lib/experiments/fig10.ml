@@ -8,7 +8,7 @@ let legend_groups =
   List.filter (fun (g, _) -> g <> "ST") Vliw_merge.Catalog.perf_groups
 
 let run ?scale ?seed ?jobs ?progress ?telemetry ?max_retries ?cell_timeout_s
-    ?checkpoint ?resume ?log () =
+    ?checkpoint ?resume ?log ?on_event () =
   let scheme_names =
     List.filter_map
       (fun (e : Vliw_merge.Catalog.entry) -> if e.name = "ST" then None else Some e.name)
@@ -16,7 +16,7 @@ let run ?scale ?seed ?jobs ?progress ?telemetry ?max_retries ?cell_timeout_s
   in
   let scheme_names', mix_names, cells =
     Sweep.run_cells ?scale ?seed ~scheme_names ?jobs ?progress ?telemetry
-      ?max_retries ?cell_timeout_s ?checkpoint ?resume ?log ()
+      ?max_retries ?cell_timeout_s ?checkpoint ?resume ?log ?on_event ()
   in
   let grid = Sweep.grid_of_cells ~scheme_names:scheme_names' ~mix_names cells in
   { grid; groups = legend_groups; cells }

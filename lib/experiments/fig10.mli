@@ -24,11 +24,12 @@ val run :
   ?checkpoint:string ->
   ?resume:bool ->
   ?log:(string -> unit) ->
+  ?on_event:(Sweep.event -> unit) ->
   unit ->
   data
 (** The fault-tolerance knobs ([max_retries], [cell_timeout_s],
-    [checkpoint], [resume], [log]) are passed to {!Sweep.run_cells}
-    verbatim; see its documentation. *)
+    [checkpoint], [resume], [log]) and the [on_event] progress stream
+    are passed to {!Sweep.run_cells} verbatim; see its documentation. *)
 
 val group_ipc : data -> string -> float array
 (** Per-mix IPC of a group (average over members). *)

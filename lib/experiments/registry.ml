@@ -25,6 +25,7 @@ type ctx = {
   checkpoint : string option;  (* journal path for the shared fig10 sweep *)
   resume : bool;  (* restore journaled fig10 cells instead of re-running *)
   log : string -> unit;  (* diagnostic sink (journal warnings etc.) *)
+  on_event : (Sweep.event -> unit) option;  (* structured progress stream *)
   fig10 : Fig10.data Lazy.t;
 }
 
@@ -35,7 +36,7 @@ type ctx = {
    budget applies to every sweep-backed experiment. *)
 let make_ctx ?(scale = Common.Default) ?(seed = Common.default_seed) ?(jobs = 1)
     ?progress ?(telemetry = false) ?(max_retries = 0) ?checkpoint
-    ?(resume = false) ?(log = fun (_ : string) -> ()) () =
+    ?(resume = false) ?(log = fun (_ : string) -> ()) ?on_event () =
   {
     scale;
     seed;
@@ -46,10 +47,11 @@ let make_ctx ?(scale = Common.Default) ?(seed = Common.default_seed) ?(jobs = 1)
     checkpoint;
     resume;
     log;
+    on_event;
     fig10 =
       lazy
         (Fig10.run ~scale ~seed ~jobs ?progress ~telemetry ~max_retries
-           ?checkpoint ~resume ~log ());
+           ?checkpoint ~resume ~log ?on_event ());
   }
 
 type csv = string list * string list list

@@ -20,6 +20,9 @@ type ctx = {
   resume : bool;
       (** Restore journaled fig10 cells instead of re-simulating. *)
   log : string -> unit;  (** Diagnostic sink (journal warnings etc.). *)
+  on_event : (Sweep.event -> unit) option;
+      (** Structured progress stream, forwarded to the shared fig10
+          sweep (see {!Sweep.event} for domain-safety requirements). *)
   fig10 : Fig10.data Lazy.t;
       (** Forced at most once per ctx; shared by fig6, fig10, fig11,
           fig12 and claims. *)
@@ -35,6 +38,7 @@ val make_ctx :
   ?checkpoint:string ->
   ?resume:bool ->
   ?log:(string -> unit) ->
+  ?on_event:(Sweep.event -> unit) ->
   unit ->
   ctx
 (** Defaults: [max_retries = 0], no checkpoint, [resume = false],

@@ -58,6 +58,109 @@ type cell = {
 
 type progress = { completed : int; total : int; last : cell }
 
+(* Live structured progress stream. Cell_started / Cell_retried /
+   Cell_degraded fire inside worker domains; Sweep_started,
+   Cell_finished (serialized through the pool's on_result) and
+   Sweep_finished fire in the parent. A consumer must therefore be
+   domain-safe — [json_logger] serializes writes through a mutex. *)
+type event =
+  | Sweep_started of { total : int; jobs : int; scale : string; seed : int64 }
+  | Cell_started of { mix : string; scheme : string; worker : int }
+  | Cell_retried of {
+      mix : string;
+      scheme : string;
+      attempt : int;  (* the attempt that just failed, 1-based *)
+      error : string;
+    }
+  | Cell_degraded of {
+      mix : string;
+      scheme : string;
+      attempts : int;
+      error : string;
+    }
+  | Cell_finished of {
+      cell : cell;
+      completed : int;
+      total : int;
+      eta_s : float;  (* nan until one timed cell has completed *)
+    }
+  | Sweep_finished of { total : int; degraded : int; wall_s : float }
+
+let json_of_event ev =
+  let module J = Vliw_util.Json in
+  let num v = J.Num v in
+  let base name fields =
+    J.Obj
+      (("ev", J.Str name)
+      :: ("ts", num (Unix.gettimeofday ()))
+      :: fields)
+  in
+  match ev with
+  | Sweep_started { total; jobs; scale; seed } ->
+    base "sweep_started"
+      [
+        ("total", num (float_of_int total));
+        ("jobs", num (float_of_int jobs));
+        ("scale", J.Str scale);
+        ("seed", J.Str (Printf.sprintf "0x%Lx" seed));
+      ]
+  | Cell_started { mix; scheme; worker } ->
+    base "cell_started"
+      [
+        ("mix", J.Str mix);
+        ("scheme", J.Str scheme);
+        ("worker", num (float_of_int worker));
+      ]
+  | Cell_retried { mix; scheme; attempt; error } ->
+    base "cell_retried"
+      [
+        ("mix", J.Str mix);
+        ("scheme", J.Str scheme);
+        ("attempt", num (float_of_int attempt));
+        ("error", J.Str error);
+      ]
+  | Cell_degraded { mix; scheme; attempts; error } ->
+    base "cell_degraded"
+      [
+        ("mix", J.Str mix);
+        ("scheme", J.Str scheme);
+        ("attempts", num (float_of_int attempts));
+        ("error", J.Str error);
+      ]
+  | Cell_finished { cell; completed; total; eta_s } ->
+    base "cell_finished"
+      [
+        ("mix", J.Str cell.mix);
+        ("scheme", J.Str cell.scheme);
+        ("ipc", num cell.ipc);
+        ("elapsed_s", num cell.elapsed_s);
+        ("worker", num (float_of_int cell.worker));
+        ("attempts", num (float_of_int cell.attempts));
+        ("degraded", J.Bool (cell.error <> None));
+        ("completed", num (float_of_int completed));
+        ("total", num (float_of_int total));
+        ("eta_s", num eta_s);
+      ]
+  | Sweep_finished { total; degraded; wall_s } ->
+    base "sweep_finished"
+      [
+        ("total", num (float_of_int total));
+        ("degraded", num (float_of_int degraded));
+        ("wall_s", num wall_s);
+      ]
+
+let json_logger oc =
+  let m = Mutex.create () in
+  fun ev ->
+    let line = Vliw_util.Json.to_string (json_of_event ev) in
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+
 exception Cell_timeout of { elapsed_s : float; limit_s : float }
 
 let () =
@@ -114,7 +217,8 @@ let snapshot_with extra base =
 let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
     ?scheme_names ?mix_names ?(jobs = 1) ?progress ?(telemetry = false)
     ?(max_retries = 0) ?cell_timeout_s ?checkpoint ?(resume = false)
-    ?(log = fun (_ : string) -> ()) () =
+    ?(log = fun (_ : string) -> ()) ?on_event () =
+  let emit ev = match on_event with Some f -> f ev | None -> () in
   let scheme_names =
     match scheme_names with Some names -> names | None -> default_scheme_names ()
   in
@@ -206,6 +310,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
   let simulate_cell ~row ~col ~mix_name ~row_seed ~programs
       ~(entry : Vliw_merge.Catalog.entry) ~worker =
     let config = Vliw_sim.Config.make ~machine entry.scheme in
+    emit (Cell_started { mix = mix_name; scheme = entry.name; worker });
     let rec go ~attempt ~timeouts =
       match attempt_once ~row ~col ~config ~row_seed ~programs with
       | metrics, counters, t0, elapsed ->
@@ -233,8 +338,26 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
         let timeouts =
           match e with Cell_timeout _ -> timeouts + 1 | _ -> timeouts
         in
-        if attempt <= max_retries then go ~attempt:(attempt + 1) ~timeouts
+        if attempt <= max_retries then begin
+          emit
+            (Cell_retried
+               {
+                 mix = mix_name;
+                 scheme = entry.name;
+                 attempt;
+                 error = Printexc.to_string e;
+               });
+          go ~attempt:(attempt + 1) ~timeouts
+        end
         else begin
+          emit
+            (Cell_degraded
+               {
+                 mix = mix_name;
+                 scheme = entry.name;
+                 attempts = attempt;
+                 error = Printexc.to_string e;
+               });
           let telemetry_snap =
             if telemetry then
               Some
@@ -329,21 +452,48 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
       end
     | _ -> ()
   in
+  (* Worker count the pool will actually use, for the ETA heuristic. *)
+  let effective_jobs =
+    if jobs <= 0 then Domain.recommended_domain_count () else jobs
+  in
   let on_result =
     let total = Array.length tasks in
     let completed = ref 0 in
+    let elapsed_sum = ref 0.0 and timed = ref 0 in
     Some
       (fun _i (res : (cell, exn) result) ->
         match res with
         | Error _ -> () (* repackaged as a degraded cell below *)
         | Ok cell ->
           journal_cell cell;
+          incr completed;
+          if cell.attempts > 0 && cell.error = None then begin
+            (* Restored and degraded cells carry no useful timing; ETA
+               calibrates on genuinely simulated cells only. *)
+            elapsed_sum := !elapsed_sum +. cell.elapsed_s;
+            incr timed
+          end;
+          (if on_event <> None then
+             let eta_s =
+               if !timed = 0 then Float.nan
+               else
+                 !elapsed_sum /. float_of_int !timed
+                 *. float_of_int (total - !completed)
+                 /. float_of_int effective_jobs
+             in
+             emit (Cell_finished { cell; completed = !completed; total; eta_s }));
           (match progress with
           | None -> ()
-          | Some f ->
-            incr completed;
-            f { completed = !completed; total; last = cell }))
+          | Some f -> f { completed = !completed; total; last = cell }))
   in
+  emit
+    (Sweep_started
+       {
+         total = Array.length tasks;
+         jobs = effective_jobs;
+         scale = Common.scale_name scale;
+         seed;
+       });
   (* [simulate_cell] already contains every expected failure, so a task
      exception here means the harness itself broke (e.g. the journal
      write raised). [run_results] still isolates it to its cell. *)
@@ -368,6 +518,16 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
           })
       results
   in
+  emit
+    (Sweep_finished
+       {
+         total = Array.length cells;
+         degraded =
+           Array.fold_left
+             (fun acc c -> acc + (if c.error <> None then 1 else 0))
+             0 cells;
+         wall_s = Unix.gettimeofday () -. epoch;
+       });
   (scheme_names, mix_names, cells)
 
 let grid_of_cells ~scheme_names ~mix_names cells =
@@ -379,10 +539,10 @@ let grid_of_cells ~scheme_names ~mix_names cells =
   Common.make_grid ~scheme_names ~mix_names ~ipc
 
 let run ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress ?max_retries
-    ?cell_timeout_s ?checkpoint ?resume ?log () =
+    ?cell_timeout_s ?checkpoint ?resume ?log ?on_event () =
   let scheme_names, mix_names, cells =
     run_cells ?scale ?seed ?scheme_names ?mix_names ?jobs ?progress
-      ?max_retries ?cell_timeout_s ?checkpoint ?resume ?log ()
+      ?max_retries ?cell_timeout_s ?checkpoint ?resume ?log ?on_event ()
   in
   grid_of_cells ~scheme_names ~mix_names cells
 

@@ -47,6 +47,52 @@ type cell = {
 
 type progress = { completed : int; total : int; last : cell }
 
+(** Live structured progress stream, richer than [progress]: lifecycle
+    events for the whole sweep and for every cell attempt. A consumer
+    passed as [on_event] {b must be domain-safe}: [Cell_started],
+    [Cell_retried] and [Cell_degraded] fire inside worker domains, while
+    [Sweep_started], [Cell_finished] (serialized through the pool's
+    result callback) and [Sweep_finished] fire in the parent.
+    Observation-only: consuming events cannot change results. *)
+type event =
+  | Sweep_started of { total : int; jobs : int; scale : string; seed : int64 }
+  | Cell_started of { mix : string; scheme : string; worker : int }
+  | Cell_retried of {
+      mix : string;
+      scheme : string;
+      attempt : int;  (** the attempt that just failed, 1-based *)
+      error : string;
+    }
+  | Cell_degraded of {
+      mix : string;
+      scheme : string;
+      attempts : int;
+      error : string;
+    }
+  | Cell_finished of {
+      cell : cell;
+      completed : int;
+      total : int;
+      eta_s : float;
+          (** Estimated seconds to sweep completion, calibrated from the
+              mean elapsed time of genuinely simulated cells (restored
+              and degraded cells don't count) divided across the
+              effective worker count; [nan] until one timed cell has
+              completed. *)
+    }
+  | Sweep_finished of { total : int; degraded : int; wall_s : float }
+
+val json_of_event : event -> Vliw_util.Json.t
+(** One JSON object per event: an ["ev"] tag, a ["ts"] wall-clock stamp,
+    and the event's fields. Non-finite numbers (a degraded cell's IPC,
+    an uncalibrated ETA) serialize as [null]. *)
+
+val json_logger : out_channel -> event -> unit
+(** [json_logger oc] is an [on_event] consumer that writes each event as
+    one NDJSON line to [oc], flushed per line so [tail -f] follows a
+    live sweep. Writes are serialized through a mutex, so the consumer
+    is safe across worker domains. *)
+
 exception Cell_timeout of { elapsed_s : float; limit_s : float }
 (** Raised {e inside} a cell attempt when it overran [cell_timeout_s].
     Enforcement is post-hoc — a domain cannot be preempted mid-
@@ -85,6 +131,7 @@ val run :
   ?checkpoint:string ->
   ?resume:bool ->
   ?log:(string -> unit) ->
+  ?on_event:(event -> unit) ->
   unit ->
   Common.grid
 (** IPC of every (mix, scheme) pair. Defaults: all 4-thread schemes of
@@ -105,6 +152,7 @@ val run_cells :
   ?checkpoint:string ->
   ?resume:bool ->
   ?log:(string -> unit) ->
+  ?on_event:(event -> unit) ->
   unit ->
   string list * string list * cell array
 (** Like {!run} but returns the raw cells (mix-major order) with their

@@ -1,0 +1,17 @@
+(** Self-contained HTML dashboard for a ledger run.
+
+    {!render} produces one complete HTML document with zero JavaScript
+    and zero external references — all styling inline, every chart
+    inline SVG with [<title>] hover tooltips — so the file opens from
+    [file://] on an air-gapped machine. Sections: run summary, the
+    fig10-style IPC grid as grouped bars (with a data-table fallback),
+    horizontal/vertical waste breakdown, stall-attribution tables,
+    per-worker sweep timeline, and a cross-run mean-IPC trajectory over
+    same-fingerprint ledger records. Light and dark palettes are both
+    explicit and swapped by [prefers-color-scheme]. *)
+
+val render : ?runs:Ledger.run list -> Ledger.run -> string
+(** [render ~runs r] is the document for run [r]; [runs] (normally the
+    whole ledger) feeds the trajectory section, which keeps only records
+    sharing [r]'s configuration fingerprint. Sections with no data for
+    [r] are omitted. *)

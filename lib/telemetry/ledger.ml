@@ -1,0 +1,351 @@
+(* The run ledger: a durable, append-only history of simulation runs.
+
+   Every `vliwsim exp|run|bench` invocation appends one JSONL line to
+   [_runs/ledger.jsonl] recording what ran (command, label, git
+   revision, configuration fingerprint), how (scale, seed, jobs,
+   wall-clock), and what came out: the per-cell IPC grid with each
+   cell's IEEE-754 bit image, the merged telemetry counter snapshot,
+   and the sweep's fault-tolerance stats (retries / degraded cells /
+   timeouts / resumed cells). That makes cross-revision drift a
+   first-class query — `vliwsim runs diff A B` bit-compares two grids
+   and names the first differing (mix, scheme) cell — and feeds the
+   HTML report's cross-run trajectory chart.
+
+   Storage discipline:
+   - IPC values are stored twice: a decimal [ipc] for human readers and
+     grep, and the hex bit image [bits] which is authoritative. A run
+     round-tripped through the ledger diffs as Identical against the
+     original, including nan (degraded) cells.
+   - Appends rewrite the file through [Vliw_util.Atomic_io], so a kill
+     mid-append never leaves a torn line; a malformed line (manual
+     edit, disk corruption) is skipped by [load] rather than fatal.
+   - Ids are assigned at append time as "r1", "r2", ... in file order,
+     so CLI invocations can name runs cheaply. The ledger is a
+     single-user, single-writer store by design. *)
+
+type cell = {
+  mix : string;
+  scheme : string;
+  ipc : float;  (* nan for a degraded cell; compared via its bits *)
+  elapsed_s : float;
+  started_s : float;
+  worker : int;
+  attempts : int;
+  degraded : bool;
+}
+
+type run = {
+  id : string;  (* "" until [append] assigns one *)
+  time_s : float;  (* unix epoch seconds when the record was made *)
+  cmd : string;  (* exp | run | bench *)
+  label : string;  (* experiment id, "SCHEME on MIX", bench mode... *)
+  git_rev : string;
+  fingerprint : string;  (* hash of (scale, seed, schemes, mixes) *)
+  scale : string;
+  seed : int64;
+  jobs : int;
+  scheme_names : string list;
+  mix_names : string list;
+  wall_s : float;
+  cells : cell array;  (* mix-major, possibly empty for bench runs *)
+  counters : (string * int) list;  (* merged telemetry snapshot *)
+  gauges : (string * float) list;  (* scalar results (ipc.mean, ...) *)
+  retries : int;
+  degraded : int;
+  timeouts : int;
+  resumed : int;
+}
+
+let default_dir = "_runs"
+
+let ledger_path ~dir = Filename.concat dir "ledger.jsonl"
+
+(* --- hashing ---------------------------------------------------------- *)
+
+let fnv1a64 init s =
+  String.fold_left
+    (fun acc c ->
+      Int64.mul (Int64.logxor acc (Int64.of_int (Char.code c))) 0x100000001B3L)
+    init s
+
+let fnv_offset = 0xCBF29CE484222325L
+
+let fingerprint_of ~scale ~seed ~scheme_names ~mix_names =
+  let key =
+    String.concat "\x00"
+      ((scale :: Printf.sprintf "0x%Lx" seed :: scheme_names) @ ("|" :: mix_names))
+  in
+  Printf.sprintf "%016Lx" (fnv1a64 fnv_offset key)
+
+let grid_digest cells =
+  let h = ref fnv_offset in
+  Array.iter
+    (fun c ->
+      h := fnv1a64 !h (c.mix ^ "/" ^ c.scheme);
+      h := fnv1a64 !h (Printf.sprintf "%Lx" (Int64.bits_of_float c.ipc)))
+    cells;
+  Printf.sprintf "%016Lx" !h
+
+(* --- environment ------------------------------------------------------ *)
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+    | exception _ -> "unknown")
+
+let make ?(counters = []) ?(gauges = []) ?(cells = [||]) ~cmd ~label ~scale
+    ~seed ~jobs ~scheme_names ~mix_names ~wall_s () =
+  let count name = try List.assoc name counters with Not_found -> 0 in
+  {
+    id = "";
+    time_s = Unix.gettimeofday ();
+    cmd;
+    label;
+    git_rev = git_rev ();
+    fingerprint = fingerprint_of ~scale ~seed ~scheme_names ~mix_names;
+    scale;
+    seed;
+    jobs;
+    scheme_names;
+    mix_names;
+    wall_s;
+    cells;
+    counters;
+    gauges;
+    retries =
+      Array.fold_left (fun acc c -> acc + max 0 (c.attempts - 1)) 0 cells;
+    degraded =
+      Array.fold_left
+        (fun acc (c : cell) -> acc + (if c.degraded then 1 else 0))
+        0 cells;
+    timeouts = count "sweep.timeouts";
+    resumed = count "sweep.resumed_cells";
+  }
+
+let mean_ipc run =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun c ->
+      if not (Float.is_nan c.ipc) then begin
+        sum := !sum +. c.ipc;
+        incr n
+      end)
+    run.cells;
+  if !n = 0 then Float.nan else !sum /. float_of_int !n
+
+(* --- JSON (de)serialization ------------------------------------------ *)
+
+module J = Vliw_util.Json
+
+let hex64 v = Printf.sprintf "0x%Lx" v
+
+let cell_to_json c =
+  J.Obj
+    ([
+       ("mix", J.Str c.mix);
+       ("scheme", J.Str c.scheme);
+       ("ipc", J.Num c.ipc);
+       ("bits", J.Str (hex64 (Int64.bits_of_float c.ipc)));
+       ("t", J.Num c.elapsed_s);
+       ("at", J.Num c.started_s);
+       ("w", J.Num (float_of_int c.worker));
+       ("n", J.Num (float_of_int c.attempts));
+     ]
+    @ if c.degraded then [ ("deg", J.Bool true) ] else [])
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.Num 1.0);
+      ("id", J.Str r.id);
+      ("time_s", J.Num r.time_s);
+      ("cmd", J.Str r.cmd);
+      ("label", J.Str r.label);
+      ("git", J.Str r.git_rev);
+      ("fp", J.Str r.fingerprint);
+      ("scale", J.Str r.scale);
+      ("seed", J.Str (hex64 r.seed));
+      ("jobs", J.Num (float_of_int r.jobs));
+      ("schemes", J.List (List.map (fun s -> J.Str s) r.scheme_names));
+      ("mixes", J.List (List.map (fun s -> J.Str s) r.mix_names));
+      ("wall_s", J.Num r.wall_s);
+      ("digest", J.Str (grid_digest r.cells));
+      ("cells", J.List (Array.to_list (Array.map cell_to_json r.cells)));
+      ( "counters",
+        J.Obj (List.map (fun (k, v) -> (k, J.Num (float_of_int v))) r.counters)
+      );
+      ("gauges", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) r.gauges));
+      ("retries", J.Num (float_of_int r.retries));
+      ("degraded", J.Num (float_of_int r.degraded));
+      ("timeouts", J.Num (float_of_int r.timeouts));
+      ("resumed", J.Num (float_of_int r.resumed));
+    ]
+
+let str_field j key = Option.bind (J.member key j) J.to_string_opt
+
+let num_field j key = Option.bind (J.member key j) J.to_float
+
+let int_field j key default =
+  match Option.bind (J.member key j) J.to_int with Some v -> v | None -> default
+
+let names_field j key =
+  match Option.bind (J.member key j) J.to_list with
+  | Some items -> List.filter_map J.to_string_opt items
+  | None -> []
+
+let cell_of_json j =
+  match (str_field j "mix", str_field j "scheme") with
+  | Some mix, Some scheme ->
+    (* [bits] is authoritative when present (exact, nan-safe); the
+       decimal [ipc] is the fallback for hand-written records. *)
+    let ipc =
+      match Option.bind (str_field j "bits") Int64.of_string_opt with
+      | Some bits -> Int64.float_of_bits bits
+      | None -> (
+        match num_field j "ipc" with Some v -> v | None -> Float.nan)
+    in
+    Some
+      {
+        mix;
+        scheme;
+        ipc;
+        elapsed_s = Option.value ~default:0.0 (num_field j "t");
+        started_s = Option.value ~default:0.0 (num_field j "at");
+        worker = int_field j "w" 0;
+        attempts = int_field j "n" 1;
+        degraded =
+          (match Option.bind (J.member "deg" j) J.to_bool with
+          | Some b -> b
+          | None -> false);
+      }
+  | _ -> None
+
+let assoc_of_obj j key of_num =
+  match J.member key j with
+  | Some (J.Obj fields) ->
+    List.filter_map
+      (fun (k, v) -> Option.map (fun n -> (k, of_num n)) (J.to_float v))
+      fields
+  | _ -> []
+
+let of_json j =
+  match (str_field j "cmd", str_field j "label") with
+  | Some cmd, Some label ->
+    let cells =
+      match Option.bind (J.member "cells" j) J.to_list with
+      | Some items -> Array.of_list (List.filter_map cell_of_json items)
+      | None -> [||]
+    in
+    Some
+      {
+        id = Option.value ~default:"" (str_field j "id");
+        time_s = Option.value ~default:0.0 (num_field j "time_s");
+        cmd;
+        label;
+        git_rev = Option.value ~default:"unknown" (str_field j "git");
+        fingerprint = Option.value ~default:"" (str_field j "fp");
+        scale = Option.value ~default:"default" (str_field j "scale");
+        seed =
+          Option.value ~default:0L
+            (Option.bind (str_field j "seed") Int64.of_string_opt);
+        jobs = int_field j "jobs" 1;
+        scheme_names = names_field j "schemes";
+        mix_names = names_field j "mixes";
+        wall_s = Option.value ~default:0.0 (num_field j "wall_s");
+        cells;
+        counters = assoc_of_obj j "counters" int_of_float;
+        gauges = assoc_of_obj j "gauges" Fun.id;
+        retries = int_field j "retries" 0;
+        degraded = int_field j "degraded" 0;
+        timeouts = int_field j "timeouts" 0;
+        resumed = int_field j "resumed" 0;
+      }
+  | _ -> None
+
+(* --- persistence ------------------------------------------------------ *)
+
+let load ~dir =
+  let path = ledger_path ~dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let text = In_channel.with_open_bin path In_channel.input_all in
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           if String.trim line = "" then None
+           else
+             match J.parse line with
+             | Ok j -> of_json j
+             | Error _ -> None (* torn/corrupt line: skip, don't abort *))
+  end
+
+let append ~dir run =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let existing = load ~dir in
+  let run = { run with id = Printf.sprintf "r%d" (List.length existing + 1) } in
+  Vliw_util.Atomic_io.append_line ~path:(ledger_path ~dir)
+    (J.to_string (to_json run));
+  run
+
+let find ~dir wanted =
+  let runs = load ~dir in
+  match List.find_opt (fun r -> r.id = wanted) runs with
+  | Some r -> Some r
+  | None ->
+    (* "latest" convenience alias, so scripts need no id bookkeeping. *)
+    if wanted = "latest" then
+      match List.rev runs with last :: _ -> Some last | [] -> None
+    else None
+
+let latest ~dir =
+  match List.rev (load ~dir) with last :: _ -> Some last | [] -> None
+
+(* --- drift ------------------------------------------------------------ *)
+
+type drift =
+  | Identical
+  | Shape_mismatch of string
+  | Drift of {
+      mix : string;
+      scheme : string;
+      ipc_a : float;
+      ipc_b : float;
+      differing : int;
+    }
+
+let diff a b =
+  let keys r =
+    Array.to_list (Array.map (fun c -> (c.mix, c.scheme)) r.cells)
+  in
+  if Array.length a.cells <> Array.length b.cells then
+    Shape_mismatch
+      (Printf.sprintf "%d cells vs %d cells" (Array.length a.cells)
+         (Array.length b.cells))
+  else if keys a <> keys b then
+    Shape_mismatch "cell (mix, scheme) layouts differ"
+  else begin
+    let first = ref None and differing = ref 0 in
+    Array.iteri
+      (fun i ca ->
+        let cb = b.cells.(i) in
+        if Int64.bits_of_float ca.ipc <> Int64.bits_of_float cb.ipc then begin
+          incr differing;
+          if !first = None then first := Some (ca, cb)
+        end)
+      a.cells;
+    match !first with
+    | None -> Identical
+    | Some (ca, cb) ->
+      Drift
+        {
+          mix = ca.mix;
+          scheme = ca.scheme;
+          ipc_a = ca.ipc;
+          ipc_b = cb.ipc;
+          differing = !differing;
+        }
+  end

@@ -1,0 +1,121 @@
+(** Durable run history: one JSONL record per simulation run.
+
+    Every [vliwsim exp|run|bench] invocation appends a record to
+    [_runs/ledger.jsonl] capturing the configuration (scale, seed, jobs,
+    git revision, a fingerprint of the sweep shape), the outcome (the
+    per-cell IPC grid with IEEE-754 bit images, merged telemetry
+    counters, scalar gauges) and the sweep's fault-tolerance stats.
+    [vliwsim runs diff] bit-compares two records' grids; the HTML report
+    plots the cross-run trajectory from the same store.
+
+    The store is single-writer: appends rewrite the whole file through
+    {!Vliw_util.Atomic_io}, so readers never see a torn line, but two
+    concurrent appenders can lose one record. Malformed lines are
+    skipped on load rather than fatal. *)
+
+type cell = {
+  mix : string;
+  scheme : string;
+  ipc : float;  (** nan for a degraded cell; diffed via its bit image *)
+  elapsed_s : float;
+  started_s : float;
+  worker : int;
+  attempts : int;
+  degraded : bool;
+}
+
+type run = {
+  id : string;  (** assigned by {!append} as "r1", "r2", ... *)
+  time_s : float;  (** unix epoch seconds when the record was made *)
+  cmd : string;  (** "exp", "run" or "bench" *)
+  label : string;
+  git_rev : string;
+  fingerprint : string;
+  scale : string;
+  seed : int64;
+  jobs : int;
+  scheme_names : string list;
+  mix_names : string list;
+  wall_s : float;
+  cells : cell array;  (** mix-major; may be empty (bench runs) *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  retries : int;
+  degraded : int;
+  timeouts : int;
+  resumed : int;
+}
+
+val default_dir : string
+(** ["_runs"], relative to the working directory. *)
+
+val ledger_path : dir:string -> string
+
+val make :
+  ?counters:(string * int) list ->
+  ?gauges:(string * float) list ->
+  ?cells:cell array ->
+  cmd:string ->
+  label:string ->
+  scale:string ->
+  seed:int64 ->
+  jobs:int ->
+  scheme_names:string list ->
+  mix_names:string list ->
+  wall_s:float ->
+  unit ->
+  run
+(** Build a record for the current moment: stamps the time, resolves the
+    git revision (["unknown"] outside a work tree), fingerprints the
+    configuration and derives retry/degraded stats from [cells] and the
+    counter snapshot. The id is empty until {!append} assigns one. *)
+
+val fingerprint_of :
+  scale:string ->
+  seed:int64 ->
+  scheme_names:string list ->
+  mix_names:string list ->
+  string
+(** FNV-1a hash of the sweep shape; equal fingerprints mean two runs are
+    meaningfully diffable. *)
+
+val grid_digest : cell array -> string
+(** FNV-1a over every cell's (mix, scheme) key and IPC bit image; equal
+    digests mean bit-identical grids. *)
+
+val mean_ipc : run -> float
+(** Mean over non-nan cells; nan if there are none. *)
+
+val append : dir:string -> run -> run
+(** Assign the next sequential id, persist atomically (creating [dir] if
+    needed), and return the record with its id filled in. *)
+
+val load : dir:string -> run list
+(** All parseable records in file (= chronological) order; [] if the
+    ledger does not exist yet. *)
+
+val find : dir:string -> string -> run option
+(** Look up by id; the alias ["latest"] resolves to the newest record. *)
+
+val latest : dir:string -> run option
+
+type drift =
+  | Identical  (** every cell bit-identical *)
+  | Shape_mismatch of string  (** different cell count or (mix, scheme) layout *)
+  | Drift of {
+      mix : string;  (** first differing cell, in grid order *)
+      scheme : string;
+      ipc_a : float;
+      ipc_b : float;
+      differing : int;  (** total number of differing cells *)
+    }
+
+val diff : run -> run -> drift
+(** Bit-compare two runs' grids. Attribution is deterministic: the named
+    cell is the first differing one in mix-major grid order. *)
+
+val to_json : run -> Vliw_util.Json.t
+
+val of_json : Vliw_util.Json.t -> run option
+(** [None] if required fields are missing; unknown fields are ignored
+    (forward compatibility with later schema additions). *)

@@ -1,0 +1,322 @@
+(* OpenMetrics / Prometheus textfile exporter.
+
+   Renders a telemetry snapshot (plus run-level gauges) in the
+   text-based exposition format understood both by the Prometheus
+   node_exporter textfile collector and by OpenMetrics scrapers:
+
+     # HELP vliwsim_slots_filled_total Telemetry counter slots.filled
+     # TYPE vliwsim_slots_filled_total counter
+     vliwsim_slots_filled_total{scale="default"} 1264
+     ...
+     # EOF
+
+   Conventions honoured (and enforced by [lint]):
+   - metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; telemetry dot-names are
+     mapped through [sanitize] ("waste.vertical.empty" ->
+     "vliwsim_waste_vertical_empty_total");
+   - counters carry the [_total] suffix; histograms expand to
+     cumulative [_bucket{le="..."}] series ending in le="+Inf", plus
+     [_sum] and [_count];
+   - label values are escaped (backslash, double-quote, newline);
+   - each metric family has exactly one HELP and one TYPE line, emitted
+     before its samples;
+   - the exposition ends with "# EOF".
+
+   The in-repo [lint] keeps CI honest without a prometheus binary: it
+   re-parses an exposition and reports structural violations. *)
+
+type family = {
+  name : string;  (* family name, without _total/_bucket suffixes *)
+  kind : [ `Counter | `Gauge | `Histogram ];
+  help : string;
+  labels : (string * string) list;  (* applied to every sample *)
+}
+
+let prefix = "vliwsim_"
+
+let sanitize name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  let mapped =
+    if mapped = "" then "_"
+    else
+      match mapped.[0] with
+      | '0' .. '9' -> "_" ^ mapped
+      | _ -> mapped
+  in
+  prefix ^ mapped
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Prometheus prints integers bare and floats in shortest-round-trip
+   form; reuse Json's number rendering for the latter. *)
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Vliw_util.Json.number_string v
+
+let kind_string = function
+  | `Counter -> "counter"
+  | `Gauge -> "gauge"
+  | `Histogram -> "histogram"
+
+let emit_header buf fam =
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n" fam.name (escape_help fam.help));
+  Buffer.add_string buf
+    (Printf.sprintf "# TYPE %s %s\n" fam.name (kind_string fam.kind))
+
+let emit_sample buf ~name ?(extra = []) ~labels v =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s\n" name (label_string (labels @ extra)) (number v))
+
+let render ?(labels = []) ~snapshot ~gauges () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (raw, v) ->
+      let fam =
+        {
+          name = sanitize raw ^ "_total";
+          kind = `Counter;
+          help = "Telemetry counter " ^ raw;
+          labels;
+        }
+      in
+      emit_header buf fam;
+      emit_sample buf ~name:fam.name ~labels (float_of_int v))
+    snapshot.Counters.counters;
+  List.iter
+    (fun (raw, (h : Counters.hist_snapshot)) ->
+      let base = sanitize raw in
+      let fam =
+        { name = base; kind = `Histogram; help = "Telemetry histogram " ^ raw; labels }
+      in
+      emit_header buf fam;
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cumulative := !cumulative + h.counts.(i);
+          emit_sample buf ~name:(base ^ "_bucket")
+            ~extra:[ ("le", number bound) ]
+            ~labels (float_of_int !cumulative))
+        h.bounds;
+      emit_sample buf ~name:(base ^ "_bucket")
+        ~extra:[ ("le", "+Inf") ]
+        ~labels (float_of_int h.total);
+      emit_sample buf ~name:(base ^ "_sum") ~labels h.sum;
+      emit_sample buf ~name:(base ^ "_count") ~labels (float_of_int h.total))
+    snapshot.Counters.histograms;
+  List.iter
+    (fun (raw, v) ->
+      let fam =
+        {
+          name = sanitize raw;
+          kind = `Gauge;
+          help = "Run gauge " ^ raw;
+          labels;
+        }
+      in
+      emit_header buf fam;
+      emit_sample buf ~name:fam.name ~labels v)
+    gauges;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let of_run (r : Ledger.run) =
+  let snapshot =
+    { Counters.empty with Counters.counters = List.sort compare r.counters }
+  in
+  let gauges =
+    List.sort compare
+      (r.gauges
+      @ [
+          ("run_wall_seconds", r.wall_s);
+          ("run_jobs", float_of_int r.jobs);
+          ("run_cells", float_of_int (Array.length r.cells));
+          ("run_ipc_mean", Ledger.mean_ipc r);
+        ])
+  in
+  render
+    ~labels:
+      [ ("run", r.id); ("cmd", r.cmd); ("scale", r.scale); ("git", r.git_rev) ]
+    ~snapshot ~gauges ()
+
+(* --- lint ------------------------------------------------------------- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* Family name of a sample: strip histogram sample suffixes so
+   my_hist_bucket / _sum / _count all attribute to my_hist. The _total
+   counter suffix is part of the family name per convention. *)
+let family_of_sample ~histogram_families name =
+  let strip suffix =
+    if
+      String.length name > String.length suffix
+      && String.sub name
+           (String.length name - String.length suffix)
+           (String.length suffix)
+         = suffix
+    then
+      Some (String.sub name 0 (String.length name - String.length suffix))
+    else None
+  in
+  let candidates = List.filter_map strip [ "_bucket"; "_sum"; "_count" ] in
+  match List.find_opt (fun c -> List.mem c histogram_families) candidates with
+  | Some fam -> fam
+  | None -> name
+
+let lint text =
+  let errors = ref [] in
+  let err line msg = errors := Printf.sprintf "line %d: %s" line msg :: !errors in
+  let lines = String.split_on_char '\n' text in
+  let helped = Hashtbl.create 16 and typed = Hashtbl.create 16 in
+  let histogram_families = ref [] in
+  let sampled = Hashtbl.create 16 in
+  let saw_eof = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if !saw_eof && String.trim line <> "" then
+        err lineno "content after # EOF"
+      else if line = "# EOF" then saw_eof := true
+      else if line = "" then ()
+      else if String.length line > 1 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "HELP" :: name :: _rest ->
+          if not (valid_name name) then
+            err lineno ("invalid metric name in HELP: " ^ name);
+          if Hashtbl.mem helped name then
+            err lineno ("duplicate HELP for " ^ name);
+          Hashtbl.replace helped name ();
+          if Hashtbl.mem sampled name then
+            err lineno ("HELP for " ^ name ^ " after its samples")
+        | "#" :: "TYPE" :: name :: [ kind ] ->
+          if not (valid_name name) then
+            err lineno ("invalid metric name in TYPE: " ^ name);
+          if Hashtbl.mem typed name then
+            err lineno ("duplicate TYPE for " ^ name);
+          Hashtbl.replace typed name kind;
+          if kind = "histogram" then
+            histogram_families := name :: !histogram_families;
+          if
+            not
+              (List.mem kind
+                 [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+          then err lineno ("unknown metric type: " ^ kind);
+          if Hashtbl.mem sampled name then
+            err lineno ("TYPE for " ^ name ^ " after its samples")
+        | _ -> err lineno "malformed comment line (expected # HELP / # TYPE)"
+      end
+      else begin
+        (* sample line: NAME[{labels}] VALUE *)
+        let name_end =
+          let n = String.length line in
+          let rec go i = if i < n && is_name_char line.[i] then go (i + 1) else i in
+          go 0
+        in
+        let name = String.sub line 0 name_end in
+        if not (valid_name name) then
+          err lineno ("invalid sample metric name: " ^ String.trim line)
+        else begin
+          let fam =
+            family_of_sample ~histogram_families:!histogram_families name
+          in
+          Hashtbl.replace sampled fam ();
+          if not (Hashtbl.mem typed fam) then
+            err lineno ("sample for " ^ fam ^ " has no TYPE line");
+          (match Hashtbl.find_opt typed fam with
+          | Some "counter"
+            when not
+                   (String.length name >= 6
+                   && String.sub name (String.length name - 6) 6 = "_total")
+            ->
+            err lineno ("counter sample " ^ name ^ " lacks _total suffix")
+          | _ -> ());
+          let rest = String.sub line name_end (String.length line - name_end) in
+          let value_part =
+            if String.length rest > 0 && rest.[0] = '{' then begin
+              (* scan the label block respecting escapes inside quotes *)
+              let n = String.length rest in
+              let rec scan i in_quote =
+                if i >= n then None
+                else if in_quote then
+                  if rest.[i] = '\\' then scan (i + 2) true
+                  else if rest.[i] = '"' then scan (i + 1) false
+                  else scan (i + 1) true
+                else if rest.[i] = '"' then scan (i + 1) true
+                else if rest.[i] = '}' then Some (i + 1)
+                else scan (i + 1) false
+              in
+              match scan 1 false with
+              | None ->
+                err lineno "unterminated label block";
+                None
+              | Some close ->
+                Some (String.sub rest close (n - close))
+            end
+            else Some rest
+          in
+          match value_part with
+          | None -> ()
+          | Some v -> (
+            let v = String.trim v in
+            if v = "" then err lineno "sample has no value"
+            else
+              match v with
+              | "+Inf" | "-Inf" | "NaN" -> ()
+              | _ -> (
+                match float_of_string_opt (List.hd (String.split_on_char ' ' v)) with
+                | Some _ -> ()
+                | None -> err lineno ("unparseable sample value: " ^ v)))
+        end
+      end)
+    lines;
+  if not !saw_eof then errors := "missing # EOF terminator" :: !errors;
+  List.rev !errors

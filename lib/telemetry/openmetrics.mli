@@ -1,0 +1,39 @@
+(** OpenMetrics / Prometheus textfile exposition.
+
+    Renders telemetry snapshots and run-level gauges in the text format
+    consumed by the node_exporter textfile collector: one HELP + TYPE
+    line per family, counters with the [_total] suffix, histograms as
+    cumulative [_bucket{le="..."}] / [_sum] / [_count] series, escaped
+    label values, and a trailing [# EOF]. {!lint} re-parses an
+    exposition so CI can validate output without a prometheus binary. *)
+
+val sanitize : string -> string
+(** Map a telemetry dot-name to a legal metric name under the
+    ["vliwsim_"] prefix: ["waste.vertical.empty"] becomes
+    ["vliwsim_waste_vertical_empty"]. *)
+
+val escape_label_value : string -> string
+(** Escape backslash, double-quote and newline for use inside a label
+    value literal. *)
+
+val render :
+  ?labels:(string * string) list ->
+  snapshot:Counters.snapshot ->
+  gauges:(string * float) list ->
+  unit ->
+  string
+(** Full exposition: every counter in [snapshot] as a [_total] counter,
+    every histogram as bucket/sum/count series, every [gauges] entry as
+    a gauge. [labels] are attached to all samples. *)
+
+val of_run : Ledger.run -> string
+(** {!render} for a ledger record: its counters and gauges plus derived
+    [run_wall_seconds] / [run_jobs] / [run_cells] / [run_ipc_mean]
+    gauges, labelled with the run id, command, scale and git rev. *)
+
+val lint : string -> string list
+(** Structural validation of an exposition; returns human-readable
+    violations (empty = clean). Checks metric-name syntax, one HELP and
+    one TYPE per family emitted before its samples, counter [_total]
+    suffixes, parseable sample values, label-block termination, and the
+    [# EOF] terminator. *)

@@ -1,7 +1,14 @@
+(* Pad to a display-cell width (UTF-8 aware): Printf's %-*s pads by
+   bytes, which misaligns any label containing a multi-byte character. *)
+let pad_label width s =
+  s ^ String.make (max 0 (width - Text_table.display_width s)) ' '
+
 let bar_chart ?(width = 50) ?(unit_label = "") series =
   let buf = Buffer.create 256 in
   let label_width =
-    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+    List.fold_left
+      (fun acc (l, _) -> max acc (Text_table.display_width l))
+      0 series
   in
   let vmax = List.fold_left (fun acc (_, v) -> max acc v) 0.0 series in
   let vmax = if vmax <= 0.0 then 1.0 else vmax in
@@ -9,8 +16,8 @@ let bar_chart ?(width = 50) ?(unit_label = "") series =
     let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
     let n = max 0 (min width n) in
     Buffer.add_string buf
-      (Printf.sprintf "%-*s | %s %.2f%s\n" label_width label (String.make n '#')
-         v unit_label)
+      (Printf.sprintf "%s | %s %.2f%s\n" (pad_label label_width label)
+         (String.make n '#') v unit_label)
   in
   List.iter emit series;
   Buffer.contents buf
@@ -18,7 +25,9 @@ let bar_chart ?(width = 50) ?(unit_label = "") series =
 let grouped_bar_chart ?(width = 40) ~group_labels ~series () =
   let buf = Buffer.create 1024 in
   let name_width =
-    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+    List.fold_left
+      (fun acc (l, _) -> max acc (Text_table.display_width l))
+      0 series
   in
   let vmax =
     List.fold_left
@@ -34,7 +43,7 @@ let grouped_bar_chart ?(width = 40) ~group_labels ~series () =
         let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
         let n = max 0 (min width n) in
         Buffer.add_string buf
-          (Printf.sprintf "  %-*s | %s %.2f\n" name_width name
+          (Printf.sprintf "  %s | %s %.2f\n" (pad_label name_width name)
              (String.make n '#') v)
       in
       List.iter emit series)

@@ -19,22 +19,10 @@ let row_to_string cells = String.concat "," (List.map escape_field cells)
 let to_string ~header rows =
   String.concat "\n" (row_to_string header :: List.map row_to_string rows) ^ "\n"
 
-(* Crash-safe file replacement: write the full content to [path ^ ".tmp"]
-   and rename it over [path]. A reader never observes a torn file — it
-   sees either the old content or the new one — and an exception or kill
-   mid-write leaves the destination untouched (plus, at worst, a stale
-   .tmp). This is the primitive Vliw_experiments.Checkpoint journals are
-   built on. *)
-let atomically ~path f =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (match f oc with
-  | () -> close_out oc
-  | exception e ->
-    close_out_noerr oc;
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e);
-  Sys.rename tmp path
+(* The temp-file + rename primitive now lives in [Atomic_io]; this alias
+   is kept so existing callers (and their crash-safety story) read the
+   same. *)
+let atomically = Atomic_io.with_file
 
 let write ~path ~header rows =
   atomically ~path (fun oc -> output_string oc (to_string ~header rows))

@@ -8,12 +8,9 @@ val escape_field : string -> string
 val to_string : header:string list -> string list list -> string
 
 val atomically : path:string -> (out_channel -> unit) -> unit
-(** [atomically ~path f] runs [f] on a channel to [path ^ ".tmp"], then
-    renames the temp file over [path]. Readers observe either the old
-    content or the complete new content, never a truncated file; if [f]
-    raises, the destination is untouched and the temp file is removed.
-    The crash-safety primitive {!write} and
-    [Vliw_experiments.Checkpoint] are built on. *)
+(** Alias of {!Atomic_io.with_file}, kept for existing callers: readers
+    observe either the old content or the complete new content, never a
+    truncated file. New code should use {!Atomic_io} directly. *)
 
 val write : path:string -> header:string list -> string list list -> unit
 (** Writes the file, overwriting any existing content, via

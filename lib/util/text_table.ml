@@ -1,5 +1,16 @@
 type align = Left | Right | Center
 
+(* Column width in terminal cells, approximated as the number of UTF-8
+   scalar values (continuation bytes 0b10xxxxxx don't count). Byte
+   length over-pads any label containing a multi-byte character ("µs",
+   "×", box-drawing), which skews every column after it. Combining
+   marks and double-width CJK are not special-cased — the tables this
+   renders never contain them. Equals [String.length] on pure ASCII. *)
+let display_width s =
+  String.fold_left
+    (fun acc c -> if Char.code c land 0xC0 = 0x80 then acc else acc + 1)
+    0 s
+
 type row = Cells of string list | Sep
 
 type t = {
@@ -31,7 +42,7 @@ let add_float_row t label xs =
   add_row t (label :: List.map (Printf.sprintf "%.2f") xs)
 
 let pad align width s =
-  let n = String.length s in
+  let n = display_width s in
   if n >= width then s
   else begin
     let fill = width - n in
@@ -45,9 +56,9 @@ let pad align width s =
 
 let render t =
   let rows = List.rev t.rows in
-  let widths = Array.of_list (List.map String.length t.header) in
+  let widths = Array.of_list (List.map display_width t.header) in
   let update cells =
-    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (display_width c)) cells
   in
   List.iter (function Cells c -> update c | Sep -> ()) rows;
   let buf = Buffer.create 256 in

@@ -5,6 +5,13 @@
 
 type align = Left | Right | Center
 
+val display_width : string -> int
+(** Width of a string in terminal cells, approximated as its number of
+    UTF-8 scalar values (so "µs" measures 2, not 3). Combining marks
+    and double-width CJK are not special-cased. Equals [String.length]
+    on pure ASCII. Column sizing and padding both use this, so cells
+    containing multi-byte labels stay aligned. *)
+
 type t
 
 val create : header:string list -> t

@@ -50,6 +50,125 @@ let test_exit_codes () =
         expected (run_cli args))
     cases
 
+(* --- run ledger / report flow ----------------------------------------- *)
+
+let contains ~needle haystack =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  if Sys.file_exists path then In_channel.with_open_bin path In_channel.input_all
+  else ""
+
+(* End-to-end contract of the observability surface: every run records a
+   ledger entry, runs list/show/diff/export-metrics/lint and report obey
+   the exit-code convention, diagnostics go to stderr and data to
+   stdout. *)
+let test_runs_and_report_flow () =
+  let dir = Filename.temp_file "vliwcli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let runs_dir = Filename.concat dir "runs" in
+  let out = Filename.concat dir "out.txt"
+  and err = Filename.concat dir "err.txt" in
+  let cli args =
+    Sys.command (Printf.sprintf "%s %s >%s 2>%s" vliwsim args out err)
+  in
+  let quick = Printf.sprintf "run --scheme 2SC3 --mix LLHH --scale quick --runs-dir %s" runs_dir in
+  (* two identical runs and one with a perturbed seed *)
+  Alcotest.(check int) "run records a ledger entry" 0 (cli quick);
+  Alcotest.(check bool) "recording note on stderr" true
+    (contains ~needle:"recorded run r1" (read_file err));
+  Alcotest.(check bool) "simulation data on stdout" true
+    (contains ~needle:"IPC" (read_file out));
+  Alcotest.(check int) "second identical run" 0 (cli quick);
+  Alcotest.(check int) "perturbed-seed run" 0 (cli (quick ^ " --seed 7"));
+  (* --no-ledger leaves the store untouched *)
+  Alcotest.(check int) "opt-out run" 0 (cli (quick ^ " --no-ledger"));
+  (* list: table on stdout *)
+  Alcotest.(check int) "runs list" 0
+    (cli (Printf.sprintf "runs list --runs-dir %s" runs_dir));
+  let listing = read_file out in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " listed") true
+        (contains ~needle listing))
+    [ "r1"; "r2"; "r3" ];
+  Alcotest.(check bool) "opt-out run not recorded" false
+    (contains ~needle:"r4" listing);
+  (* show *)
+  Alcotest.(check int) "runs show" 0
+    (cli (Printf.sprintf "runs show --runs-dir %s r1" runs_dir));
+  Alcotest.(check bool) "show prints the fingerprint" true
+    (contains ~needle:"fingerprint" (read_file out));
+  (* diff: identical runs exit 0, drifted runs exit 1 and name the cell *)
+  Alcotest.(check int) "diff identical" 0
+    (cli (Printf.sprintf "runs diff --runs-dir %s r1 r2" runs_dir));
+  Alcotest.(check bool) "diff reports bit-identical" true
+    (contains ~needle:"bit-identical" (read_file out));
+  Alcotest.(check int) "diff drifted" 1
+    (cli (Printf.sprintf "runs diff --runs-dir %s r1 r3" runs_dir));
+  Alcotest.(check bool) "diff names the first drifting cell" true
+    (contains ~needle:"first drift at (LLHH, 2SC3)" (read_file out));
+  (* export-metrics round-trips through the in-repo linter *)
+  let prom = Filename.concat dir "metrics.prom" in
+  Alcotest.(check int) "export-metrics" 0
+    (cli (Printf.sprintf "runs export-metrics --runs-dir %s latest -o %s" runs_dir prom));
+  Alcotest.(check int) "lint accepts our exposition" 0
+    (cli (Printf.sprintf "runs lint %s" prom));
+  let bad = Filename.concat dir "bad.prom" in
+  Out_channel.with_open_bin bad (fun oc ->
+      output_string oc "bogus{ 1\nno_type_line 2\n");
+  Alcotest.(check int) "lint rejects a broken exposition" 1
+    (cli (Printf.sprintf "runs lint %s" bad));
+  Alcotest.(check bool) "violations on stderr" true
+    (contains ~needle:"violation" (read_file err));
+  (* report: one self-contained file *)
+  let html = Filename.concat dir "report.html" in
+  Alcotest.(check int) "report" 0
+    (cli (Printf.sprintf "report --runs-dir %s --run r1 -o %s" runs_dir html));
+  let doc = read_file html in
+  Alcotest.(check bool) "report has inline SVG" true (contains ~needle:"<svg" doc);
+  Alcotest.(check bool) "report has no scripts" false
+    (contains ~needle:"<script" doc);
+  Alcotest.(check bool) "report has no external URLs" false
+    (contains ~needle:"http" doc);
+  (* usage errors: unknown id, empty ledger *)
+  Alcotest.(check int) "unknown run id" 2
+    (cli (Printf.sprintf "runs show --runs-dir %s r99" runs_dir));
+  Alcotest.(check int) "empty ledger is a usage error" 2
+    (cli (Printf.sprintf "runs show --runs-dir %s latest" (Filename.concat dir "void")));
+  Alcotest.(check int) "report on empty ledger" 2
+    (cli (Printf.sprintf "report --runs-dir %s" (Filename.concat dir "void")));
+  Alcotest.(check int) "lint on a missing file" 2
+    (cli (Printf.sprintf "runs lint %s" (Filename.concat dir "nope.prom")));
+  (* listing an empty ledger is informational, not an error *)
+  Alcotest.(check int) "runs list on empty ledger" 0
+    (cli (Printf.sprintf "runs list --runs-dir %s" (Filename.concat dir "void")));
+  Alcotest.(check string) "empty listing keeps stdout clean" ""
+    (read_file out)
+
+(* --log-json flag plumbing: accepted under -q, the stream file is
+   created even when the experiment emits no sweep events. The stream's
+   content is covered at the library level (test_observability) and the
+   full `exp fig10 --log-json` path by the CI smoke job — a quick fig10
+   sweep is too slow for the unit suite. *)
+let test_log_json_stream () =
+  let dir = Filename.temp_file "vliwcli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let events = Filename.concat dir "events.ndjson" in
+  Alcotest.(check int) "exp with --log-json succeeds" 0
+    (Sys.command
+       (Printf.sprintf "%s exp fig5 -q --no-ledger --log-json %s >/dev/null 2>&1"
+          vliwsim events));
+  Alcotest.(check bool) "stream file created" true (Sys.file_exists events)
+
 let suite =
   ( "cli",
-    [ Alcotest.test_case "exit code contract" `Quick test_exit_codes ] )
+    [
+      Alcotest.test_case "exit code contract" `Quick test_exit_codes;
+      Alcotest.test_case "runs and report flow" `Quick test_runs_and_report_flow;
+      Alcotest.test_case "--log-json event stream" `Quick test_log_json_stream;
+    ] )

@@ -25,5 +25,6 @@ let () =
       Test_features.suite;
       Test_repro.suite;
       Test_faults.suite;
+      Test_observability.suite;
       Test_cli.suite;
     ]

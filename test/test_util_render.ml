@@ -82,6 +82,54 @@ let test_scatter_single_point () =
   let out = C.scatter ~x_label:"x" ~y_label:"y" [ ("only", 2.0, 2.0) ] in
   Alcotest.(check bool) "renders" true (contains ~needle:"only" out)
 
+let test_bar_chart_empty () =
+  Alcotest.(check string) "empty series renders nothing" "" (C.bar_chart [])
+
+let test_table_header_only () =
+  let t = T.create ~header:[ "a"; "b" ] in
+  let lines = String.split_on_char '\n' (T.render t) in
+  (* header + separator + trailing newline *)
+  Alcotest.(check int) "header and separator only" 3 (List.length lines);
+  Alcotest.(check bool) "header present" true (contains ~needle:"| a" (T.render t))
+
+let test_table_single_row () =
+  let t = T.create ~header:[ "only" ] in
+  T.add_row t [ "x" ];
+  let out = T.render t in
+  Alcotest.(check bool) "row rendered" true (contains ~needle:"| x" out)
+
+let test_display_width_unicode () =
+  Alcotest.(check int) "ascii = byte length" 5 (T.display_width "ascii");
+  Alcotest.(check int) "µs measures 2 cells" 2 (T.display_width "µs");
+  Alcotest.(check bool) "µs is 3 bytes" true (String.length "µs" = 3);
+  Alcotest.(check int) "2×IPC measures 5" 5 (T.display_width "2\xc3\x97IPC");
+  Alcotest.(check int) "empty" 0 (T.display_width "")
+
+(* Multi-byte labels must not skew column padding: rows whose cells have
+   equal display widths must render to lines of equal display width. *)
+let test_table_unicode_alignment () =
+  let t = T.create ~header:[ "unit"; "val" ] in
+  T.add_row t [ "µs"; "1" ];
+  T.add_row t [ "ms"; "2" ];
+  (match
+     List.filter (fun l -> l <> "") (String.split_on_char '\n' (T.render t))
+   with
+  | [ header; sep; row_mu; row_ms ] ->
+    Alcotest.(check int) "rows align in display cells"
+      (T.display_width row_ms) (T.display_width row_mu);
+    Alcotest.(check int) "rows align with the header"
+      (T.display_width header) (T.display_width row_mu);
+    Alcotest.(check bool) "separator at least as wide" true
+      (T.display_width sep >= T.display_width header)
+  | _ -> Alcotest.fail "expected four rendered lines");
+  (* the same invariant for bar-chart label padding *)
+  let out = C.bar_chart [ ("µs", 1.0); ("ms", 2.0) ] in
+  match String.split_on_char '\n' out with
+  | mu :: ms :: _ ->
+    let bar_col s = T.display_width (List.hd (String.split_on_char '|' s)) in
+    Alcotest.(check int) "bars start in the same column" (bar_col ms) (bar_col mu)
+  | _ -> Alcotest.fail "expected two chart lines"
+
 let suite =
   ( "util-render",
     [
@@ -95,4 +143,10 @@ let suite =
       Alcotest.test_case "scatter" `Quick test_scatter;
       Alcotest.test_case "scatter empty" `Quick test_scatter_empty;
       Alcotest.test_case "scatter single point" `Quick test_scatter_single_point;
+      Alcotest.test_case "bar chart empty" `Quick test_bar_chart_empty;
+      Alcotest.test_case "table header only" `Quick test_table_header_only;
+      Alcotest.test_case "table single row" `Quick test_table_single_row;
+      Alcotest.test_case "display width unicode" `Quick test_display_width_unicode;
+      Alcotest.test_case "unicode label alignment" `Quick
+        test_table_unicode_alignment;
     ] )
