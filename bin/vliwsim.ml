@@ -245,10 +245,16 @@ let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
       ~log:(fun msg -> Printf.eprintf "note: %s\n%!" msg)
       ?on_event ()
   in
+  (* Ledger export of the last experiment that defined one (e.g.
+     "adaptive", whose grid is not the shared fig10 sweep). Under "all"
+     only standard entries run, none of which exports info, so the
+     fig10 fallback below still applies there. *)
+  let last_info = ref None in
   let one entry =
-    let text, csv = E.Registry.run_entry ctx entry in
+    let text, csv, info = E.Registry.run_entry_full ctx entry in
     print_string text;
-    Option.iter (export_csv csv_dir (E.Registry.id entry ^ ".csv")) csv
+    Option.iter (export_csv csv_dir (E.Registry.id entry ^ ".csv")) csv;
+    if info <> None then last_info := info
   in
   Fun.protect ~finally:close_log (fun () ->
       match name with
@@ -279,24 +285,37 @@ let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
   warn_degraded ctx;
   if name <> "list" then begin
     let wall_s = Unix.gettimeofday () -. t0 in
-    let cells, scheme_names, mix_names, gauges =
-      if Lazy.is_val ctx.E.Registry.fig10 then begin
-        let d = Lazy.force ctx.E.Registry.fig10 in
-        ( ledger_cells d.E.Fig10.cells,
-          d.E.Fig10.grid.scheme_names,
-          d.E.Fig10.grid.mix_names,
-          [ ("ipc.mean", E.Common.grid_mean d.E.Fig10.grid) ] )
-      end
-      else ([||], [], [], [])
+    let cells, scheme_names, mix_names, gauges, policy, info_counters =
+      match !last_info with
+      | Some (i : E.Registry.ledger_info) ->
+        ( ledger_cells i.li_cells,
+          i.li_scheme_names,
+          i.li_mix_names,
+          i.li_gauges,
+          i.li_policy,
+          (E.Sweep.merged_telemetry i.li_cells).counters )
+      | None ->
+        if Lazy.is_val ctx.E.Registry.fig10 then begin
+          let d = Lazy.force ctx.E.Registry.fig10 in
+          ( ledger_cells d.E.Fig10.cells,
+            d.E.Fig10.grid.scheme_names,
+            d.E.Fig10.grid.mix_names,
+            [ ("ipc.mean", E.Common.grid_mean d.E.Fig10.grid) ],
+            "static",
+            [] )
+        end
+        else ([||], [], [], [], "static", [])
     in
     let counters =
-      match sweep_telemetry ctx with
-      | Some cells -> (E.Sweep.merged_telemetry cells).counters
-      | None -> []
+      if info_counters <> [] then info_counters
+      else
+        match sweep_telemetry ctx with
+        | Some cells -> (E.Sweep.merged_telemetry cells).counters
+        | None -> []
     in
     ignore
       (record_run ~no_ledger ~runs_dir ~metrics_out
-         (Ledger.make ~counters ~gauges ~cells ~cmd:"exp" ~label:name
+         (Ledger.make ~counters ~gauges ~cells ~policy ~cmd:"exp" ~label:name
             ~scale:(E.Common.scale_name scale) ~seed ~jobs ~scheme_names
             ~mix_names ~wall_s ()))
   end;
@@ -656,8 +675,17 @@ let run_profile scale seed jobs quiet trace_out csv_dir name =
     | Some entry -> entry
     | None -> usage "unknown experiment: %s (see `vliwsim exp list`)" name
   in
-  ignore (E.Registry.run_entry ctx entry);
-  match sweep_telemetry ctx with
+  let _, _, info = E.Registry.run_entry_full ctx entry in
+  let cells =
+    match info with
+    | Some i
+      when Array.exists
+             (fun (c : E.Sweep.cell) -> c.telemetry <> None)
+             i.E.Registry.li_cells ->
+      Some i.E.Registry.li_cells
+    | _ -> sweep_telemetry ctx
+  in
+  match cells with
   | None ->
     prerr_endline
       ("experiment " ^ name
@@ -694,8 +722,8 @@ let profile_cmd =
       value
       & pos 0 string "fig10"
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"Experiment to profile (must use the shared sweep: fig6, \
-                fig10, fig11, fig12 or claims).")
+          ~doc:"Experiment to profile (must run a (mix x scheme) sweep: \
+                fig6, fig10, fig11, fig12, claims or adaptive).")
   in
   let trace_arg =
     Arg.(
@@ -835,6 +863,7 @@ let runs_show runs_dir wanted =
        tm.Unix.tm_sec);
   Printf.printf "  git:         %s\n" r.git_rev;
   Printf.printf "  fingerprint: %s\n" r.fingerprint;
+  if r.policy <> "static" then Printf.printf "  policy:      %s\n" r.policy;
   Printf.printf "  scale/seed:  %s / 0x%Lx, %d job(s), %.2fs wall\n" r.scale
     r.seed r.jobs r.wall_s;
   Printf.printf "  fault stats: %d retries, %d degraded, %d timeouts, %d resumed\n"
@@ -875,10 +904,14 @@ let runs_show runs_dir wanted =
 
 let runs_diff runs_dir a b =
   let ra = find_run ~runs_dir a and rb = find_run ~runs_dir b in
-  if ra.Ledger.fingerprint <> rb.Ledger.fingerprint then
+  if ra.Ledger.fingerprint <> rb.Ledger.fingerprint then begin
     Printf.eprintf
       "note: configuration fingerprints differ (%s vs %s) — comparing anyway\n%!"
       ra.fingerprint rb.fingerprint;
+    if ra.policy <> rb.policy then
+      Printf.eprintf "note: controller policies differ (%s: %s vs %s: %s)\n%!"
+        ra.id ra.policy rb.id rb.policy
+  end;
   match Ledger.diff ra rb with
   | Ledger.Identical ->
     Printf.printf "runs %s and %s: IPC grids bit-identical (%d cells, digest %s)\n"

@@ -1,0 +1,127 @@
+(* The merge network as a first-class runtime object.
+
+   Historically the scheme was a construction-time parameter of the
+   simulator core: the core built one [Engine.Memo] table for it and
+   could never change its mind. This module bundles everything the
+   per-cycle issue stage needs — the scheme tree, the routing mode, the
+   priority-rotation rule and the interned-signature decision cache —
+   behind a handle that can be reconfigured mid-simulation.
+
+   Reconfiguration discipline:
+   - One Memo table per scheme, pooled by scheme structure: switching
+     back to a scheme it has already run re-installs its existing table,
+     so cached decisions (and their hit/flush statistics) survive the
+     excursion instead of being rebuilt from scratch.
+   - Rotation state is derived, not stored: the caller passes the
+     rotation each cycle (the core derives it from the cycle counter),
+     so a swap re-seeds priority rotation deterministically — the
+     round-robin simply continues from the switch cycle.
+   - The handle is single-domain, like the Memo tables it owns: sweep
+     workers must each create their own network. *)
+
+type t = {
+  machine : Vliw_isa.Machine.t;
+  routing : Conflict.routing_mode;
+  cap : int option;
+  n : int;  (* thread ports; fixed for the lifetime of the network *)
+  pool : (string, string * Engine.Memo.t) Hashtbl.t;
+      (* scheme structure -> (display name, its pooled Memo table) *)
+  mutable pool_order : string list;  (* insertion order, newest first *)
+  mutable name : string;
+  mutable scheme : Scheme.t;
+  mutable memo : Engine.Memo.t;
+  mutable reconfigurations : int;
+}
+
+(* Prefer the catalog name for display (profile tables, telemetry
+   events); fall back to the structural rendering for anonymous
+   schemes. *)
+let display_name scheme =
+  match
+    List.find_opt
+      (fun (e : Catalog.entry) -> Scheme.equal e.scheme scheme)
+      Catalog.all
+  with
+  | Some e -> e.name
+  | None -> Scheme.to_string scheme
+
+let validate_scheme scheme =
+  match Scheme.validate scheme with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Merge_network: invalid scheme: " ^ msg)
+
+let memo_of t ~name scheme =
+  let key = Scheme.to_string scheme in
+  match Hashtbl.find_opt t.pool key with
+  | Some (_, memo) -> memo
+  | None ->
+    let memo = Engine.Memo.create ?cap:t.cap t.machine ~routing:t.routing scheme in
+    Hashtbl.add t.pool key (name, memo);
+    t.pool_order <- key :: t.pool_order;
+    memo
+
+let create ?cap ?name machine ~routing scheme =
+  validate_scheme scheme;
+  let name = match name with Some n -> n | None -> display_name scheme in
+  let t =
+    {
+      machine;
+      routing;
+      cap;
+      n = Scheme.n_threads scheme;
+      pool = Hashtbl.create 4;
+      pool_order = [];
+      name;
+      scheme;
+      memo = Engine.Memo.create ?cap machine ~routing scheme;
+      reconfigurations = 0;
+    }
+  in
+  Hashtbl.add t.pool (Scheme.to_string scheme) (name, t.memo);
+  t.pool_order <- [ Scheme.to_string scheme ];
+  t
+
+let scheme t = t.scheme
+
+let scheme_name t = t.name
+
+let n_threads t = t.n
+
+let routing t = t.routing
+
+let same_scheme t other = Scheme.equal t.scheme other
+
+let reconfigure t ?name scheme =
+  if not (same_scheme t scheme) then begin
+    validate_scheme scheme;
+    if Scheme.n_threads scheme <> t.n then
+      invalid_arg
+        (Printf.sprintf
+           "Merge_network.reconfigure: %d-thread scheme on a %d-port network"
+           (Scheme.n_threads scheme) t.n);
+    let name = match name with Some n -> n | None -> display_name scheme in
+    t.memo <- memo_of t ~name scheme;
+    t.name <- name;
+    t.scheme <- scheme;
+    t.reconfigurations <- t.reconfigurations + 1
+  end
+
+let reconfigurations t = t.reconfigurations
+
+(* Priority rotation is a pure function of the cycle counter, so it is
+   trivially re-seeded across a reconfiguration. *)
+let rotation t ~rotate ~cycle = if rotate then cycle mod t.n else 0
+
+let select t ~rotation avail = Engine.Memo.select t.memo ~rotation avail
+
+let select_issue t ~rotation avail =
+  Engine.Memo.select_issue t.memo ~rotation avail
+
+let memo_stats t = Engine.Memo.stats t.memo
+
+let pool_stats t =
+  List.rev_map
+    (fun key ->
+      let name, memo = Hashtbl.find t.pool key in
+      (name, Engine.Memo.stats memo))
+    t.pool_order

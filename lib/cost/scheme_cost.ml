@@ -103,3 +103,26 @@ let total_transistors ?(params = Block_cost.default)
   +. Block_cost.routing_block_transistors
        ~threads:(Vliw_merge.Scheme.n_threads scheme)
        ~clusters:machine.clusters ~issue_width:machine.issue_width
+
+(* --- runtime reconfiguration ------------------------------------------ *)
+
+let comparable a b =
+  a == b || Scheme.equal a b
+  || List.exists
+       (fun (_, members) ->
+         let has s =
+           List.exists
+             (fun name ->
+               Scheme.equal (Vliw_merge.Catalog.find_exn name).scheme s)
+             members
+         in
+         has a && has b)
+       Vliw_merge.Catalog.perf_groups
+
+let switch_penalty ?(base = 1) a b =
+  if Scheme.equal a b then 0
+  else
+    (* Draining the select pipeline and re-latching the merge-control
+       configuration costs one cycle per cascade level of the deeper of
+       the two networks, plus a fixed control-update cost. *)
+    base + max (Scheme.levels a) (Scheme.levels b)

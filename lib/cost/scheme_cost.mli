@@ -42,3 +42,15 @@ val total_transistors :
   float
 (** Merge control plus the (scheme-independent) routing block / muxes —
     the full merging hardware of Figures 2-3. *)
+
+val comparable : Vliw_merge.Scheme.t -> Vliw_merge.Scheme.t -> bool
+(** Whether two schemes belong to the same {!Vliw_merge.Catalog}
+    performance/cost group (§5.2) — the hardware-cost envelope within
+    which a runtime controller may legitimately reconfigure. Equal
+    schemes are always comparable. *)
+
+val switch_penalty : ?base:int -> Vliw_merge.Scheme.t -> Vliw_merge.Scheme.t -> int
+(** Cycles a mid-run merge-network reconfiguration stalls issue:
+    [base] (default 1, the control-register update) plus one cycle per
+    cascade level of the deeper of the two networks (drain + re-latch).
+    Zero iff the schemes are structurally equal. *)

@@ -56,6 +56,20 @@ let make_ctx ?(scale = Common.Default) ?(seed = Common.default_seed) ?(jobs = 1)
 
 type csv = string list * string list list
 
+(* What an experiment hands the run ledger. Experiments whose grid is
+   not the shared fig10 sweep (e.g. "adaptive") export their own cells
+   here, so `vliwsim exp` can record and `vliwsim profile` can render
+   them; [li_policy] names the controller policy of adaptive columns —
+   part of the ledger fingerprint, so an adaptive run never collides
+   with a static one. *)
+type ledger_info = {
+  li_cells : Sweep.cell array;  (* mix-major *)
+  li_scheme_names : string list;
+  li_mix_names : string list;
+  li_gauges : (string * float) list;
+  li_policy : string;  (* "static" for plain sweeps *)
+}
+
 type t =
   | E : {
       id : string;
@@ -66,6 +80,7 @@ type t =
       run : ctx -> 'a;
       render : 'a -> string;
       csv : ('a -> csv) option;
+      info : ('a -> ledger_info) option;
     } -> t
 
 let id (E e) = e.id
@@ -79,8 +94,15 @@ let run_entry ctx (E e) =
   let artifact = e.run ctx in
   (e.render artifact, Option.map (fun f -> f artifact) e.csv)
 
-let entry ?(expensive = false) ?csv id title run render =
-  E { id; title; expensive; run; render; csv }
+(* Like [run_entry], also extracting the experiment's ledger export. *)
+let run_entry_full ctx (E e) =
+  let artifact = e.run ctx in
+  ( e.render artifact,
+    Option.map (fun f -> f artifact) e.csv,
+    Option.map (fun f -> f artifact) e.info )
+
+let entry ?(expensive = false) ?csv ?info id title run render =
+  E { id; title; expensive; run; render; csv; info }
 
 let all : t list =
   [
@@ -135,6 +157,27 @@ let all : t list =
     entry "replicates" "Headline claims across seeds" ~expensive:true
       (fun ctx -> Replicates.run ~scale:ctx.scale ~jobs:ctx.jobs ())
       Replicates.render;
+    (* Expensive: 7 columns x 9 mixes with telemetry, on top of the
+       standard set — run explicitly (`exp adaptive`). The checkpoint
+       path is derived from the shared one: the column set differs from
+       fig10's, so the journals must never share a file. *)
+    entry "adaptive" "Adaptive merging (per-timeslice controller)"
+      ~expensive:true
+      ~csv:Adaptive.csv_rows
+      ~info:(fun (d : Adaptive.data) ->
+        {
+          li_cells = d.cells;
+          li_scheme_names = d.grid.scheme_names;
+          li_mix_names = d.grid.mix_names;
+          li_gauges = Adaptive.gauges d;
+          li_policy = d.policy;
+        })
+      (fun ctx ->
+        Adaptive.run ~scale:ctx.scale ~seed:ctx.seed ~jobs:ctx.jobs
+          ?progress:ctx.progress ~max_retries:ctx.max_retries
+          ?checkpoint:(Option.map (fun p -> p ^ ".adaptive") ctx.checkpoint)
+          ~resume:ctx.resume ~log:ctx.log ?on_event:ctx.on_event ())
+      Adaptive.render;
   ]
 
 let ids = List.map id all

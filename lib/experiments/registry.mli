@@ -46,6 +46,19 @@ val make_ctx :
 
 type csv = string list * string list list
 
+type ledger_info = {
+  li_cells : Sweep.cell array;  (** Mix-major, like {!Sweep.run_cells}. *)
+  li_scheme_names : string list;
+  li_mix_names : string list;
+  li_gauges : (string * float) list;
+  li_policy : string;  (** ["static"] for plain sweeps. *)
+}
+(** What an experiment hands the run ledger. Experiments whose grid is
+    not the shared fig10 sweep (e.g. ["adaptive"]) export their cells
+    here so the CLI can record/profile them; [li_policy] joins the
+    ledger fingerprint, keeping adaptive runs distinct from static
+    ones. *)
+
 type t =
   | E : {
       id : string;
@@ -54,9 +67,10 @@ type t =
       run : ctx -> 'a;
       render : 'a -> string;
       csv : ('a -> csv) option;
+      info : ('a -> ledger_info) option;
     } -> t
       (** An experiment record: the artifact type produced by [run] is
-          existentially bound to the matching [render]/[csv]. *)
+          existentially bound to the matching [render]/[csv]/[info]. *)
 
 val id : t -> string
 val title : t -> string
@@ -70,6 +84,10 @@ val has_csv : t -> bool
 val run_entry : ctx -> t -> string * csv option
 (** Run an experiment; returns its rendered text and, when the
     experiment exports data, the CSV header and rows. *)
+
+val run_entry_full : ctx -> t -> string * csv option * ledger_info option
+(** Like {!run_entry}, also extracting the experiment's ledger export
+    when it defines one. *)
 
 val all : t list
 (** Every registered experiment, in regeneration order. *)

@@ -43,6 +43,28 @@
 module Counters = Vliw_telemetry.Counters
 module Report = Vliw_telemetry.Report
 
+(* A sweep column: what one grid column simulates. The classic sweep is
+   one static scheme per column; an adaptive column carries a controller
+   factory instead, and the cell's scheme name is the column's display
+   name ("adaptive", "oracle", ...). The factory is invoked once per
+   simulation attempt — controllers are stateful, and a retried cell
+   must start from a pristine one to stay a pure function of its row
+   seed. *)
+type column = {
+  col_name : string;  (* display/journal name; must be unique per sweep *)
+  col_scheme : Vliw_merge.Scheme.t;  (* initial (or only) scheme *)
+  col_policy : string;  (* "static" or a Controller.policy_to_string *)
+  col_controller : (unit -> Vliw_sim.Controller.t) option;
+}
+
+let static_column (e : Vliw_merge.Catalog.entry) =
+  {
+    col_name = e.name;
+    col_scheme = e.scheme;
+    col_policy = "static";
+    col_controller = None;
+  }
+
 type cell = {
   mix : string;
   scheme : string;
@@ -215,24 +237,36 @@ let snapshot_with extra base =
   { Counters.counters = List.sort compare (extra @ base); histograms = [] }
 
 let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
-    ?scheme_names ?mix_names ?(jobs = 1) ?progress ?(telemetry = false)
-    ?(max_retries = 0) ?cell_timeout_s ?checkpoint ?(resume = false)
-    ?(log = fun (_ : string) -> ()) ?on_event () =
+    ?scheme_names ?columns ?mix_names ?(jobs = 1) ?progress
+    ?(telemetry = false) ?(max_retries = 0) ?cell_timeout_s ?checkpoint
+    ?(resume = false) ?(log = fun (_ : string) -> ()) ?on_event () =
   let emit ev = match on_event with Some f -> f ev | None -> () in
-  let scheme_names =
-    match scheme_names with Some names -> names | None -> default_scheme_names ()
+  let columns =
+    match columns with
+    | Some cols ->
+      if cols = [] then invalid_arg "Sweep.run_cells: empty column list";
+      if scheme_names <> None then
+        invalid_arg "Sweep.run_cells: ~columns and ~scheme_names are exclusive";
+      cols
+    | None ->
+      let scheme_names =
+        match scheme_names with
+        | Some names -> names
+        | None -> default_scheme_names ()
+      in
+      List.map
+        (fun name -> static_column (Vliw_merge.Catalog.find_exn name))
+        scheme_names
   in
+  let scheme_names = List.map (fun c -> c.col_name) columns in
   let mix_names =
     match mix_names with Some names -> names | None -> Vliw_workloads.Mixes.names
   in
   let schedule = Common.schedule_of_scale scale in
   let machine = Vliw_isa.Machine.default in
-  (* Resolve schemes and compile programs up front, in the parent
+  (* Resolve columns and compile programs up front, in the parent
      domain: cells must not race on catalog lookups or compilation. *)
-  let entries =
-    Array.of_list
-      (List.map (fun name -> Vliw_merge.Catalog.find_exn name) scheme_names)
-  in
+  let cols = Array.of_list columns in
   let rows =
     List.map
       (fun mix_name ->
@@ -284,16 +318,20 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
      exception, or a blown per-cell timeout. The timeout is enforced
      after the fact (a domain cannot be preempted mid-simulation): the
      attempt's result is discarded and the cell retried or degraded. *)
-  let attempt_once ~row ~col ~config ~row_seed ~programs =
+  let attempt_once ~row ~col ~config ~(column : column) ~row_seed ~programs =
     (match !inject_failure with
     | Some f when f ~row ~col ->
       failwith (Printf.sprintf "injected fault in cell (%d, %d)" row col)
     | _ -> ());
     let t0 = Unix.gettimeofday () in
     let counters = if telemetry then Some (Counters.create ()) else None in
+    (* A fresh controller per attempt: controllers are stateful, and a
+       retried cell must replay from scratch to stay a pure function of
+       its row seed. *)
+    let controller = Option.map (fun mk -> mk ()) column.col_controller in
     let metrics =
       Vliw_sim.Multitask.run_programs config ~seed:row_seed ~schedule ?counters
-        programs
+        ?controller programs
     in
     Option.iter
       (fun c ->
@@ -308,11 +346,11 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
     (metrics, counters, t0, elapsed)
   in
   let simulate_cell ~row ~col ~mix_name ~row_seed ~programs
-      ~(entry : Vliw_merge.Catalog.entry) ~worker =
-    let config = Vliw_sim.Config.make ~machine entry.scheme in
-    emit (Cell_started { mix = mix_name; scheme = entry.name; worker });
+      ~(column : column) ~worker =
+    let config = Vliw_sim.Config.make ~machine column.col_scheme in
+    emit (Cell_started { mix = mix_name; scheme = column.col_name; worker });
     let rec go ~attempt ~timeouts =
-      match attempt_once ~row ~col ~config ~row_seed ~programs with
+      match attempt_once ~row ~col ~config ~column ~row_seed ~programs with
       | metrics, counters, t0, elapsed ->
         Option.iter
           (fun c ->
@@ -325,7 +363,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
           counters;
         {
           mix = mix_name;
-          scheme = entry.name;
+          scheme = column.col_name;
           ipc = Vliw_sim.Metrics.ipc metrics;
           elapsed_s = elapsed;
           started_s = t0 -. epoch;
@@ -343,7 +381,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
             (Cell_retried
                {
                  mix = mix_name;
-                 scheme = entry.name;
+                 scheme = column.col_name;
                  attempt;
                  error = Printexc.to_string e;
                });
@@ -354,7 +392,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
             (Cell_degraded
                {
                  mix = mix_name;
-                 scheme = entry.name;
+                 scheme = column.col_name;
                  attempts = attempt;
                  error = Printexc.to_string e;
                });
@@ -371,7 +409,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
           in
           {
             mix = mix_name;
-            scheme = entry.name;
+            scheme = column.col_name;
             ipc = Float.nan;
             elapsed_s = 0.0;
             started_s = Unix.gettimeofday () -. epoch;
@@ -412,16 +450,13 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
             (fun row (mix_name, row_seed, programs) ->
               Array.to_list
                 (Array.mapi
-                   (fun col entry ~worker ->
-                     match
-                       resumed ~mix:mix_name
-                         ~scheme:entry.Vliw_merge.Catalog.name
-                     with
+                   (fun col column ~worker ->
+                     match resumed ~mix:mix_name ~scheme:column.col_name with
                      | Some record -> restore_cell ~record ~worker
                      | None ->
                        simulate_cell ~row ~col ~mix_name ~row_seed ~programs
-                         ~entry ~worker)
-                   entries))
+                         ~column ~worker)
+                   cols))
             rows))
   in
   let row_seed_of_mix =
@@ -498,7 +533,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
      exception here means the harness itself broke (e.g. the journal
      write raised). [run_results] still isolates it to its cell. *)
   let results = Vliw_util.Pool.run_results ~jobs ?on_result tasks in
-  let n_schemes = Array.length entries in
+  let n_schemes = Array.length cols in
   let cells =
     Array.mapi
       (fun idx -> function
@@ -507,7 +542,7 @@ let run_cells ?(scale = Common.Default) ?(seed = Common.default_seed)
           let mix_name, _, _ = List.nth rows (idx / n_schemes) in
           {
             mix = mix_name;
-            scheme = entries.(idx mod n_schemes).Vliw_merge.Catalog.name;
+            scheme = cols.(idx mod n_schemes).col_name;
             ipc = Float.nan;
             elapsed_s = 0.0;
             started_s = 0.0;

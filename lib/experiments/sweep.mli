@@ -21,6 +21,30 @@
     crash-safely ({!Checkpoint}); with [resume], journaled cells are
     restored bit-identically and only missing cells simulate. *)
 
+type column = {
+  col_name : string;
+      (** Display and journal name of the grid column; must be unique
+          within a sweep (it is the cell/checkpoint key). *)
+  col_scheme : Vliw_merge.Scheme.t;
+      (** The scheme the column's simulations start on (the only scheme,
+          for a static column). *)
+  col_policy : string;
+      (** ["static"], or the {!Vliw_sim.Controller.policy_to_string}
+          descriptor of the adaptive policy driving the column — what
+          the run ledger fingerprints. *)
+  col_controller : (unit -> Vliw_sim.Controller.t) option;
+      (** Adaptive columns carry a controller factory; it is invoked
+          once {e per simulation attempt} (controllers are stateful, and
+          a retried cell must replay from a pristine one to stay a pure
+          function of its row seed). [None] = static column. *)
+}
+(** What one grid column simulates. The classic sweep is one static
+    catalog scheme per column ({!static_column}); an adaptive column
+    runs the same programs under a per-timeslice scheme controller. *)
+
+val static_column : Vliw_merge.Catalog.entry -> column
+(** The classic column: one fixed scheme, no controller. *)
+
 type cell = {
   mix : string;
   scheme : string;
@@ -143,6 +167,7 @@ val run_cells :
   ?scale:Common.scale ->
   ?seed:int64 ->
   ?scheme_names:string list ->
+  ?columns:column list ->
   ?mix_names:string list ->
   ?jobs:int ->
   ?progress:(progress -> unit) ->
@@ -161,6 +186,15 @@ val run_cells :
     registry to each cell's simulation and snapshots it into
     {!cell.telemetry}; counting is observation-only, so IPC results are
     unchanged.
+
+    [columns] generalizes [scheme_names] (the two are mutually
+    exclusive): each {!column} names one grid column, carrying its
+    initial scheme and, for adaptive columns, a controller factory
+    invoked fresh per simulation attempt. Column names are the
+    cell/checkpoint keys, so a checkpoint journal from a sweep with
+    different columns never resumes into this one. A sweep over static
+    columns is bit-identical to the equivalent [scheme_names] sweep
+    (property-tested).
 
     Fault-tolerance knobs:
     - [max_retries] (default 0): failed cell attempts beyond the first

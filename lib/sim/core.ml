@@ -21,10 +21,20 @@ type t = {
   mutable telemetry : Tel.Sink.t;
   attribution : Tel.Report.handles option;
   counters : Tel.Counters.t option;
-  memo : Merge.Engine.Memo.t option;  (* decision cache, Merged policy *)
-  mutable memo_flushed : int * int * int;
-      (* (hits, misses, evictions) already booked into [counters], so
-         repeated [metrics] calls stay idempotent *)
+  network : Merge.Merge_network.t option;
+      (* the swappable merge network (scheme + routing + pooled decision
+         caches); Some iff the policy is Merged *)
+  mutable scheme_switches : int;  (* effective mid-run reconfigurations *)
+  mutable switch_stall_cycles : int;
+      (* cycles spent inside an issue-stall window (BMT context-switch
+         bubbles and scheme-switch penalties) *)
+  mutable rejects_conflict : int;  (* merge rejects by cause, always on: *)
+  mutable rejects_capacity : int;  (* cheap controller observations *)
+  mutable memo_flushed : (string, int * int * int) Hashtbl.t;
+      (* per-scheme (hits, misses, evictions) already booked into
+         [counters], so repeated [metrics] calls stay idempotent *)
+  mutable switch_flushed : int * int;
+      (* (scheme_switches, switch_stall_cycles) already booked *)
 }
 
 let create ?(telemetry = Tel.Sink.null) ?counters config mem =
@@ -35,11 +45,11 @@ let create ?(telemetry = Tel.Sink.null) ?counters config mem =
     | Some c ->
       (Tel.Sink.both telemetry (Tel.Counters.sink c), Some (Tel.Report.attach c))
   in
-  let memo =
+  let network =
     match config.Config.policy with
     | Policy.Merged ->
       Some
-        (Merge.Engine.Memo.create config.Config.machine
+        (Merge.Merge_network.create config.Config.machine
            ~routing:config.Config.routing config.Config.scheme)
     | Policy.Imt | Policy.Bmt _ -> None
   in
@@ -61,8 +71,13 @@ let create ?(telemetry = Tel.Sink.null) ?counters config mem =
     telemetry;
     attribution;
     counters;
-    memo;
-    memo_flushed = (0, 0, 0);
+    network;
+    scheme_switches = 0;
+    switch_stall_cycles = 0;
+    rejects_conflict = 0;
+    rejects_capacity = 0;
+    memo_flushed = Hashtbl.create 4;
+    switch_flushed = (0, 0);
   }
 
 let set_sink t sink = t.telemetry <- sink
@@ -155,13 +170,19 @@ let first_ready t start =
 let select_policy t ~want_packet ~rotation : Merge.Engine.selection =
   match t.config.policy with
   | Policy.Merged ->
-    (match t.memo with
-    | Some memo ->
-      if want_packet then Merge.Engine.Memo.select memo ~rotation t.avail
-      else Merge.Engine.Memo.select_issue memo ~rotation t.avail
-    | None ->
-      Merge.Engine.select t.config.machine ~routing:t.config.routing
-        t.config.scheme ~rotation t.avail)
+    (* A reconfiguration bubble stalls issue exactly like a BMT
+       context-switch bubble; [switch_stall_until] stays 0 unless
+       [switch_scheme] charged a penalty. *)
+    if t.cycle < t.switch_stall_until then
+      { packet = None; issued = []; rejected = [] }
+    else (
+      match t.network with
+      | Some net ->
+        if want_packet then Merge.Merge_network.select net ~rotation t.avail
+        else Merge.Merge_network.select_issue net ~rotation t.avail
+      | None ->
+        Merge.Engine.select t.config.machine ~routing:t.config.routing
+          t.config.scheme ~rotation t.avail)
   | Policy.Imt ->
     (* One thread per cycle, round-robin with stalled-thread skipping. *)
     (match first_ready t (t.cycle mod t.n) with
@@ -237,7 +258,15 @@ let attribute t (h : Tel.Report.handles) (sel : Merge.Engine.selection)
        majority stall source among resident threads (ties break
        fetch > mem > branch). *)
     let any_candidate = Array.exists Option.is_some t.avail in
-    if any_candidate then Tel.Counters.add h.v_switch w
+    if any_candidate then begin
+      (* Candidates present but nothing issued only happens inside a
+         switch bubble (BMT context switch or merge-network
+         reconfiguration): every other policy issues whenever any
+         candidate is live. The bubble-cycle counter makes the
+         conservation law "v_switch = width x bubbles" checkable. *)
+      Tel.Counters.add h.v_switch w;
+      Tel.Counters.incr h.switch_bubbles
+    end
     else begin
       let fetch = ref 0 and mem = ref 0 and br = ref 0 and resident = ref 0 in
       Array.iter
@@ -313,8 +342,26 @@ let step_common t ~want_packet =
             th.pending_packet <- r;
             r)))
   done;
-  let rotation = if t.config.rotate_priority then t.cycle mod t.n else 0 in
+  let rotation =
+    match t.network with
+    | Some net ->
+      Merge.Merge_network.rotation net ~rotate:t.config.rotate_priority
+        ~cycle:t.cycle
+    | None -> if t.config.rotate_priority then t.cycle mod t.n else 0
+  in
   let sel = select_policy t ~want_packet ~rotation in
+  if t.cycle < t.switch_stall_until then
+    t.switch_stall_cycles <- t.switch_stall_cycles + 1;
+  (* Reject causes are tallied unconditionally (not just under
+     telemetry): they are the adaptive controller's cheapest signal. *)
+  List.iter
+    (fun (r : Merge.Engine.reject) ->
+      match r.cause with
+      | Merge.Conflict.Cluster_conflict ->
+        t.rejects_conflict <- t.rejects_conflict + 1
+      | Merge.Conflict.Slot_capacity ->
+        t.rejects_capacity <- t.rejects_capacity + 1)
+    sel.rejected;
   let issued_ops = ref 0 in
   List.iter
     (fun hw ->
@@ -394,27 +441,99 @@ let issue_hist t = Array.copy t.issue_hist
 
 let vertical_waste_cycles t = t.vertical
 
-let memo_stats t = Option.map Merge.Engine.Memo.stats t.memo
+let memo_stats t = Option.map Merge.Merge_network.memo_stats t.network
+
+let network t = t.network
+
+let scheme_name t = Option.map Merge.Merge_network.scheme_name t.network
+
+let pool_stats t =
+  match t.network with
+  | Some net -> Merge.Merge_network.pool_stats net
+  | None -> []
+
+let scheme_switches t = t.scheme_switches
+
+let switch_stall_cycles t = t.switch_stall_cycles
+
+let reject_counts t = (t.rejects_conflict, t.rejects_capacity)
+
+(* Swap the merge network to a different scheme. Meant to be called at
+   a timeslice boundary: nothing is in flight across cycles (candidate
+   packets are re-offered after the bubble; [pending_packet] caches are
+   slot-tagged and scheme-independent), so the switch point is exact.
+   [penalty] cycles of issue stall are charged through the same bubble
+   mechanism as BMT context switches. *)
+let switch_scheme t ?name ~penalty scheme =
+  match t.network with
+  | None -> invalid_arg "Core.switch_scheme: policy is not Merged"
+  | Some net ->
+    if not (Merge.Merge_network.same_scheme net scheme) then begin
+      let from_scheme = Merge.Merge_network.scheme_name net in
+      Merge.Merge_network.reconfigure net ?name scheme;
+      t.scheme_switches <- t.scheme_switches + 1;
+      if penalty < 0 then invalid_arg "Core.switch_scheme: negative penalty";
+      if penalty > 0 then
+        t.switch_stall_until <- max t.switch_stall_until (t.cycle + penalty);
+      if Tel.Sink.enabled t.telemetry then
+        Tel.Sink.emit t.telemetry ~cycle:t.cycle
+          (Tel.Event.Scheme_switch
+             {
+               from_scheme;
+               to_scheme = Merge.Merge_network.scheme_name net;
+               penalty;
+             })
+    end
 
 (* Book the decision-cache counters for everything not yet flushed, so
-   [metrics] may be called repeatedly without double counting. *)
+   [metrics] may be called repeatedly without double counting. The
+   aggregate [merge.memo.*] triple keeps its historical meaning; the
+   per-scheme [merge.memo.scheme.<name>.*] triples expose the pooled
+   tables individually. *)
 let flush_memo_counters t =
-  match (t.memo, t.counters) with
-  | Some memo, Some c ->
-    let s = Merge.Engine.Memo.stats memo in
-    let fh, fm, fe = t.memo_flushed in
-    Tel.Counters.add (Tel.Counters.counter c Tel.Report.n_memo_hits) (s.hits - fh);
-    Tel.Counters.add
-      (Tel.Counters.counter c Tel.Report.n_memo_misses)
-      (s.misses - fm);
-    Tel.Counters.add
-      (Tel.Counters.counter c Tel.Report.n_memo_evictions)
-      (s.evictions - fe);
-    t.memo_flushed <- (s.hits, s.misses, s.evictions)
+  match (t.network, t.counters) with
+  | Some net, Some c ->
+    List.iter
+      (fun (name, (s : Merge.Engine.Memo.stats)) ->
+        let fh, fm, fe =
+          match Hashtbl.find_opt t.memo_flushed name with
+          | Some f -> f
+          | None -> (0, 0, 0)
+        in
+        let book counter_name v =
+          if v <> 0 then
+            Tel.Counters.add (Tel.Counters.counter c counter_name) v
+        in
+        book Tel.Report.n_memo_hits (s.hits - fh);
+        book Tel.Report.n_memo_misses (s.misses - fm);
+        book Tel.Report.n_memo_evictions (s.evictions - fe);
+        book (Tel.Report.n_memo_scheme name "hits") (s.hits - fh);
+        book (Tel.Report.n_memo_scheme name "misses") (s.misses - fm);
+        book (Tel.Report.n_memo_scheme name "evictions") (s.evictions - fe);
+        Hashtbl.replace t.memo_flushed name (s.hits, s.misses, s.evictions))
+      (Merge.Merge_network.pool_stats net)
   | _ -> ()
+
+(* Likewise for the reconfiguration counters; flushed for every policy
+   (BMT context-switch bubbles also accumulate stall cycles). *)
+let flush_switch_counters t =
+  match t.counters with
+  | Some c ->
+    let fs, fw = t.switch_flushed in
+    if t.scheme_switches <> fs || t.switch_stall_cycles <> fw then begin
+      Tel.Counters.add
+        (Tel.Counters.counter c Tel.Report.n_scheme_switches)
+        (t.scheme_switches - fs);
+      Tel.Counters.add
+        (Tel.Counters.counter c Tel.Report.n_switch_stall)
+        (t.switch_stall_cycles - fw);
+      t.switch_flushed <- (t.scheme_switches, t.switch_stall_cycles)
+    end
+  | None -> ()
 
 let metrics t ~all_threads : Metrics.t =
   flush_memo_counters t;
+  flush_switch_counters t;
   let ia, im = Mem.Mem_system.icache_stats t.mem in
   let da, dm = Mem.Mem_system.dcache_stats t.mem in
   {

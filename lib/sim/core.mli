@@ -58,8 +58,46 @@ val issue_hist : t -> int array
 val vertical_waste_cycles : t -> int
 
 val memo_stats : t -> Vliw_merge.Engine.Memo.stats option
-(** Decision-cache statistics; [None] unless the policy is
-    {!Policy.Merged} (IMT/BMT never consult the merge engine). *)
+(** Decision-cache statistics of the currently installed scheme; [None]
+    unless the policy is {!Policy.Merged} (IMT/BMT never consult the
+    merge engine). *)
+
+val network : t -> Vliw_merge.Merge_network.t option
+(** The swappable merge network; [Some] iff the policy is
+    {!Policy.Merged}. *)
+
+val scheme_name : t -> string option
+(** Display name of the currently installed scheme ([None] for
+    IMT/BMT). *)
+
+val pool_stats : t -> (string * Vliw_merge.Engine.Memo.stats) list
+(** Per-scheme decision-cache statistics of every pooled Memo table the
+    network has used (see {!Vliw_merge.Merge_network.pool_stats});
+    empty for IMT/BMT. *)
+
+val switch_scheme : t -> ?name:string -> penalty:int -> Vliw_merge.Scheme.t -> unit
+(** Reconfigure the merge network to a different scheme, charging
+    [penalty] cycles of issue stall (the same bubble mechanism as BMT
+    context switches; see {!Vliw_cost.Scheme_cost.switch_penalty} for
+    the pricing). Designed to be called at a timeslice boundary: no
+    state is in flight across cycles, candidate packets are simply
+    re-offered once the bubble drains, and priority rotation re-seeds
+    deterministically from the cycle counter. A structurally equal
+    scheme is a no-op (no penalty, no switch counted).
+    @raise Invalid_argument if the policy is not {!Policy.Merged}, the
+    scheme's thread count differs, or [penalty < 0]. *)
+
+val scheme_switches : t -> int
+(** Effective (non-no-op) {!switch_scheme} calls so far. *)
+
+val switch_stall_cycles : t -> int
+(** Cycles spent stalled inside switch bubbles so far (scheme-switch
+    penalties, and BMT context-switch bubbles under {!Policy.Bmt}). *)
+
+val reject_counts : t -> int * int
+(** Cumulative merge rejects by cause, [(conflict, capacity)]. Counted
+    unconditionally (no telemetry needed): the adaptive controller's
+    cheapest observation signal. *)
 
 val metrics :
   t -> all_threads:Thread_state.t array -> Metrics.t

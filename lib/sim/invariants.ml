@@ -133,7 +133,34 @@ let check_attribution (snap : Vliw_telemetry.Counters.snapshot) =
         (Violation
            (Printf.sprintf
               "stall attribution: %d wasted slots, %d attributed" wasted
-              attributed))
+              attributed));
+    (* Switch-penalty conservation: a whole-width cycle is booked to
+       [waste.vertical.bmt_switch] exactly when the bubble-cycle counter
+       ticks, and every bubble cycle lies inside an issue-stall window
+       (BMT context switch or merge-network reconfiguration). *)
+    let count = Vliw_telemetry.Counters.count snap in
+    let cycles = count Vliw_telemetry.Report.n_cycles in
+    let offered = count "slots.offered" in
+    let bubbles = count Vliw_telemetry.Report.n_switch_bubbles in
+    let v_switch = count Vliw_telemetry.Report.n_v_switch in
+    if cycles > 0 && offered mod cycles = 0 then begin
+      let width = offered / cycles in
+      if v_switch <> width * bubbles then
+        raise
+          (Violation
+             (Printf.sprintf
+                "switch-penalty conservation: %d bmt_switch slots <> width %d \
+                 x %d bubble cycles"
+                v_switch width bubbles))
+    end;
+    let stall = count Vliw_telemetry.Report.n_switch_stall in
+    if bubbles > stall then
+      raise
+        (Violation
+           (Printf.sprintf
+              "switch-penalty conservation: %d bubble cycles exceed %d \
+               stall-window cycles"
+              bubbles stall))
   end
 
 (* --- select = select_reference probe ---------------------------------- *)

@@ -32,6 +32,7 @@ val run :
   ?mode:Vliw_compiler.Program.mode ->
   ?telemetry:Vliw_telemetry.Sink.t ->
   ?counters:Vliw_telemetry.Counters.t ->
+  ?controller:Controller.t ->
   Vliw_compiler.Profile.t list ->
   Metrics.t
 (** [run config profiles] builds one program and one thread per profile
@@ -40,7 +41,16 @@ val run :
     more profiles multitask over the timeslices. [mode] selects the
     compiler's scheduling mode (default block scheduling). [telemetry]
     and [counters] are passed to {!Core.create}; both are
-    observation-only and do not perturb results. *)
+    observation-only and do not perturb results.
+
+    [controller] enables adaptive scheme selection: at every timeslice
+    boundary it is consulted ({!Controller.decide}) with the finished
+    slice's observation deltas, and the core's merge network is
+    switched — {!Core.switch_scheme}, penalty charged — whenever it
+    answers with a different scheme. Controllers are stateful: pass a
+    fresh one per simulation. A {!Controller.Static} controller never
+    switches, so results are bit-identical to omitting [controller]
+    (property-tested). *)
 
 val run_programs :
   Config.t ->
@@ -49,6 +59,7 @@ val run_programs :
   ?schedule:schedule ->
   ?telemetry:Vliw_telemetry.Sink.t ->
   ?counters:Vliw_telemetry.Counters.t ->
+  ?controller:Controller.t ->
   Vliw_compiler.Program.t list ->
   Metrics.t
 (** Like {!run} but with pre-generated programs, so the (deterministic but

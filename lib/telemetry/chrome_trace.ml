@@ -116,6 +116,16 @@ let events_of_entry (e : Recorder.entry) =
             ("to", string_of_int to_thread);
           ];
     ]
+  | Event.Scheme_switch { from_scheme; to_scheme; penalty } ->
+    [
+      instant ~pid:0 ~tid:0 ~name:"scheme-switch" ~ts_us
+        ~args:
+          [
+            ("from", from_scheme);
+            ("to", to_scheme);
+            ("penalty", string_of_int penalty);
+          ];
+    ]
 
 let of_recorder ?(process_name = "vliwsim") ~lanes recorder =
   let lane_meta =

@@ -8,6 +8,7 @@ type t =
   | Issue of { threads : int list; threads_merged : int; slots_filled : int }
   | Cache_miss of { thread : int; level : cache_level }
   | Bmt_switch of { from_thread : int; to_thread : int }
+  | Scheme_switch of { from_scheme : string; to_scheme : string; penalty : int }
 
 let reason_to_string = function
   | Conflict -> "conflict"
@@ -22,6 +23,7 @@ let name = function
   | Issue _ -> "issue"
   | Cache_miss _ -> "cache_miss"
   | Bmt_switch _ -> "bmt_switch"
+  | Scheme_switch _ -> "scheme_switch"
 
 (* Counter key of an event: the event name refined by its discriminating
    payload, so a counting sink needs no per-event special cases. *)
@@ -31,6 +33,7 @@ let counter_key = function
   | Issue _ -> "events.issue"
   | Cache_miss { level; _ } -> "events.cache_miss." ^ level_to_string level
   | Bmt_switch _ -> "events.bmt_switch"
+  | Scheme_switch _ -> "events.scheme_switch"
 
 let args = function
   | Fetch_stall { thread; penalty } ->
@@ -48,6 +51,12 @@ let args = function
   | Bmt_switch { from_thread; to_thread } ->
     [
       ("from", string_of_int from_thread); ("to", string_of_int to_thread);
+    ]
+  | Scheme_switch { from_scheme; to_scheme; penalty } ->
+    [
+      ("from", from_scheme);
+      ("to", to_scheme);
+      ("penalty", string_of_int penalty);
     ]
 
 let pp ppf t =

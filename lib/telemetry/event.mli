@@ -26,6 +26,9 @@ type t =
   | Cache_miss of { thread : int; level : cache_level }
   | Bmt_switch of { from_thread : int; to_thread : int }
       (** Blocked-multithreading context switch. *)
+  | Scheme_switch of { from_scheme : string; to_scheme : string; penalty : int }
+      (** Mid-run merge-network reconfiguration (adaptive controller);
+          [penalty] is the issue-stall bubble charged, in cycles. *)
 
 val name : t -> string
 

@@ -164,12 +164,13 @@ let section_summary (r : Ledger.run) =
         (List.map (fun (k, v) -> row k (fmt_num v)) gs)
   in
   pf
-    {|<section><h2>Run %s</h2><table class="kv">%s%s%s%s%s%s%s%s%s%s</table></section>|}
+    {|<section><h2>Run %s</h2><table class="kv">%s%s%s%s%s%s%s%s%s%s%s</table></section>|}
     (esc r.id)
     (row "command" (r.cmd ^ " " ^ r.label))
     (row "recorded" (fmt_time r.time_s))
     (row "git revision" r.git_rev)
     (row "config fingerprint" r.fingerprint)
+    (if r.policy = "static" then "" else row "controller policy" r.policy)
     (row "scale / seed" (pf "%s / 0x%Lx" r.scale r.seed))
     (row "jobs" (string_of_int r.jobs))
     (row "wall clock" (pf "%.2f s" r.wall_s))
@@ -351,6 +352,32 @@ let counters_with_prefix counters prefix =
             float_of_int v )
       else None)
     counters
+
+(* Adaptive-controller panel: only renders when the run engaged a
+   non-static policy or actually reconfigured the merge network.
+   Decision counts come from the controller.decisions.* counters the
+   sweep books per column, so the chart shows how often each candidate
+   scheme won a timeslice. *)
+let section_adaptive (r : Ledger.run) =
+  let count name =
+    match List.assoc_opt name r.counters with Some v -> v | None -> 0
+  in
+  let decisions = counters_with_prefix r.counters "controller.decisions." in
+  let switches = count "sim.scheme_switches" in
+  if r.policy = "static" && decisions = [] && switches = 0 then ""
+  else begin
+    let row k v = pf "<tr><th>%s</th><td>%s</td></tr>" (esc k) (esc v) in
+    pf
+      "<section><h2>Adaptive controller</h2><table class=\"kv\">%s%s%s%s%s</table>%s</section>"
+      (row "policy" r.policy)
+      (row "scheme switches" (string_of_int switches))
+      (row "controller switches" (string_of_int (count "controller.switches")))
+      (row "switch stall cycles"
+         (string_of_int (count "sim.switch_stall_cycles")))
+      (row "switch bubble cycles"
+         (string_of_int (count "core.switch_bubble_cycles")))
+      (hbar_chart ~title:"Per-timeslice scheme decisions" decisions)
+  end
 
 let section_waste (r : Ledger.run) =
   let vertical = counters_with_prefix r.counters "waste.vertical." in
@@ -586,10 +613,10 @@ let render ?(runs = []) (r : Ledger.run) =
 <style>%s</style></head>
 <body><main>
 <h1>vliwsim run report</h1>
-%s%s%s%s%s%s
+%s%s%s%s%s%s%s
 <p class="note">Generated by vliwsim; self-contained file (no scripts, no external resources).</p>
 </main></body></html>
 |}
     (esc r.id) (style ~k) (section_summary r) (section_ipc_grid r)
-    (section_waste r) (section_stalls r) (section_timeline r)
-    (section_trajectory ~runs r)
+    (section_adaptive r) (section_waste r) (section_stalls r)
+    (section_timeline r) (section_trajectory ~runs r)

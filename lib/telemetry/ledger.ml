@@ -46,6 +46,9 @@ type run = {
   jobs : int;
   scheme_names : string list;
   mix_names : string list;
+  policy : string;
+      (* controller policy of adaptive runs ("static" for plain sweeps);
+         part of the fingerprint, so adaptive never collides with static *)
   wall_s : float;
   cells : cell array;  (* mix-major, possibly empty for bench runs *)
   counters : (string * int) list;  (* merged telemetry snapshot *)
@@ -70,10 +73,15 @@ let fnv1a64 init s =
 
 let fnv_offset = 0xCBF29CE484222325L
 
-let fingerprint_of ~scale ~seed ~scheme_names ~mix_names =
+(* The policy joins the key only when non-static, so every fingerprint
+   recorded before adaptive runs existed is preserved verbatim. *)
+let fingerprint_of ?(policy = "static") ~scale ~seed ~scheme_names ~mix_names ()
+    =
   let key =
     String.concat "\x00"
-      ((scale :: Printf.sprintf "0x%Lx" seed :: scheme_names) @ ("|" :: mix_names))
+      ((scale :: Printf.sprintf "0x%Lx" seed :: scheme_names)
+      @ ("|" :: mix_names)
+      @ (if policy = "static" then [] else [ "policy:" ^ policy ]))
   in
   Printf.sprintf "%016Lx" (fnv1a64 fnv_offset key)
 
@@ -98,8 +106,8 @@ let git_rev () =
     | _ -> "unknown"
     | exception _ -> "unknown")
 
-let make ?(counters = []) ?(gauges = []) ?(cells = [||]) ~cmd ~label ~scale
-    ~seed ~jobs ~scheme_names ~mix_names ~wall_s () =
+let make ?(counters = []) ?(gauges = []) ?(cells = [||]) ?(policy = "static")
+    ~cmd ~label ~scale ~seed ~jobs ~scheme_names ~mix_names ~wall_s () =
   let count name = try List.assoc name counters with Not_found -> 0 in
   {
     id = "";
@@ -107,12 +115,13 @@ let make ?(counters = []) ?(gauges = []) ?(cells = [||]) ~cmd ~label ~scale
     cmd;
     label;
     git_rev = git_rev ();
-    fingerprint = fingerprint_of ~scale ~seed ~scheme_names ~mix_names;
+    fingerprint = fingerprint_of ~policy ~scale ~seed ~scheme_names ~mix_names ();
     scale;
     seed;
     jobs;
     scheme_names;
     mix_names;
+    policy;
     wall_s;
     cells;
     counters;
@@ -160,7 +169,7 @@ let cell_to_json c =
 
 let to_json r =
   J.Obj
-    [
+    ([
       ("schema", J.Num 1.0);
       ("id", J.Str r.id);
       ("time_s", J.Num r.time_s);
@@ -173,6 +182,11 @@ let to_json r =
       ("jobs", J.Num (float_of_int r.jobs));
       ("schemes", J.List (List.map (fun s -> J.Str s) r.scheme_names));
       ("mixes", J.List (List.map (fun s -> J.Str s) r.mix_names));
+    ]
+    @ (* serialized only when non-static: records written before the
+         field existed load back identically *)
+    (if r.policy = "static" then [] else [ ("policy", J.Str r.policy) ])
+    @ [
       ("wall_s", J.Num r.wall_s);
       ("digest", J.Str (grid_digest r.cells));
       ("cells", J.List (Array.to_list (Array.map cell_to_json r.cells)));
@@ -184,7 +198,7 @@ let to_json r =
       ("degraded", J.Num (float_of_int r.degraded));
       ("timeouts", J.Num (float_of_int r.timeouts));
       ("resumed", J.Num (float_of_int r.resumed));
-    ]
+    ])
 
 let str_field j key = Option.bind (J.member key j) J.to_string_opt
 
@@ -256,6 +270,7 @@ let of_json j =
         jobs = int_field j "jobs" 1;
         scheme_names = names_field j "schemes";
         mix_names = names_field j "mixes";
+        policy = Option.value ~default:"static" (str_field j "policy");
         wall_s = Option.value ~default:0.0 (num_field j "wall_s");
         cells;
         counters = assoc_of_obj j "counters" int_of_float;

@@ -36,6 +36,10 @@ type run = {
   jobs : int;
   scheme_names : string list;
   mix_names : string list;
+  policy : string;
+      (** Controller policy of adaptive runs; ["static"] for plain
+          sweeps (and for every record written before the field
+          existed). Part of the fingerprint when non-static. *)
   wall_s : float;
   cells : cell array;  (** mix-major; may be empty (bench runs) *)
   counters : (string * int) list;
@@ -55,6 +59,7 @@ val make :
   ?counters:(string * int) list ->
   ?gauges:(string * float) list ->
   ?cells:cell array ->
+  ?policy:string ->
   cmd:string ->
   label:string ->
   scale:string ->
@@ -71,13 +76,18 @@ val make :
     counter snapshot. The id is empty until {!append} assigns one. *)
 
 val fingerprint_of :
+  ?policy:string ->
   scale:string ->
   seed:int64 ->
   scheme_names:string list ->
   mix_names:string list ->
+  unit ->
   string
 (** FNV-1a hash of the sweep shape; equal fingerprints mean two runs are
-    meaningfully diffable. *)
+    meaningfully diffable. [policy] (default ["static"]) joins the hash
+    only when non-static, so fingerprints recorded before adaptive runs
+    existed are preserved verbatim, while an adaptive run can never
+    collide with a static run over the same grid. *)
 
 val grid_digest : cell array -> string
 (** FNV-1a over every cell's (mix, scheme) key and IPC bit image; equal

@@ -20,6 +20,12 @@ type handles = {
   h_capacity : Counters.counter;  (** Horizontal: issue-width capacity. *)
   h_priority : Counters.counter;  (** Horizontal: policy denied a ready thread. *)
   h_ilp : Counters.counter;  (** Horizontal: not enough candidate ops. *)
+  switch_bubbles : Counters.counter;
+      (** Cycles whose whole width was booked to the switch-bubble
+          category ([waste.vertical.bmt_switch]): BMT context-switch
+          bubbles and adaptive merge-network reconfiguration stalls.
+          Lets the conservation law "v_switch slots = width x bubble
+          cycles" be checked after the fact. *)
 }
 
 val attach : Counters.t -> handles
@@ -28,6 +34,14 @@ val attach : Counters.t -> handles
 
 val categories : (string * string) list
 (** Waste counter names with display labels, in render order. *)
+
+val n_cycles : string
+(** Counter name for simulated cycles ([core.cycles]). *)
+
+val n_v_switch : string
+(** Counter name of the switch-bubble waste category
+    ([waste.vertical.bmt_switch]): whole-width cycles lost to BMT
+    context-switch bubbles and merge-network reconfigurations. *)
 
 val n_memo_hits : string
 (** Counter name for merge decision-cache hits
@@ -38,6 +52,48 @@ val n_memo_misses : string
 
 val n_memo_evictions : string
 (** Whole-table flushes on reaching the capacity bound. *)
+
+val n_memo_scheme_prefix : string
+(** Prefix of the per-scheme decision-cache counters
+    ([merge.memo.scheme.<name>.hits|misses|evictions]); one triple per
+    scheme the core's merge network has run. *)
+
+val n_memo_scheme : string -> string -> string
+(** [n_memo_scheme name suffix] is the per-scheme counter name, e.g.
+    [n_memo_scheme "2SC3" "hits" = "merge.memo.scheme.2SC3.hits"]. *)
+
+val memo_scheme_stats : Counters.snapshot -> (string * int * int * int) list
+(** Per-scheme decision-cache statistics recovered from a snapshot:
+    [(scheme, hits, misses, evictions)], name-sorted. *)
+
+val n_switch_bubbles : string
+(** Counter name behind [handles.switch_bubbles]
+    ([core.switch_bubble_cycles]). *)
+
+val n_scheme_switches : string
+(** Merge-network reconfigurations performed ([sim.scheme_switches]);
+    flushed by the core at metrics time. *)
+
+val n_switch_stall : string
+(** Total issue-stall cycles scheduled by reconfigurations and BMT
+    context switches ([sim.switch_stall_cycles]); flushed by the core
+    at metrics time. Attribution books a switch bubble only when a
+    candidate was actually denied, so
+    [core.switch_bubble_cycles <= sim.switch_stall_cycles]. *)
+
+val n_controller_prefix : string
+(** Prefix of the adaptive controller's per-scheme decision counters
+    ([controller.decisions.<name>]): how many boundary decisions picked
+    each candidate scheme. Booked by the multitasking harness when both
+    a controller and a counter registry are attached. *)
+
+val n_controller_decisions : string -> string
+(** [n_controller_decisions name = "controller.decisions." ^ name]. *)
+
+val n_controller_switches : string
+(** Owner changes the controller decided ([controller.switches]) —
+    an upper bound on [sim.scheme_switches] (a decided switch may find
+    the core already running the target scheme). *)
 
 val n_sweep_retries : string
 (** Counter name for sweep cell attempts that failed and were retried

@@ -17,6 +17,7 @@ let () =
       Test_fastpath.suite;
       Test_cost.suite;
       Test_sim.suite;
+      Test_adaptive.suite;
       Test_workloads.suite;
       Test_parallel.suite;
       Test_telemetry.suite;

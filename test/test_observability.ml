@@ -129,7 +129,7 @@ let test_ledger_make_and_json () =
   Alcotest.(check string) "id empty before append" "" r.L.id;
   Alcotest.(check string) "fingerprint matches fingerprint_of"
     (L.fingerprint_of ~scale:"quick" ~seed:0xC5EEDL
-       ~scheme_names:[ "1S"; "2SC3" ] ~mix_names:[ "LLHH"; "MMMM" ])
+       ~scheme_names:[ "1S"; "2SC3" ] ~mix_names:[ "LLHH"; "MMMM" ] ())
     r.L.fingerprint;
   Alcotest.(check int) "no degraded cells" 0 r.L.degraded;
   Alcotest.(check int) "no retries" 0 r.L.retries;

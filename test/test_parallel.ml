@@ -122,7 +122,7 @@ let test_grid_scheme_index () =
 (* --- Registry -------------------------------------------------------- *)
 
 let test_registry_shape () =
-  Alcotest.(check int) "18 experiments" 18 (List.length E.Registry.all);
+  Alcotest.(check int) "19 experiments" 19 (List.length E.Registry.all);
   let ids = E.Registry.ids in
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq compare ids));
