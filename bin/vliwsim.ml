@@ -949,6 +949,21 @@ let runs_lint file =
     Printf.eprintf "%s: %d violation(s)\n%!" file (List.length errors);
     1
 
+let runs_gc runs_dir dry_run =
+  let report = Ledger.gc ~dry_run ~dir:runs_dir () in
+  List.iter
+    (fun (r : Ledger.run) ->
+      Printf.printf "%s %s: %s %s (%s, fingerprint %s)\n"
+        (if dry_run then "would drop" else "dropped")
+        r.id r.cmd r.label r.scale r.fingerprint)
+    report.Ledger.dropped;
+  Printf.printf "%s: %d record(s) kept, %d superseded duplicate(s) %s\n"
+    (Ledger.ledger_path ~dir:runs_dir)
+    (List.length report.Ledger.kept)
+    (List.length report.Ledger.dropped)
+    (if dry_run then "found (dry run; ledger untouched)" else "removed");
+  0
+
 let run_id_pos n doc = Arg.(required & pos n (some string) None & info [] ~docv:"RUN" ~doc)
 
 let runs_cmd =
@@ -1006,10 +1021,27 @@ let runs_cmd =
             terminator). Exits 1 on violations.")
       Term.(const runs_lint $ file_arg)
   in
+  let gc_cmd =
+    let dry_run_arg =
+      Arg.(
+        value & flag
+        & info [ "dry-run" ]
+            ~doc:"Report what would be dropped without touching the ledger.")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Compact the run ledger: of the records sharing a configuration \
+            fingerprint AND a grid digest, keep only the newest. Records \
+            with the same fingerprint but different grid bits are drift \
+            evidence and are never collapsed.")
+      Term.(const runs_gc $ runs_dir_arg $ dry_run_arg)
+  in
   Cmd.group
     (Cmd.info "runs"
-       ~doc:"Inspect the run ledger: list, show, diff, export metrics.")
-    [ list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd ]
+       ~doc:
+         "Inspect the run ledger: list, show, diff, export metrics, gc.")
+    [ list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd; gc_cmd ]
 
 let run_report runs_dir wanted output =
   let r = find_run ~runs_dir wanted in
@@ -1032,6 +1064,239 @@ let report_cmd =
           and the cross-run trajectory. One file, inline SVG, no \
           scripts, no external resources.")
     Term.(const run_report $ runs_dir_arg $ run_arg $ output_arg)
+
+(* --- serve / submit -------------------------------------------------- *)
+
+module Service = Vliw_service
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (serve) or connect to (submit).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Loopback TCP port to listen on (serve) or connect to (submit).")
+
+let run_serve socket tcp runs_dir jobs no_ledger metrics_out max_inflight
+    max_jobs quiet =
+  if socket = None && tcp = None then
+    usage "serve: pass --socket PATH and/or --tcp PORT";
+  Service.Server.run
+    {
+      Service.Server.default_config with
+      socket_path = socket;
+      tcp_port = tcp;
+      runs_dir;
+      jobs;
+      no_ledger;
+      metrics_out;
+      max_inflight;
+      max_jobs;
+      handle_signals = true;
+      log =
+        (if quiet then fun _ -> ()
+         else fun msg -> Printf.eprintf "serve: %s\n%!" msg);
+    };
+  0
+
+let serve_cmd =
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int Service.Server.default_config.Service.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Queued/running jobs allowed per client connection.")
+  in
+  let max_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-jobs" ] ~docv:"N"
+          ~doc:
+            "Drain and exit after completing $(docv) jobs (for smoke \
+             tests and bounded CI sessions).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the sweep service: a daemon that accepts NDJSON sweep \
+          submissions, serves cells already recorded in the run ledger \
+          from a content-addressed cache without re-simulating, runs \
+          cold cells on a worker pool with priority + backfilling \
+          scheduling, and appends every completed job back to the \
+          ledger (bit-identical to a local $(b,vliwsim exp) of the same \
+          configuration). Shutdown is graceful: SIGINT/SIGTERM or a \
+          $(b,shutdown) request drains the queue first.")
+    Term.(
+      const run_serve $ socket_arg $ tcp_arg $ runs_dir_arg $ jobs_arg
+      $ no_ledger_arg $ metrics_out_arg $ max_inflight_arg $ max_jobs_arg
+      $ quiet_arg)
+
+(* The submit client: one request per invocation, replies streamed to
+   stdout as they arrive. Exit codes keep the CLI contract: 0 when the
+   request succeeds, 1 on an error reply / lost connection (runtime),
+   2 on bad flags (usage). *)
+let run_submit socket tcp op tag scale seed priority mixes schemes quiet =
+  let req =
+    match op with
+    | "submit" ->
+      Service.Request.Submit
+        {
+          tag;
+          scale = E.Common.scale_name scale;
+          seed;
+          priority;
+          mixes;
+          schemes;
+        }
+    | "ping" -> Service.Request.Ping
+    | "stats" -> Service.Request.Stats
+    | "metrics" -> Service.Request.Metrics
+    | "shutdown" -> Service.Request.Shutdown
+    | s -> usage "unknown op %S (submit|ping|stats|metrics|shutdown)" s
+  in
+  let fd =
+    match (socket, tcp) with
+    | Some path, _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         Printf.eprintf "submit: cannot connect to %s: %s\n%!" path
+           (Printexc.to_string e);
+         exit 1);
+      fd
+    | None, Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with e ->
+         Unix.close fd;
+         Printf.eprintf "submit: cannot connect to 127.0.0.1:%d: %s\n%!" port
+           (Printexc.to_string e);
+         exit 1);
+      fd
+    | None, None -> usage "submit: pass --socket PATH or --tcp PORT"
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let line =
+        Vliw_util.Ndjson.line (Service.Request.to_json req)
+      in
+      let rec push off =
+        if off < String.length line then
+          push (off + Unix.write_substring fd line off (String.length line - off))
+      in
+      push 0;
+      (* [submit] streams until its job's done/error reply; every other
+         op completes on the first reply line. *)
+      let reader = Vliw_util.Ndjson.reader () in
+      let module J = Vliw_util.Json in
+      let reply_kind doc =
+        match J.member "reply" doc with
+        | Some (J.Str kind) -> Some kind
+        | _ -> None
+      in
+      let handle doc =
+        match reply_kind doc with
+        | Some "error" ->
+          Printf.eprintf "submit: %s\n%!"
+            (match J.member "error" doc with
+            | Some (J.Str msg) -> msg
+            | _ -> J.to_string doc);
+          Some 1
+        | Some "metrics" ->
+          (* unwrap the exposition so stdout pipes straight into
+             `vliwsim runs lint` *)
+          (match J.member "exposition" doc with
+          | Some (J.Str text) -> print_string text
+          | _ -> print_string (Vliw_util.Ndjson.line doc));
+          Some 0
+        | Some ("done" | "pong" | "stats" | "shutting_down") ->
+          print_string (Vliw_util.Ndjson.line doc);
+          Some 0
+        | _ ->
+          (* accepted and event lines: progress, not completion *)
+          if not quiet then print_string (Vliw_util.Ndjson.line doc);
+          if op = "submit" then None else Some 0
+      in
+      let buf = Bytes.create 4096 in
+      let rec read_loop () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 ->
+          Printf.eprintf "submit: connection closed before the reply\n%!";
+          1
+        | n ->
+          let rec consume = function
+            | [] -> read_loop ()
+            | Ok doc :: rest -> (
+              match handle doc with Some code -> code | None -> consume rest)
+            | Error e :: _ ->
+              Printf.eprintf "submit: bad reply line: %s\n%!"
+                (Vliw_util.Ndjson.error_message e);
+              1
+          in
+          consume
+            (Vliw_util.Ndjson.feed reader ~len:n (Bytes.unsafe_to_string buf))
+      in
+      read_loop ())
+
+let submit_cmd =
+  let op_arg =
+    Arg.(
+      value & opt string "submit"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Request to send: $(b,submit) (default), $(b,ping), \
+             $(b,stats), $(b,metrics) (prints the OpenMetrics exposition \
+             raw) or $(b,shutdown) (graceful drain).")
+  in
+  let tag_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "tag" ] ~docv:"TAG"
+          ~doc:"Label for the job (becomes the ledger record's label).")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N"
+          ~doc:
+            "Scheduling priority (higher preempts at the next batch \
+             boundary; FIFO within a priority).")
+  in
+  let mixes_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "mixes" ] ~docv:"MIXES"
+          ~doc:"Comma-separated mix names (default: all Table 2 mixes).")
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "schemes" ] ~docv:"SCHEMES"
+          ~doc:
+            "Comma-separated scheme names (default: every catalog scheme \
+             except ST — the fig10 grid).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a sweep to a running $(b,vliwsim serve) daemon and \
+          stream its NDJSON replies to stdout until the job completes. \
+          Cells the service has already computed (this session or any \
+          recorded run) come back as cache hits without re-simulation.")
+    Term.(
+      const run_submit $ socket_arg $ tcp_arg $ op_arg $ tag_arg $ scale_arg
+      $ seed_arg $ priority_arg $ mixes_arg $ schemes_arg $ quiet_arg)
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -1114,7 +1379,8 @@ let () =
     Cmd.group info
       [
         exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd; check_cmd;
-        runs_cmd; report_cmd; schemes_cmd; benchmarks_cmd;
+        serve_cmd; submit_cmd; runs_cmd; report_cmd; schemes_cmd;
+        benchmarks_cmd;
       ]
   in
   (* Uniform exit-code policy. [~catch:false] lets command-body

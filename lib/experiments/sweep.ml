@@ -233,6 +233,41 @@ let compile_mix ~machine ~seed mix_name =
       Vliw_compiler.Program.generate ~seed:(Vliw_util.Rng.next_int64 rng) machine p)
     mix.members
 
+(* A mix row prepared outside a grid: the same derivations [run_cells]
+   performs per row, packaged so a single cell can be simulated on its
+   own (and the compilation shared across many cells of the same row).
+   Bit-equality with the in-grid cell is the load-bearing property —
+   both paths must call the same compile/seed/config code. *)
+type prepared_row = {
+  pr_mix : string;
+  pr_row_seed : int64;
+  pr_programs : Vliw_compiler.Program.t list;
+  pr_schedule : Vliw_sim.Multitask.schedule;
+  pr_machine : Vliw_isa.Machine.t;
+}
+
+let prepare_row ?(scale = Common.Default) ?(seed = Common.default_seed)
+    mix_name =
+  let machine = Vliw_isa.Machine.default in
+  {
+    pr_mix = mix_name;
+    pr_row_seed = row_seed ~seed mix_name;
+    pr_programs = compile_mix ~machine ~seed mix_name;
+    pr_schedule = Common.schedule_of_scale scale;
+    pr_machine = machine;
+  }
+
+let prepared_mix pr = pr.pr_mix
+
+let simulate_prepared pr (column : column) =
+  let config = Vliw_sim.Config.make ~machine:pr.pr_machine column.col_scheme in
+  let controller = Option.map (fun mk -> mk ()) column.col_controller in
+  let metrics =
+    Vliw_sim.Multitask.run_programs config ~seed:pr.pr_row_seed
+      ~schedule:pr.pr_schedule ?controller pr.pr_programs
+  in
+  Vliw_sim.Metrics.ipc metrics
+
 let snapshot_with extra base =
   { Counters.counters = List.sort compare (extra @ base); histograms = [] }
 

@@ -143,6 +143,28 @@ val row_seed : seed:int64 -> string -> int64
 (** The simulation seed of a mix row, a pure function of the master
     seed and the mix name. *)
 
+type prepared_row
+(** One mix row, compiled and seeded exactly as {!run_cells} would:
+    programs generated in the caller's domain, row seed derived from
+    the master seed and the mix name, schedule fixed by the scale. The
+    unit of sharing for out-of-grid cell execution (the sweep service
+    compiles a mix once and simulates many scheme cells against it,
+    possibly across jobs). Immutable after construction, so worker
+    domains may read it concurrently. *)
+
+val prepare_row :
+  ?scale:Common.scale -> ?seed:int64 -> string -> prepared_row
+(** [prepare_row ~scale ~seed mix_name]; raises like
+    {!Vliw_workloads.Mixes.find_exn} on an unknown mix. *)
+
+val prepared_mix : prepared_row -> string
+
+val simulate_prepared : prepared_row -> column -> float
+(** IPC of one (row, column) cell — bit-identical to the cell
+    {!run_cells} produces for the same (scale, seed, mix, column)
+    (property-tested). No telemetry, no events, no retries: the caller
+    owns fault handling. Safe to call from a {!Vliw_util.Pool} worker. *)
+
 val run :
   ?scale:Common.scale ->
   ?seed:int64 ->

@@ -1,0 +1,109 @@
+(* Request codec. The wire shape mirrors the run ledger's conventions:
+   seeds travel as hex strings (Json numbers are floats and cannot carry
+   64 bits), names as plain strings, absent fields as defaults. *)
+
+module J = Vliw_util.Json
+
+type submit = {
+  tag : string;
+  scale : string;
+  seed : int64;
+  priority : int;
+  mixes : string list;
+  schemes : string list;
+}
+
+type t = Submit of submit | Ping | Stats | Metrics | Shutdown
+
+let default_submit =
+  {
+    tag = "";
+    scale = "default";
+    seed = Vliw_experiments.Common.default_seed;
+    priority = 0;
+    mixes = [];
+    schemes = [];
+  }
+
+let to_json = function
+  | Submit s ->
+    J.Obj
+      [
+        ("op", J.Str "submit");
+        ("tag", J.Str s.tag);
+        ("scale", J.Str s.scale);
+        ("seed", J.Str (Printf.sprintf "0x%Lx" s.seed));
+        ("priority", J.Num (float_of_int s.priority));
+        ("mixes", J.List (List.map (fun m -> J.Str m) s.mixes));
+        ("schemes", J.List (List.map (fun m -> J.Str m) s.schemes));
+      ]
+  | Ping -> J.Obj [ ("op", J.Str "ping") ]
+  | Stats -> J.Obj [ ("op", J.Str "stats") ]
+  | Metrics -> J.Obj [ ("op", J.Str "metrics") ]
+  | Shutdown -> J.Obj [ ("op", J.Str "shutdown") ]
+
+(* Decoding is strict about types but lenient about absence: a field
+   that is present with the wrong type is a client bug worth reporting,
+   while an absent field just means "the default". *)
+let ( let* ) = Result.bind
+
+let field_names j key =
+  match J.member key j with
+  | None -> Ok []
+  | Some (J.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | J.Str s :: rest -> go (s :: acc) rest
+      | _ -> Error (Printf.sprintf "%S entries must be strings" key)
+    in
+    go [] items
+  | Some _ -> Error (Printf.sprintf "%S must be a list of strings" key)
+
+let field_string j key default =
+  match J.member key j with
+  | None -> Ok default
+  | Some (J.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "%S must be a string" key)
+
+let field_int j key default =
+  match J.member key j with
+  | None -> Ok default
+  | Some v -> (
+    match J.to_int v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%S must be an integer" key))
+
+(* Seeds: a hex/decimal string ("0x2a", "42") or a small integer. *)
+let field_seed j key default =
+  match J.member key j with
+  | None -> Ok default
+  | Some (J.Str s) -> (
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%S is not a valid 64-bit seed" key))
+  | Some (J.Num v) when Float.is_integer v -> Ok (Int64.of_float v)
+  | Some _ -> Error (Printf.sprintf "%S must be a seed string" key)
+
+let of_json j =
+  match J.member "op" j with
+  | None -> Error "missing \"op\" field"
+  | Some (J.Str "ping") -> Ok Ping
+  | Some (J.Str "stats") -> Ok Stats
+  | Some (J.Str "metrics") -> Ok Metrics
+  | Some (J.Str "shutdown") -> Ok Shutdown
+  | Some (J.Str "submit") ->
+    let d = default_submit in
+    let* tag = field_string j "tag" d.tag in
+    let* scale = field_string j "scale" d.scale in
+    let* seed = field_seed j "seed" d.seed in
+    let* priority = field_int j "priority" d.priority in
+    let* mixes = field_names j "mixes" in
+    let* schemes = field_names j "schemes" in
+    Ok (Submit { tag; scale; seed; priority; mixes; schemes })
+  | Some (J.Str op) -> Error (Printf.sprintf "unknown op %S" op)
+  | Some _ -> Error "\"op\" must be a string"
+
+let of_line line =
+  match J.parse line with
+  | Ok j -> of_json j
+  | Error msg -> Error ("malformed JSON line: " ^ msg)

@@ -1,0 +1,40 @@
+(** The sweep service's typed request protocol.
+
+    One request per NDJSON line, dispatched on an ["op"] field. The
+    codec here is structural only — field presence and types. Semantic
+    validation (do the mix/scheme/scale names exist, is the client
+    within its limits) is the server's job, so a request that
+    round-trips through {!to_json}/{!of_json} is not necessarily
+    servable. *)
+
+type submit = {
+  tag : string;  (** Client-chosen label echoed in every reply. *)
+  scale : string;  (** "quick" | "default" | "full" (validated server-side). *)
+  seed : int64;  (** Master sweep seed; on the wire as a hex string. *)
+  priority : int;  (** Higher runs sooner; ties break FIFO. *)
+  mixes : string list;  (** [[]] = every Table 2 mix. *)
+  schemes : string list;  (** [[]] = every catalog scheme except ST. *)
+}
+
+type t =
+  | Submit of submit
+  | Ping  (** Liveness probe; answered with a [pong] reply. *)
+  | Stats  (** Queue depth, cache size and service counters. *)
+  | Metrics  (** OpenMetrics exposition of the service counters. *)
+  | Shutdown  (** Graceful drain: finish queued jobs, then exit. *)
+
+val default_submit : submit
+(** The full default grid ([mixes = []], [schemes = []]) at default
+    scale with the default sweep seed, priority 0 — the same sweep
+    [vliwsim exp fig10] runs. *)
+
+val to_json : t -> Vliw_util.Json.t
+
+val of_json : Vliw_util.Json.t -> (t, string) result
+(** Structural decode: unknown or missing ["op"] values, non-string
+    names and unparseable seeds are errors; absent submit fields take
+    their {!default_submit} values. [of_json (to_json r) = Ok r] for
+    every request (QCheck-property-tested). *)
+
+val of_line : string -> (t, string) result
+(** Parse one NDJSON line: JSON parse errors become [Error]. *)

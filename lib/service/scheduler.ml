@@ -1,0 +1,75 @@
+(* Batch planner: priority + FIFO at the head, smallest-fits-first
+   backfilling in the tail. Pure — the server owns the mutable queue
+   and feeds a snapshot in. *)
+
+type 'a job = {
+  jid : string;
+  priority : int;
+  arrival : int;
+  cells : 'a list;
+}
+
+let rank a b =
+  match compare b.priority a.priority with
+  | 0 -> compare a.arrival b.arrival
+  | c -> c
+
+let take n xs =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go n [] xs
+
+let plan ~capacity queue =
+  let ranked = List.stable_sort rank queue in
+  (* Phase 1: the head job alone fills the batch. Slots it leaves idle
+     belong to the backfill phase — NOT to a partial take from the next
+     head, or a quick probe could never slip past two big sweeps. *)
+  let slots, batch, waiting =
+    match ranked with
+    | j :: rest when capacity > 0 ->
+      let taken, left = take capacity j.cells in
+      let batch = List.rev (List.map (fun c -> (j.jid, c)) taken) in
+      if left = [] then (capacity - List.length taken, batch, rest)
+      else (0, batch, { j with cells = left } :: rest)
+    | waiting -> (max 0 capacity, [], waiting)
+  in
+  (* Phase 2: backfill — wholly-fitting jobs first, smallest first (tie:
+     rank), then top up from the best-ranked leftover so no slot idles
+     while cells wait. *)
+  let rec backfill slots batch waiting =
+    if slots = 0 || waiting = [] then (batch, waiting)
+    else begin
+      let fitting =
+        List.filter (fun j -> List.length j.cells <= slots) waiting
+      in
+      match
+        List.stable_sort
+          (fun a b ->
+            match compare (List.length a.cells) (List.length b.cells) with
+            | 0 -> rank a b
+            | c -> c)
+          fitting
+      with
+      | j :: _ ->
+        let batch =
+          List.rev_append (List.map (fun c -> (j.jid, c)) j.cells) batch
+        in
+        backfill
+          (slots - List.length j.cells)
+          batch
+          (List.filter (fun j' -> j'.jid <> j.jid) waiting)
+      | [] -> (
+        match waiting with
+        | j :: rest ->
+          let taken, left = take slots j.cells in
+          let batch =
+            List.rev_append (List.map (fun c -> (j.jid, c)) taken) batch
+          in
+          (batch, { j with cells = left } :: rest)
+        | [] -> (batch, waiting))
+    end
+  in
+  let batch, waiting = backfill slots batch waiting in
+  (List.rev batch, waiting)

@@ -1,0 +1,61 @@
+(** The sweep-service daemon behind [vliwsim serve].
+
+    A single-process event loop: accepts clients on a Unix socket
+    (and/or a loopback TCP port), speaks NDJSON ({!Request} in,
+    {!Vliw_experiments.Sweep.event}-shaped lines plus service replies
+    out), serves cache-hit cells straight from the content-addressed
+    {!Cache} (preloaded from the run ledger), and runs cold cells in
+    {!Scheduler}-planned batches on the {!Vliw_util.Pool} Domain pool.
+    Every completed job is appended to the run ledger as a [serve]
+    record, so a served grid is [runs diff]-able against (and
+    bit-identical to) a locally run [exp] of the same configuration —
+    and so the next daemon instance starts with this one's results
+    already cached.
+
+    Reply lines, dispatched on their first field:
+    - [{"reply":"accepted","job":...,"cells":N,"cached":H,"cold":C}]
+    - [{"job":...,"ev":"sweep_started"|"cell_finished"|"sweep_finished",...}]
+      — the {!Vliw_experiments.Sweep.json_of_event} shape, with the
+      owning ["job"] prepended and, on cells, ["cached"] (a cached
+      cell also has [attempts = 0], like a checkpoint-restored one)
+    - [{"reply":"done","job":...,"digest":...,"cached":H,"simulated":S}]
+    - [{"reply":"error","error":...}], [{"reply":"pong"}],
+      [{"reply":"stats",...}], [{"reply":"metrics","exposition":...}],
+      [{"reply":"shutting_down"}]
+
+    Shutdown is graceful: on a [shutdown] request, SIGINT/SIGTERM (when
+    [handle_signals]) or after [max_jobs] completed jobs, the daemon
+    stops accepting submissions, drains the queue, sends the pending
+    [done] replies and exits; the Unix socket file is unlinked. *)
+
+type config = {
+  socket_path : string option;  (** Unix listener ([None] = no socket). *)
+  tcp_port : int option;  (** Loopback TCP listener ([None] = none). *)
+  runs_dir : string;  (** Ledger directory: cache source and sink. *)
+  jobs : int;  (** Pool workers per batch; [<= 0] = one per core. *)
+  no_ledger : bool;  (** Do not append served jobs to the ledger. *)
+  metrics_out : string option;
+      (** Rewrite an OpenMetrics exposition of the service counters here
+          (atomically) at startup and after every completed job. *)
+  max_line_bytes : int;  (** Per-request line budget ({!Vliw_util.Ndjson}). *)
+  max_inflight : int;  (** Queued/running jobs allowed per client. *)
+  max_requests : int;  (** Requests per connection before it is closed. *)
+  max_jobs : int option;  (** Drain and exit after this many jobs. *)
+  handle_signals : bool;  (** Install SIGINT/SIGTERM drain handlers. *)
+  log : string -> unit;  (** Diagnostic sink (the CLI points it at stderr). *)
+}
+
+val default_config : config
+(** No listeners (the CLI fills one in), [runs_dir = "_runs"],
+    [jobs = 1], 1 MiB lines, 4 in-flight jobs and 10000 requests per
+    client, no signal handling, silent log. *)
+
+val metrics_exposition : unit -> string
+(** OpenMetrics exposition of the current process's service counters —
+    what the [metrics] op and [metrics_out] emit. Meaningful while (or
+    after) {!run} executes; before that it is an all-zero exposition. *)
+
+val run : config -> unit
+(** Run the daemon until graceful shutdown. Raises [Invalid_argument]
+    when no listener is configured, and [Unix.Unix_error] when binding
+    fails. *)

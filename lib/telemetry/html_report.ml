@@ -379,6 +379,31 @@ let section_adaptive (r : Ledger.run) =
       (hbar_chart ~title:"Per-timeslice scheme decisions" decisions)
   end
 
+(* Sweep-service panel: only renders for [serve] records (or any run
+   booking service.* counters). The headline number is the cache-hit
+   rate — the whole point of content-addressed serving. *)
+let section_service (r : Ledger.run) =
+  let cells = counters_with_prefix r.counters "service.cells." in
+  if r.cmd <> "serve" && cells = [] then ""
+  else begin
+    let count name =
+      match List.assoc_opt name cells with Some v -> v | None -> 0.0
+    in
+    let cached = count "cached" and simulated = count "simulated" in
+    let total = cached +. simulated +. count "degraded" in
+    let hit_rate =
+      if total = 0.0 then "n/a"
+      else pf "%.1f%%" (100.0 *. cached /. total)
+    in
+    let row k v = pf "<tr><th>%s</th><td>%s</td></tr>" (esc k) (esc v) in
+    pf
+      "<section><h2>Sweep service</h2><table class=\"kv\">%s%s%s</table>%s</section>"
+      (row "cache-hit rate" hit_rate)
+      (row "cells served from cache" (fmt_num cached))
+      (row "cells simulated" (fmt_num simulated))
+      (hbar_chart ~title:"Cell provenance" cells)
+  end
+
 let section_waste (r : Ledger.run) =
   let vertical = counters_with_prefix r.counters "waste.vertical." in
   let horizontal = counters_with_prefix r.counters "waste.horizontal." in
@@ -613,10 +638,11 @@ let render ?(runs = []) (r : Ledger.run) =
 <style>%s</style></head>
 <body><main>
 <h1>vliwsim run report</h1>
-%s%s%s%s%s%s%s
+%s%s%s%s%s%s%s%s
 <p class="note">Generated by vliwsim; self-contained file (no scripts, no external resources).</p>
 </main></body></html>
 |}
     (esc r.id) (style ~k) (section_summary r) (section_ipc_grid r)
-    (section_adaptive r) (section_waste r) (section_stalls r)
+    (section_adaptive r) (section_service r) (section_waste r)
+    (section_stalls r)
     (section_timeline r) (section_trajectory ~runs r)

@@ -298,13 +298,51 @@ let load ~dir =
              | Error _ -> None (* torn/corrupt line: skip, don't abort *))
   end
 
+(* Ids are max+1, not count+1: [gc] leaves gaps in the sequence, and a
+   fresh id must never collide with a surviving record's. *)
+let numeric_id r =
+  if String.length r.id > 1 && r.id.[0] = 'r' then
+    int_of_string_opt (String.sub r.id 1 (String.length r.id - 1))
+  else None
+
 let append ~dir run =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let existing = load ~dir in
-  let run = { run with id = Printf.sprintf "r%d" (List.length existing + 1) } in
+  let next =
+    1
+    + List.fold_left
+        (fun acc r ->
+          match numeric_id r with Some n -> max acc n | None -> acc)
+        0 existing
+  in
+  let run = { run with id = Printf.sprintf "r%d" next } in
   Vliw_util.Atomic_io.append_line ~path:(ledger_path ~dir)
     (J.to_string (to_json run));
   run
+
+type gc_report = { kept : run list; dropped : run list }
+
+(* Deduplication key: configuration fingerprint AND grid digest. Two
+   records with the same fingerprint but different bits are drift
+   evidence (same config, different code revisions) — gc must never
+   collapse them, or [runs diff] loses its witnesses. *)
+let gc ?(dry_run = false) ~dir () =
+  let runs = load ~dir in
+  let key r = r.fingerprint ^ "\x00" ^ grid_digest r.cells in
+  let newest = Hashtbl.create 16 in
+  List.iteri (fun i r -> Hashtbl.replace newest (key r) i) runs;
+  let kept = ref [] and dropped = ref [] in
+  List.iteri
+    (fun i r ->
+      if Hashtbl.find newest (key r) = i then kept := r :: !kept
+      else dropped := r :: !dropped)
+    runs;
+  let report = { kept = List.rev !kept; dropped = List.rev !dropped } in
+  if (not dry_run) && report.dropped <> [] then
+    Vliw_util.Atomic_io.write_file ~path:(ledger_path ~dir)
+      (String.concat ""
+         (List.map (fun r -> J.to_string (to_json r) ^ "\n") report.kept));
+  report
 
 let find ~dir wanted =
   let runs = load ~dir in

@@ -97,8 +97,20 @@ val mean_ipc : run -> float
 (** Mean over non-nan cells; nan if there are none. *)
 
 val append : dir:string -> run -> run
-(** Assign the next sequential id, persist atomically (creating [dir] if
-    needed), and return the record with its id filled in. *)
+(** Assign the next id (one past the highest numeric id on file, so ids
+    stay unique across {!gc} gaps), persist atomically (creating [dir]
+    if needed), and return the record with its id filled in. *)
+
+type gc_report = { kept : run list; dropped : run list }
+(** Both in file order; surviving records keep their original ids. *)
+
+val gc : ?dry_run:bool -> dir:string -> unit -> gc_report
+(** Compact the ledger: of the records sharing a (configuration
+    fingerprint, grid digest) pair, keep only the newest. Records with
+    equal fingerprints but {e different} grid bits are never collapsed —
+    they are drift evidence. With [dry_run] (default false) the file is
+    left untouched; otherwise the survivors are rewritten atomically
+    (a no-op when nothing was dropped). *)
 
 val load : dir:string -> run list
 (** All parseable records in file (= chronological) order; [] if the

@@ -1,0 +1,47 @@
+(** Newline-delimited JSON framing over {!Json}.
+
+    The wire discipline of the sweep service (and of [--log-json]
+    streams): one complete JSON document per ['\n']-terminated line.
+    {!feed} is incremental — bytes arrive in whatever chunks the
+    transport delivers, and a line is surfaced only once its terminator
+    has been seen — so a socket reader never blocks on a partial line
+    and never sees a torn document.
+
+    Rejection is per-line, not per-connection: a malformed or oversized
+    line yields one {!error} and the reader resynchronizes at the next
+    newline, so one bad request cannot poison the stream after it. *)
+
+type error =
+  | Oversized of { limit : int }
+      (** The line exceeded the reader's byte budget; the rest of the
+          line was discarded up to its terminator. *)
+  | Malformed of { msg : string }
+      (** The line was not a complete JSON document. *)
+  | Truncated
+      (** End of stream arrived mid-line (no trailing newline): the
+          peer died while writing. Reported by {!close} only. *)
+
+val error_message : error -> string
+(** Human-readable rendering, suitable for an error reply. *)
+
+type reader
+
+val reader : ?max_line_bytes:int -> unit -> reader
+(** A fresh incremental reader. [max_line_bytes] (default 1 MiB) bounds
+    a single line; a line that grows past it is rejected as
+    {!Oversized} without buffering the excess. *)
+
+val feed : reader -> ?off:int -> ?len:int -> string -> (Json.t, error) result list
+(** Consume the next transport chunk ([len] bytes of [chunk] starting
+    at [off], default the whole string) and return the completed lines
+    it finished, in arrival order. Blank lines are skipped (they are
+    legal NDJSON keep-alive padding). *)
+
+val close : reader -> (Json.t, error) result option
+(** Signal end of stream. [Some (Error Truncated)] when bytes of an
+    unterminated line were pending, [None] otherwise. The reader must
+    not be fed afterwards. *)
+
+val line : Json.t -> string
+(** The document serialized compactly with its ['\n'] terminator —
+    the exact bytes {!feed} reverses. *)

@@ -30,12 +30,22 @@ let cases =
     ("compile --benchmark nope", 2);
     ("compile --mode nope", 2);
     ("profile no-such-experiment -q", 2);
+    ("serve", 2);
+    (* no --socket/--tcp listener *)
+    ("submit", 2);
+    (* no --socket/--tcp endpoint *)
+    ("submit --socket /tmp/x.sock --op bogus", 2);
+    ("submit --socket /tmp/x.sock --scale bogus", 2);
     (* runtime errors: exit 1 (journal path in a missing directory) *)
     ("exp fig10 --scale quick -q --checkpoint /nonexistent-dir/x/ck", 1);
+    ("submit --socket /nonexistent-dir/absent.sock", 1);
+    (* no daemon listening *)
     (* successes: exit 0 *)
     ("schemes", 0);
     ("benchmarks", 0);
     ("exp list", 0);
+    ("runs gc --dry-run --runs-dir /nonexistent-vliw-ledger", 0);
+    (* gc of an absent ledger is an empty no-op *)
     ("exp fig5 -q", 0);
     ("--version", 0);
     ("--help", 0);

@@ -27,5 +27,6 @@ let () =
       Test_repro.suite;
       Test_faults.suite;
       Test_observability.suite;
+      Test_service.suite;
       Test_cli.suite;
     ]
