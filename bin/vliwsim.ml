@@ -232,18 +232,75 @@ let warn_degraded ctx =
   end
 
 let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
-    checkpoint resume no_ledger runs_dir metrics_out log_json name =
+    checkpoint resume no_ledger runs_dir metrics_out log_json workers
+    replicates name =
   if resume && checkpoint = None then
     usage "--resume requires --checkpoint FILE (no journal to resume from)";
   if max_retries < 0 then usage "--max-retries must be non-negative";
+  if workers < 0 then usage "--workers must be non-negative";
+  if replicates < 0 then usage "--replicates must be non-negative";
   let on_event, close_log = event_logger ~quiet log_json in
   let t0 = Unix.gettimeofday () in
+  let note msg = Printf.eprintf "note: %s\n%!" msg in
+  (* --workers N swaps the shared sweep's execution engine for the
+     distributed coordinator (local worker processes re-running this
+     executable as `vliwsim worker`). Cells are bit-identical either
+     way; the coordinator's dist.* counters join the ledger record. *)
+  let dist_counters = ref [] in
+  let dist_config () =
+    {
+      Vliw_dist.Coordinator.default_config with
+      workers;
+      worker_argv = [| Sys.executable_name; "worker" |];
+      max_retries;
+      checkpoint;
+      resume;
+      log = note;
+      on_event;
+    }
+  in
+  let grid_exec =
+    if workers = 0 then None
+    else
+      Some
+        (fun ~scheme_names ->
+          let r =
+            Vliw_dist.Coordinator.run ~scale ~seed ~scheme_names
+              (dist_config ())
+          in
+          dist_counters := Vliw_dist.Coordinator.counters_list r.d_stats;
+          let cells =
+            match r.d_grids with
+            | [ (_, cells) ] -> cells
+            | _ -> failwith "dist: expected exactly one grid"
+          in
+          (r.d_scheme_names, r.d_mix_names, cells))
+  in
+  let replicate_exec =
+    if workers = 0 then None
+    else
+      Some
+        (fun ~seeds ->
+          let r =
+            Vliw_dist.Coordinator.run ~scale ~seed ~seeds (dist_config ())
+          in
+          dist_counters := Vliw_dist.Coordinator.counters_list r.d_stats;
+          List.map
+            (fun (s, cells) ->
+              ( s,
+                E.Fig10.of_cells ~scheme_names:r.d_scheme_names
+                  ~mix_names:r.d_mix_names cells ))
+            r.d_grids)
+  in
+  let replicate_seeds =
+    if replicates = 0 then None
+    else Some (E.Replicates.derive_seeds ~seed replicates)
+  in
   let ctx =
     E.Registry.make_ctx ~scale ~seed ~jobs
       ?progress:(progress_reporter ~quiet ())
-      ~telemetry ~max_retries ?checkpoint ~resume
-      ~log:(fun msg -> Printf.eprintf "note: %s\n%!" msg)
-      ?on_event ()
+      ~telemetry ~max_retries ?checkpoint ~resume ~log:note ?on_event
+      ?replicate_seeds ?replicate_exec ?grid_exec ()
   in
   (* Ledger export of the last experiment that defined one (e.g.
      "adaptive", whose grid is not the shared fig10 sweep). Under "all"
@@ -307,11 +364,12 @@ let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
         else ([||], [], [], [], "static", [])
     in
     let counters =
-      if info_counters <> [] then info_counters
-      else
-        match sweep_telemetry ctx with
-        | Some cells -> (E.Sweep.merged_telemetry cells).counters
-        | None -> []
+      (if info_counters <> [] then info_counters
+       else
+         match sweep_telemetry ctx with
+         | Some cells -> (E.Sweep.merged_telemetry cells).counters
+         | None -> [])
+      @ !dist_counters
     in
     ignore
       (record_run ~no_ledger ~runs_dir ~metrics_out
@@ -380,12 +438,32 @@ let exp_cmd =
              missing cells run. A journal from a different configuration \
              is ignored.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Run the shared sweep on $(docv) local worker processes via \
+             the distributed coordinator instead of in-process domains \
+             ($(b,0) = in-process). Results are bit-identical for any N; \
+             the coordinator's dist.* counters join the ledger record.")
+  in
+  let replicates_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "replicates" ] ~docv:"R"
+          ~doc:
+            "For the $(b,replicates) experiment: run $(docv) seeds \
+             derived deterministically from $(b,--seed) instead of the \
+             built-in list (e.g. $(b,--replicates 100) for per-cell \
+             confidence intervals at scale).")
+  in
   Cmd.v (Cmd.info "exp" ~doc)
     Term.(
       const run_experiment $ scale_arg $ seed_arg $ csv_arg $ jobs_arg
       $ quiet_arg $ telemetry_arg $ retries_arg $ checkpoint_arg
       $ resume_arg $ no_ledger_arg $ runs_dir_arg $ metrics_out_arg
-      $ log_json_arg $ name_arg)
+      $ log_json_arg $ workers_arg $ replicates_arg $ name_arg)
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -964,6 +1042,29 @@ let runs_gc runs_dir dry_run =
     (if dry_run then "found (dry run; ledger untouched)" else "removed");
   0
 
+let runs_merge runs_dir dry_run sources =
+  if sources = [] then
+    usage "merge: pass at least one source ledger directory";
+  List.iter
+    (fun src ->
+      if not (Sys.file_exists (Ledger.ledger_path ~dir:src)) then
+        usage "merge: no ledger in %s" src)
+    sources;
+  let report = Ledger.merge ~dry_run ~dir:runs_dir ~from:sources () in
+  List.iter
+    (fun (r : Ledger.run) ->
+      Printf.printf "%s %s: %s %s (%s, fingerprint %s)\n"
+        (if dry_run then "would add" else "added")
+        r.id r.cmd r.label r.scale r.fingerprint)
+    report.Ledger.added;
+  Printf.printf "%s: %d record(s) %s, %d identical duplicate(s) skipped\n"
+    (Ledger.ledger_path ~dir:runs_dir)
+    (List.length report.Ledger.added)
+    (if dry_run then "would be merged (dry run; ledger untouched)"
+     else "merged")
+    (List.length report.Ledger.skipped);
+  0
+
 let run_id_pos n doc = Arg.(required & pos n (some string) None & info [] ~docv:"RUN" ~doc)
 
 let runs_cmd =
@@ -1037,11 +1138,36 @@ let runs_cmd =
             evidence and are never collapsed.")
       Term.(const runs_gc $ runs_dir_arg $ dry_run_arg)
   in
+  let merge_cmd =
+    let dry_run_arg =
+      Arg.(
+        value & flag
+        & info [ "dry-run" ]
+            ~doc:"Report what would be merged without touching the ledger.")
+    in
+    let sources_arg =
+      Arg.(
+        value & pos_all string []
+        & info [] ~docv:"SRC"
+            ~doc:"Source ledger directory to merge records from.")
+    in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:
+           "Merge other ledgers (e.g. per-worker $(b,_runs) directories \
+            from a distributed sweep) into $(b,--runs-dir), skipping \
+            source records whose (fingerprint, grid digest) pair the \
+            target already holds — the same dedup rule as $(b,gc). \
+            Same-fingerprint records with different grid bits always \
+            merge: they are drift evidence.")
+      Term.(const runs_merge $ runs_dir_arg $ dry_run_arg $ sources_arg)
+  in
   Cmd.group
     (Cmd.info "runs"
        ~doc:
-         "Inspect the run ledger: list, show, diff, export metrics, gc.")
-    [ list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd; gc_cmd ]
+         "Inspect the run ledger: list, show, diff, export metrics, gc, \
+          merge.")
+    [ list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd; gc_cmd; merge_cmd ]
 
 let run_report runs_dir wanted output =
   let r = find_run ~runs_dir wanted in
@@ -1298,6 +1424,313 @@ let submit_cmd =
       const run_submit $ socket_arg $ tcp_arg $ op_arg $ tag_arg $ scale_arg
       $ seed_arg $ priority_arg $ mixes_arg $ schemes_arg $ quiet_arg)
 
+(* --- worker / dist --------------------------------------------------- *)
+
+module Dist = Vliw_dist
+
+(* The worker endpoint of a distributed sweep. Spawned by the
+   coordinator over a pipe pair (stdio transport, the default) or
+   started by hand with --connect/--connect-tcp against a coordinator
+   listener. Protocol lines are the only bytes on stdout; diagnostics
+   go to stderr. *)
+let run_worker connect connect_tcp die_after_cells quiet =
+  let log =
+    if quiet then fun (_ : string) -> ()
+    else fun msg -> Printf.eprintf "worker[%d]: %s\n%!" (Unix.getpid ()) msg
+  in
+  let input, output =
+    match (connect, connect_tcp) with
+    | Some _, Some _ -> usage "worker: --connect and --connect-tcp conflict"
+    | Some path, None ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         Printf.eprintf "worker: cannot connect to %s: %s\n%!" path
+           (Printexc.to_string e);
+         exit 1);
+      (fd, fd)
+    | None, Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with e ->
+         Unix.close fd;
+         Printf.eprintf "worker: cannot connect to 127.0.0.1:%d: %s\n%!" port
+           (Printexc.to_string e);
+         exit 1);
+      (fd, fd)
+    | None, None -> (Unix.stdin, Unix.stdout)
+  in
+  match Dist.Worker.serve ?die_after_cells ~log ~input ~output () with
+  | () -> 0
+  | exception Dist.Worker.Killed ->
+    log "fault injection: dying mid-shard";
+    1
+
+let worker_cmd =
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:"Connect to a coordinator's Unix-domain listener at $(docv).")
+  in
+  let connect_tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "connect-tcp" ] ~docv:"PORT"
+          ~doc:"Connect to a coordinator's loopback TCP listener on $(docv).")
+  in
+  let die_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "die-after-cells" ] ~docv:"N"
+          ~doc:
+            "Fault injection: exit abruptly (mid-shard, no shard-done \
+             message) right after the $(docv)-th cell result. The \
+             coordinator must recover by re-queuing the stranded cells.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run a distributed-sweep worker. Without flags it speaks the \
+          NDJSON shard protocol on stdin/stdout (how the coordinator \
+          spawns it); with $(b,--connect)/$(b,--connect-tcp) it dials a \
+          $(b,vliwsim dist) listener, adding this process to the fleet. \
+          Cells are simulated exactly as in-process sweeps — bit-identical \
+          by construction.")
+    Term.(
+      const run_worker $ connect_arg $ connect_tcp_arg $ die_arg $ quiet_arg)
+
+let run_dist scale seed workers replicates shard_size max_retries shard_timeout
+    checkpoint resume listen_socket listen_tcp chaos_kill no_ledger runs_dir
+    metrics_out log_json quiet =
+  if workers < 0 then usage "--workers must be non-negative";
+  if replicates < 0 then usage "--replicates must be non-negative";
+  if max_retries < 0 then usage "--max-retries must be non-negative";
+  if resume && checkpoint = None then
+    usage "--resume requires --checkpoint FILE (no journal to resume from)";
+  if workers = 0 && listen_socket = None && listen_tcp = None then
+    usage
+      "dist: no worker transport (pass --workers N and/or \
+       --listen-socket/--listen-tcp)";
+  let seeds =
+    if replicates = 0 then [ seed ]
+    else E.Replicates.derive_seeds ~seed replicates
+  in
+  let on_event, close_log = event_logger ~quiet log_json in
+  let config =
+    {
+      Dist.Coordinator.default_config with
+      workers;
+      worker_argv =
+        (if workers > 0 then [| Sys.executable_name; "worker" |] else [||]);
+      listen_socket;
+      listen_tcp;
+      shard_size;
+      max_retries;
+      shard_timeout_s = shard_timeout;
+      checkpoint;
+      resume;
+      die_first_worker_after = chaos_kill;
+      log =
+        (if quiet then fun (_ : string) -> ()
+         else fun msg -> Printf.eprintf "dist: %s\n%!" msg);
+      on_event;
+    }
+  in
+  let result =
+    Fun.protect ~finally:close_log (fun () ->
+        Dist.Coordinator.run ~scale ~seed ~seeds config)
+  in
+  let counters =
+    (* the conventional sweep.* names feed the record's fault stats
+       (runs show / the trajectory plot), same as in-process sweeps *)
+    let s = result.Dist.Coordinator.d_stats in
+    Dist.Coordinator.counters_list s
+    @ (if s.cells_restored > 0 then
+         [ ("sweep.resumed_cells", s.cells_restored) ]
+       else [])
+    @ if s.workers_timeouts > 0 then [ ("sweep.timeouts", s.workers_timeouts) ]
+      else []
+  in
+  let datas =
+    List.map
+      (fun (s, cells) ->
+        ( s,
+          E.Fig10.of_cells ~scheme_names:result.d_scheme_names
+            ~mix_names:result.d_mix_names cells ))
+      result.d_grids
+  in
+  (* Surface degraded cells exactly like `exp` does. *)
+  List.iter
+    (fun (s, cells) ->
+      match E.Sweep.degraded cells with
+      | [] -> ()
+      | ds ->
+        Printf.eprintf "warning: seed 0x%Lx: %d cell(s) degraded to n/a:\n%!" s
+          (List.length ds);
+        List.iter
+          (fun (c : E.Sweep.cell) ->
+            Printf.eprintf "  %s/%s after %d attempt(s): %s\n%!" c.mix c.scheme
+              c.attempts
+              (Option.value ~default:"unknown error" c.error))
+          ds)
+    result.d_grids;
+  (* One ledger record per seed — fingerprint-compatible with `exp`
+     records of the same configuration, so `runs diff` proves the
+     distributed grid bit-identical to a single-process one. The dist.*
+     counters ride on every record; the replicate summary (if any)
+     carries the per-cell confidence intervals as gauges. *)
+  let n_seeds = List.length datas in
+  let wall_per_seed = result.d_wall_s /. float_of_int (max 1 n_seeds) in
+  List.iteri
+    (fun i (s, (d : E.Fig10.data)) ->
+      let is_last = i = n_seeds - 1 && replicates = 0 in
+      ignore
+        (record_run ~no_ledger ~runs_dir
+           ~metrics_out:(if is_last then metrics_out else None)
+           (Ledger.make ~counters
+              ~gauges:[ ("ipc.mean", E.Common.grid_mean d.grid) ]
+              ~cells:(ledger_cells d.cells) ~cmd:"dist" ~label:"fig10"
+              ~scale:(E.Common.scale_name scale) ~seed:s
+              ~jobs:(max 1 workers) ~scheme_names:d.grid.scheme_names
+              ~mix_names:d.grid.mix_names ~wall_s:wall_per_seed ())))
+    datas;
+  if replicates = 0 then begin
+    match datas with
+    | [ (_, d) ] -> print_string (E.Fig10.render d)
+    | _ -> ()
+  end
+  else begin
+    let t = E.Replicates.of_grids datas in
+    print_string (E.Replicates.render t);
+    ignore
+      (record_run ~no_ledger ~runs_dir ~metrics_out
+         (Ledger.make ~counters
+            ~gauges:
+              (("replicates.n", float_of_int t.n)
+              :: E.Replicates.cell_gauges t.cells)
+              (* non-static policy: the summary must never share a
+                 fingerprint with a plain fig10 record of the master
+                 seed (it summarizes the replicate seeds instead) *)
+            ~policy:"replicates" ~cmd:"dist" ~label:"replicates"
+            ~scale:(E.Common.scale_name scale) ~seed ~jobs:(max 1 workers)
+            ~scheme_names:result.d_scheme_names
+            ~mix_names:result.d_mix_names ~wall_s:result.d_wall_s ()))
+  end;
+  0
+
+let dist_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Local worker processes to keep alive ($(b,0) = none; then a \
+             listener must supply the fleet). Workers that die are \
+             respawned and their shards re-queued.")
+  in
+  let replicates_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "replicates" ] ~docv:"R"
+          ~doc:
+            "Sweep $(docv) replicate seeds (derived deterministically \
+             from $(b,--seed)) instead of the single seed, and append a \
+             summary record with per-cell 95% confidence intervals to \
+             the ledger.")
+  in
+  let shard_size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-size" ] ~docv:"CELLS"
+          ~doc:
+            "Cells per work unit (default: grid size / 4x the fleet). \
+             Any value yields bit-identical results.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Per-cell retry budget before a failing cell degrades to \
+             n/a, exactly as in $(b,vliwsim exp).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shard-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Declare a worker dead after $(docv) of silence on an \
+             assigned shard and re-queue its unreported cells.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed cells to $(docv) (same format as \
+             $(b,vliwsim exp --checkpoint); multi-replicate runs suffix \
+             it per seed).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore cells already in the $(b,--checkpoint) journal \
+             instead of re-simulating them.")
+  in
+  let listen_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen-socket" ] ~docv:"PATH"
+          ~doc:
+            "Also accept $(b,vliwsim worker --connect) peers on a \
+             Unix-domain listener at $(docv).")
+  in
+  let listen_tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen-tcp" ] ~docv:"PORT"
+          ~doc:
+            "Also accept $(b,vliwsim worker --connect-tcp) peers on \
+             loopback port $(docv).")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-kill-after" ] ~docv:"CELLS"
+          ~doc:
+            "Fault injection: the first spawned worker exits abruptly \
+             after $(docv) cells, exercising the re-queue path (the \
+             merged grid must still be bit-identical).")
+  in
+  Cmd.v
+    (Cmd.info "dist"
+       ~doc:
+         "Run the shared (mix x scheme) sweep as a distributed sharded \
+          sweep: a coordinator dispatches shards to worker processes \
+          (spawned locally and/or connected via listeners), survives \
+          worker deaths by re-queuing, and merges one grid per replicate \
+          that is bit-identical to a single-process $(b,vliwsim exp) run \
+          — verify with $(b,vliwsim runs diff).")
+    Term.(
+      const run_dist $ scale_arg $ seed_arg $ workers_arg $ replicates_arg
+      $ shard_size_arg $ retries_arg $ timeout_arg $ checkpoint_arg
+      $ resume_arg $ listen_socket_arg $ listen_tcp_arg $ chaos_arg
+      $ no_ledger_arg $ runs_dir_arg $ metrics_out_arg $ log_json_arg
+      $ quiet_arg)
+
 (* --- check ---------------------------------------------------------- *)
 
 let run_check scale seed jobs quiet =
@@ -1379,8 +1812,8 @@ let () =
     Cmd.group info
       [
         exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd; check_cmd;
-        serve_cmd; submit_cmd; runs_cmd; report_cmd; schemes_cmd;
-        benchmarks_cmd;
+        serve_cmd; submit_cmd; dist_cmd; worker_cmd; runs_cmd; report_cmd;
+        schemes_cmd; benchmarks_cmd;
       ]
   in
   (* Uniform exit-code policy. [~catch:false] lets command-body

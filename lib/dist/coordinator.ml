@@ -1,0 +1,767 @@
+(* The coordinator event loop.
+
+   Single domain, select-driven, mirroring the service daemon's shape:
+   parallelism lives in the worker processes, so the loop only shuffles
+   NDJSON lines and never blocks on simulation. Dispatch is pull-based:
+   an idle ready worker claims the head of the shard queue. All
+   determinism rests on cells being pure functions of (scale, master
+   seed, mix, scheme) — which worker computes a cell, in what order,
+   after how many deaths, cannot change its bits.
+
+   Fault handling has two distinct layers, deliberately matching the
+   in-process sweep's semantics:
+   - a *simulation* failure consumes the cell's retry budget
+     ([max_retries], then degrade to nan);
+   - a *worker* death (EOF, broken pipe, shard timeout) is free for the
+     cells it strands — they re-queue with budget intact — except that
+     a cell observed on [max_retries + 3] dying workers degrades too,
+     so a poison cell that crashes its host cannot re-queue forever. *)
+
+module E = Vliw_experiments
+module Ndjson = Vliw_util.Ndjson
+
+type stats = {
+  mutable cells_simulated : int;
+  mutable cells_restored : int;
+  mutable cells_retried : int;
+  mutable cells_degraded : int;
+  mutable shards_dispatched : int;
+  mutable shards_completed : int;
+  mutable shards_requeued : int;
+  mutable workers_spawned : int;
+  mutable workers_attached : int;
+  mutable workers_died : int;
+  mutable workers_timeouts : int;
+}
+
+let make_stats () =
+  {
+    cells_simulated = 0;
+    cells_restored = 0;
+    cells_retried = 0;
+    cells_degraded = 0;
+    shards_dispatched = 0;
+    shards_completed = 0;
+    shards_requeued = 0;
+    workers_spawned = 0;
+    workers_attached = 0;
+    workers_died = 0;
+    workers_timeouts = 0;
+  }
+
+let counters_list s =
+  [
+    ("dist.cells.degraded", s.cells_degraded);
+    ("dist.cells.restored", s.cells_restored);
+    ("dist.cells.retried", s.cells_retried);
+    ("dist.cells.simulated", s.cells_simulated);
+    ("dist.shards.completed", s.shards_completed);
+    ("dist.shards.dispatched", s.shards_dispatched);
+    ("dist.shards.requeued", s.shards_requeued);
+    ("dist.workers.attached", s.workers_attached);
+    ("dist.workers.died", s.workers_died);
+    ("dist.workers.spawned", s.workers_spawned);
+    ("dist.workers.timeouts", s.workers_timeouts);
+  ]
+
+type config = {
+  workers : int;
+  worker_argv : string array;
+  attached : Unix.file_descr list;
+  listen_socket : string option;
+  listen_tcp : int option;
+  shard_size : int option;
+  max_retries : int;
+  shard_timeout_s : float option;
+  checkpoint : string option;
+  resume : bool;
+  die_first_worker_after : int option;
+  log : string -> unit;
+  on_event : (E.Sweep.event -> unit) option;
+}
+
+let default_config =
+  {
+    workers = 0;
+    worker_argv = [||];
+    attached = [];
+    listen_socket = None;
+    listen_tcp = None;
+    shard_size = None;
+    max_retries = 0;
+    shard_timeout_s = None;
+    checkpoint = None;
+    resume = false;
+    die_first_worker_after = None;
+    log = (fun _ -> ());
+    on_event = None;
+  }
+
+type result = {
+  d_scheme_names : string list;
+  d_mix_names : string list;
+  d_grids : (int64 * E.Sweep.cell array) list;
+  d_wall_s : float;
+  d_stats : stats;
+}
+
+(* --- internal state ---------------------------------------------------- *)
+
+(* A queued shard: grid index + spec per cell, so results route without
+   re-hashing. Plan's ids restart per seed; the coordinator assigns its
+   own dense ids (re-queued fragments get fresh ones too). *)
+type ishard = {
+  is_id : int;
+  is_seed_idx : int;
+  mutable is_cells : (int * Plan.cell_spec) list;
+}
+
+type wrk = {
+  w_id : int;
+  w_pid : int option;  (* None for attached transports *)
+  w_in : Unix.file_descr;
+  w_out : Unix.file_descr;  (* = w_in for socket transports *)
+  w_reader : Ndjson.reader;
+  mutable w_ready : bool;
+  mutable w_shard : ishard option;
+  mutable w_deadline : float;  (* infinity when idle or no timeout *)
+  mutable w_closed : bool;
+}
+
+type seed_state = {
+  ss_seed : int64;
+  ss_results : E.Sweep.cell option array;  (* mix-major *)
+  ss_attempts : int array;  (* failed simulation attempts per cell *)
+  ss_deaths : int array;  (* dying workers observed per cell *)
+  ss_index : (string * string, int) Hashtbl.t;
+  ss_journal : (string * E.Checkpoint.t ref) option;
+}
+
+let fig10_scheme_names () =
+  List.filter_map
+    (fun (e : Vliw_merge.Catalog.entry) ->
+      if e.name = "ST" then None else Some e.name)
+    Vliw_merge.Catalog.all
+
+let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
+    ?scheme_names ?mix_names cfg =
+  let seeds = match seeds with Some (_ :: _ as s) -> s | _ -> [ seed ] in
+  let scheme_names =
+    match scheme_names with Some s -> s | None -> fig10_scheme_names ()
+  in
+  let mix_names =
+    match mix_names with Some m -> m | None -> Vliw_workloads.Mixes.names
+  in
+  List.iter
+    (fun m ->
+      if Vliw_workloads.Mixes.find m = None then
+        invalid_arg ("dist: unknown mix " ^ m))
+    mix_names;
+  List.iter
+    (fun s ->
+      if Vliw_merge.Catalog.find s = None then
+        invalid_arg ("dist: unknown scheme " ^ s))
+    scheme_names;
+  if
+    (cfg.workers <= 0 || Array.length cfg.worker_argv = 0)
+    && cfg.attached = []
+    && cfg.listen_socket = None
+    && cfg.listen_tcp = None
+  then failwith "dist: no worker transport configured";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let stats = make_stats () in
+  let scale_str = E.Common.scale_name scale in
+  let grid_cells = Plan.cells_of_grid ~mix_names ~scheme_names in
+  let n_cells = List.length grid_cells in
+  let total = n_cells * List.length seeds in
+  let t0 = Unix.gettimeofday () in
+  let completed = ref 0 in
+  let degraded_total = ref 0 in
+  let elapsed_sum = ref 0.0 and elapsed_n = ref 0 in
+  let emit ev = Option.iter (fun f -> f ev) cfg.on_event in
+  (* --- per-seed grids, restored from checkpoint journals --------------- *)
+  let multi = List.length seeds > 1 in
+  let states =
+    Array.of_list
+      (List.map
+         (fun sd ->
+           let index = Hashtbl.create (max 1 n_cells) in
+           List.iteri
+             (fun i (c : Plan.cell_spec) ->
+               Hashtbl.replace index (c.mix, c.scheme) i)
+             grid_cells;
+           let results = Array.make (max 1 n_cells) None in
+           let meta =
+             {
+               E.Checkpoint.scale = scale_str;
+               seed = sd;
+               scheme_names;
+               mix_names;
+               telemetry = false;
+             }
+           in
+           let journal =
+             Option.map
+               (fun path ->
+                 (* Replicated runs keep one journal per seed: a journal
+                    header pins exactly one (scale, seed, grid). *)
+                 let path =
+                   if multi then Printf.sprintf "%s.s%Lx" path sd else path
+                 in
+                 let t =
+                   if cfg.resume then
+                     match E.Checkpoint.load ~path with
+                     | Ok t when E.Checkpoint.meta_equal t.meta meta -> t
+                     | Ok _ ->
+                       cfg.log
+                         (Printf.sprintf
+                            "warning: checkpoint %s ignored (configuration \
+                             mismatch); starting fresh"
+                            path);
+                       E.Checkpoint.create meta
+                     | Error _ -> E.Checkpoint.create meta
+                   else E.Checkpoint.create meta
+                 in
+                 List.iter
+                   (fun (r : E.Checkpoint.record) ->
+                     match Hashtbl.find_opt index (r.mix, r.scheme) with
+                     | Some i when results.(i) = None ->
+                       results.(i) <-
+                         Some
+                           {
+                             E.Sweep.mix = r.mix;
+                             scheme = r.scheme;
+                             ipc = r.ipc;
+                             elapsed_s = 0.0;
+                             started_s = 0.0;
+                             worker = 0;
+                             telemetry = None;
+                             attempts = 0;
+                             error = None;
+                           };
+                       incr completed;
+                       stats.cells_restored <- stats.cells_restored + 1
+                     | _ -> ())
+                   t.records;
+                 (* a valid journal exists from the moment the sweep
+                    starts, like Sweep.run_cells *)
+                 E.Checkpoint.save ~path t;
+                 (path, ref t))
+               cfg.checkpoint
+           in
+           {
+             ss_seed = sd;
+             ss_results = results;
+             ss_attempts = Array.make (max 1 n_cells) 0;
+             ss_deaths = Array.make (max 1 n_cells) 0;
+             ss_index = index;
+             ss_journal = journal;
+           })
+         seeds)
+  in
+  (* --- shard queue ------------------------------------------------------ *)
+  let next_shard = ref 0 in
+  let shard_seed : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let queue : ishard Queue.t = Queue.create () in
+  let new_shard seed_idx cells =
+    let s = { is_id = !next_shard; is_seed_idx = seed_idx; is_cells = cells } in
+    incr next_shard;
+    Hashtbl.replace shard_seed s.is_id seed_idx;
+    s
+  in
+  let planned_workers = max 1 (cfg.workers + List.length cfg.attached) in
+  Array.iteri
+    (fun idx st ->
+      List.iter
+        (fun (p : Plan.shard) ->
+          let cells =
+            List.filter_map
+              (fun (c : Plan.cell_spec) ->
+                let i = Hashtbl.find st.ss_index (c.mix, c.scheme) in
+                if st.ss_results.(i) = None then Some (i, c) else None)
+              p.cells
+          in
+          if cells <> [] then Queue.push (new_shard idx cells) queue)
+        (Plan.make ?shard_size:cfg.shard_size ~workers:planned_workers
+           ~seeds:[ st.ss_seed ] ~mix_names ~scheme_names ()))
+    states;
+  emit
+    (E.Sweep.Sweep_started
+       { total; jobs = planned_workers; scale = scale_str; seed = List.hd seeds });
+  (* --- cell accounting -------------------------------------------------- *)
+  let alive_workers = ref 0 in
+  let eta () =
+    if !elapsed_n = 0 then Float.nan
+    else
+      !elapsed_sum /. float_of_int !elapsed_n
+      *. float_of_int (total - !completed)
+      /. float_of_int (max 1 !alive_workers)
+  in
+  let finish_cell st i (cell : E.Sweep.cell) =
+    if st.ss_results.(i) = None then begin
+      st.ss_results.(i) <- Some cell;
+      incr completed;
+      if cell.error <> None then begin
+        stats.cells_degraded <- stats.cells_degraded + 1;
+        incr degraded_total
+      end
+      else begin
+        stats.cells_simulated <- stats.cells_simulated + 1;
+        elapsed_sum := !elapsed_sum +. cell.elapsed_s;
+        incr elapsed_n;
+        match st.ss_journal with
+        | Some (path, jref) ->
+          jref :=
+            E.Checkpoint.add !jref
+              {
+                mix = cell.mix;
+                scheme = cell.scheme;
+                row_seed = E.Sweep.row_seed ~seed:st.ss_seed cell.mix;
+                ipc = cell.ipc;
+                attempts = cell.attempts;
+                counters = None;
+              };
+          E.Checkpoint.save ~path !jref
+        | None -> ()
+      end;
+      emit
+        (E.Sweep.Cell_finished { cell; completed = !completed; total; eta_s = eta () })
+    end
+  in
+  (* --- workers ---------------------------------------------------------- *)
+  let workers : (int, wrk) Hashtbl.t = Hashtbl.create 8 in
+  let snapshot () = Hashtbl.fold (fun _ w acc -> w :: acc) workers [] in
+  let next_worker = ref 0 in
+  let spawned_total = ref 0 in
+  let respawn_budget = cfg.workers + 8 in
+  let add_worker ~pid ~fd_in ~fd_out =
+    let w =
+      {
+        w_id = !next_worker;
+        w_pid = pid;
+        w_in = fd_in;
+        w_out = fd_out;
+        w_reader = Ndjson.reader ();
+        w_ready = false;
+        w_shard = None;
+        w_deadline = infinity;
+        w_closed = false;
+      }
+    in
+    incr next_worker;
+    Hashtbl.replace workers w.w_id w;
+    alive_workers := Hashtbl.length workers;
+    w
+  in
+  let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
+  let spawn_worker () =
+    if Array.length cfg.worker_argv = 0 || !spawned_total >= respawn_budget then
+      false
+    else begin
+      let argv =
+        match cfg.die_first_worker_after with
+        | Some n when !spawned_total = 0 ->
+          Array.append cfg.worker_argv
+            [| "--die-after-cells"; string_of_int n |]
+        | _ -> cfg.worker_argv
+      in
+      let stdin_r, stdin_w = Unix.pipe () in
+      let stdout_r, stdout_w = Unix.pipe () in
+      match Unix.create_process argv.(0) argv stdin_r stdout_w Unix.stderr with
+      | pid ->
+        Unix.close stdin_r;
+        Unix.close stdout_w;
+        (* parent-side ends must not leak into later-spawned siblings,
+           or one worker's EOF waits on another's exit *)
+        Unix.set_close_on_exec stdin_w;
+        Unix.set_close_on_exec stdout_r;
+        incr spawned_total;
+        stats.workers_spawned <- stats.workers_spawned + 1;
+        let w = add_worker ~pid:(Some pid) ~fd_in:stdin_w ~fd_out:stdout_r in
+        cfg.log (Printf.sprintf "worker %d spawned (pid %d)" w.w_id pid);
+        true
+      | exception e ->
+        List.iter close_fd [ stdin_r; stdin_w; stdout_r; stdout_w ];
+        cfg.log ("warning: worker spawn failed: " ^ Printexc.to_string e);
+        false
+    end
+  in
+  let worker_died ?(timeout = false) reason (w : wrk) =
+    if not w.w_closed then begin
+      w.w_closed <- true;
+      Hashtbl.remove workers w.w_id;
+      alive_workers := Hashtbl.length workers;
+      close_fd w.w_in;
+      if w.w_out <> w.w_in then close_fd w.w_out;
+      (match w.w_pid with
+      | Some pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        reap pid
+      | None -> ());
+      stats.workers_died <- stats.workers_died + 1;
+      if timeout then stats.workers_timeouts <- stats.workers_timeouts + 1;
+      cfg.log (Printf.sprintf "worker %d died: %s" w.w_id reason);
+      match w.w_shard with
+      | None -> ()
+      | Some s ->
+        w.w_shard <- None;
+        let st = states.(s.is_seed_idx) in
+        let live =
+          List.filter_map
+            (fun (i, (c : Plan.cell_spec)) ->
+              if st.ss_results.(i) <> None then None
+              else begin
+                st.ss_deaths.(i) <- st.ss_deaths.(i) + 1;
+                if st.ss_deaths.(i) > cfg.max_retries + 3 then begin
+                  let err =
+                    "worker died repeatedly while simulating this cell"
+                  in
+                  emit
+                    (E.Sweep.Cell_degraded
+                       {
+                         mix = c.mix;
+                         scheme = c.scheme;
+                         attempts = st.ss_attempts.(i);
+                         error = err;
+                       });
+                  finish_cell st i
+                    {
+                      E.Sweep.mix = c.mix;
+                      scheme = c.scheme;
+                      ipc = Float.nan;
+                      elapsed_s = 0.0;
+                      started_s = Unix.gettimeofday () -. t0;
+                      worker = w.w_id;
+                      telemetry = None;
+                      attempts = st.ss_attempts.(i);
+                      error = Some err;
+                    };
+                  None
+                end
+                else Some (i, c)
+              end)
+            s.is_cells
+        in
+        if live <> [] then begin
+          stats.shards_requeued <- stats.shards_requeued + 1;
+          Queue.push (new_shard s.is_seed_idx live) queue
+        end
+    end
+  in
+  let send (w : wrk) msg =
+    if w.w_closed then false
+    else begin
+      let line = Ndjson.line (Protocol.to_worker_to_json msg) in
+      let len = String.length line in
+      let rec push off =
+        if off < len then
+          push (off + Unix.write_substring w.w_in line off (len - off))
+      in
+      match push 0 with
+      | () -> true
+      | exception Unix.Unix_error _ ->
+        worker_died "write failed" w;
+        false
+    end
+  in
+  (* --- inbound messages ------------------------------------------------- *)
+  let handle_cell_result (w : wrk) c_shard (r : Protocol.cell_result) =
+    match Hashtbl.find_opt shard_seed c_shard with
+    | None -> cfg.log (Printf.sprintf "stale result for shard %d" c_shard)
+    | Some seed_idx -> (
+      let st = states.(seed_idx) in
+      (match w.w_shard with
+      | Some s when s.is_id = c_shard ->
+        s.is_cells <-
+          List.filter
+            (fun (_, (c : Plan.cell_spec)) ->
+              not (c.mix = r.r_mix && c.scheme = r.r_scheme))
+            s.is_cells;
+        (* progress resets the silence budget *)
+        Option.iter
+          (fun t -> w.w_deadline <- Unix.gettimeofday () +. t)
+          cfg.shard_timeout_s
+      | _ -> ());
+      match Hashtbl.find_opt st.ss_index (r.r_mix, r.r_scheme) with
+      | None ->
+        cfg.log
+          (Printf.sprintf "result for unknown cell %s/%s" r.r_mix r.r_scheme)
+      | Some i ->
+        if st.ss_results.(i) <> None then
+          (* duplicate delivery after a timeout/requeue race: cells are
+             pure functions of their key, so first-wins is exact *)
+          ()
+        else (
+          match r.r_error with
+          | None ->
+            finish_cell st i
+              {
+                E.Sweep.mix = r.r_mix;
+                scheme = r.r_scheme;
+                ipc = r.r_ipc;
+                elapsed_s = r.r_elapsed_s;
+                started_s = Unix.gettimeofday () -. t0;
+                worker = w.w_id;
+                telemetry = None;
+                attempts = st.ss_attempts.(i) + 1;
+                error = None;
+              }
+          | Some err ->
+            st.ss_attempts.(i) <- st.ss_attempts.(i) + 1;
+            if st.ss_attempts.(i) <= cfg.max_retries then begin
+              stats.cells_retried <- stats.cells_retried + 1;
+              emit
+                (E.Sweep.Cell_retried
+                   {
+                     mix = r.r_mix;
+                     scheme = r.r_scheme;
+                     attempt = st.ss_attempts.(i);
+                     error = err;
+                   });
+              Queue.push
+                (new_shard seed_idx
+                   [ (i, { Plan.mix = r.r_mix; scheme = r.r_scheme }) ])
+                queue
+            end
+            else begin
+              emit
+                (E.Sweep.Cell_degraded
+                   {
+                     mix = r.r_mix;
+                     scheme = r.r_scheme;
+                     attempts = st.ss_attempts.(i);
+                     error = err;
+                   });
+              finish_cell st i
+                {
+                  E.Sweep.mix = r.r_mix;
+                  scheme = r.r_scheme;
+                  ipc = Float.nan;
+                  elapsed_s = r.r_elapsed_s;
+                  started_s = Unix.gettimeofday () -. t0;
+                  worker = w.w_id;
+                  telemetry = None;
+                  attempts = st.ss_attempts.(i);
+                  error = Some err;
+                }
+            end))
+  in
+  let handle_msg (w : wrk) = function
+    | Protocol.Ready _ -> w.w_ready <- true
+    | Protocol.Cell { c_shard; c_result } -> handle_cell_result w c_shard c_result
+    | Protocol.Shard_done { d_shard } -> (
+      match w.w_shard with
+      | Some s when s.is_id = d_shard ->
+        w.w_shard <- None;
+        w.w_deadline <- infinity;
+        stats.shards_completed <- stats.shards_completed + 1;
+        let st = states.(s.is_seed_idx) in
+        let leftover =
+          List.filter (fun (i, _) -> st.ss_results.(i) = None) s.is_cells
+        in
+        if leftover <> [] then begin
+          (* a healthy worker skipped cells: re-queue, no death charged *)
+          stats.shards_requeued <- stats.shards_requeued + 1;
+          Queue.push (new_shard s.is_seed_idx leftover) queue
+        end
+      | _ -> ())
+  in
+  let read_worker (w : wrk) =
+    let buf = Bytes.create 65536 in
+    match Unix.read w.w_out buf 0 (Bytes.length buf) with
+    | 0 ->
+      ignore (Ndjson.close w.w_reader);
+      worker_died "eof" w
+    | n ->
+      List.iter
+        (fun line ->
+          if not w.w_closed then
+            match line with
+            | Ok doc -> (
+              match Protocol.from_worker_of_json doc with
+              | Ok msg -> handle_msg w msg
+              | Error e -> worker_died ("protocol error: " ^ e) w)
+            | Error framing ->
+              worker_died ("framing error: " ^ Ndjson.error_message framing) w)
+        (Ndjson.feed w.w_reader ~len:n (Bytes.unsafe_to_string buf))
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      worker_died "read failed" w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  (* --- listeners -------------------------------------------------------- *)
+  let listeners = ref [] in
+  Option.iter
+    (fun path ->
+      (match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let dir = Filename.dirname path in
+      if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 16
+       with e ->
+         Unix.close fd;
+         raise e);
+      listeners := fd :: !listeners;
+      cfg.log ("listening on " ^ path))
+    cfg.listen_socket;
+  Option.iter
+    (fun port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.listen fd 16
+       with e ->
+         Unix.close fd;
+         raise e);
+      listeners := fd :: !listeners;
+      cfg.log (Printf.sprintf "listening on 127.0.0.1:%d" port))
+    cfg.listen_tcp;
+  let accept fd =
+    match Unix.accept fd with
+    | cfd, _addr ->
+      stats.workers_attached <- stats.workers_attached + 1;
+      let w = add_worker ~pid:None ~fd_in:cfd ~fd_out:cfd in
+      cfg.log (Printf.sprintf "worker %d attached" w.w_id)
+    | exception Unix.Unix_error _ -> ()
+  in
+  (* pre-connected transports join the fleet before the loop starts *)
+  List.iter
+    (fun fd ->
+      stats.workers_attached <- stats.workers_attached + 1;
+      let w = add_worker ~pid:None ~fd_in:fd ~fd_out:fd in
+      cfg.log (Printf.sprintf "worker %d attached (preconnected)" w.w_id))
+    cfg.attached;
+  (* --- scheduling ------------------------------------------------------- *)
+  let dispatch () =
+    List.iter
+      (fun w ->
+        if
+          (not w.w_closed) && w.w_ready && w.w_shard = None
+          && not (Queue.is_empty queue)
+        then begin
+          let s = Queue.pop queue in
+          let assign =
+            {
+              Protocol.a_shard = s.is_id;
+              a_scale = scale_str;
+              a_seed = states.(s.is_seed_idx).ss_seed;
+              a_cells = List.map snd s.is_cells;
+            }
+          in
+          if send w (Protocol.Assign assign) then begin
+            w.w_shard <- Some s;
+            w.w_deadline <-
+              (match cfg.shard_timeout_s with
+              | Some t -> Unix.gettimeofday () +. t
+              | None -> infinity);
+            stats.shards_dispatched <- stats.shards_dispatched + 1
+          end
+          else Queue.push s queue (* send marked the worker dead *)
+        end)
+      (snapshot ())
+  in
+  let maintain () =
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun w ->
+        if (not w.w_closed) && w.w_deadline < now then
+          worker_died ~timeout:true "shard timeout" w)
+      (snapshot ());
+    let keep_spawning = ref true in
+    while
+      !keep_spawning
+      && Hashtbl.length workers < cfg.workers
+      && not (Queue.is_empty queue)
+    do
+      keep_spawning := spawn_worker ()
+    done
+  in
+  let stuck () =
+    !completed < total && Hashtbl.length workers = 0 && !listeners = []
+  in
+  (* --- main loop -------------------------------------------------------- *)
+  let cleanup () =
+    List.iter close_fd !listeners;
+    listeners := [];
+    Option.iter
+      (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
+      cfg.listen_socket;
+    List.iter
+      (fun w ->
+        if not w.w_closed then begin
+          w.w_closed <- true;
+          close_fd w.w_in;
+          if w.w_out <> w.w_in then close_fd w.w_out;
+          match w.w_pid with
+          | Some pid ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            reap pid
+          | None -> ()
+        end)
+      (snapshot ());
+    Hashtbl.reset workers
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      if !completed < total then
+        for _ = 1 to cfg.workers do
+          ignore (spawn_worker ())
+        done;
+      while !completed < total do
+        maintain ();
+        if stuck () then
+          failwith "dist: no workers available and none can be spawned";
+        dispatch ();
+        let wfds = Hashtbl.fold (fun _ w acc -> w.w_out :: acc) workers [] in
+        (match Unix.select (!listeners @ wfds) [] [] 0.2 with
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if List.mem fd !listeners then accept fd
+              else
+                match
+                  Hashtbl.fold
+                    (fun _ w acc -> if w.w_out = fd then Some w else acc)
+                    workers None
+                with
+                | Some w -> read_worker w
+                | None -> ())
+            ready
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      done;
+      (* orderly shutdown: Quit, close (EOF doubles as quit), reap *)
+      List.iter
+        (fun w ->
+          if send w Protocol.Quit then begin
+            w.w_closed <- true;
+            Hashtbl.remove workers w.w_id;
+            close_fd w.w_in;
+            if w.w_out <> w.w_in then close_fd w.w_out;
+            Option.iter reap w.w_pid
+          end)
+        (snapshot ()));
+  let wall_s = Unix.gettimeofday () -. t0 in
+  emit (E.Sweep.Sweep_finished { total; degraded = !degraded_total; wall_s });
+  {
+    d_scheme_names = scheme_names;
+    d_mix_names = mix_names;
+    d_grids =
+      Array.to_list
+        (Array.map
+           (fun st ->
+             ( st.ss_seed,
+               Array.map
+                 (function
+                   | Some c -> c
+                   | None -> assert false (* loop exits at completed = total *))
+                 (if n_cells = 0 then [||] else st.ss_results) ))
+           states);
+    d_wall_s = wall_s;
+    d_stats = stats;
+  }

@@ -1,0 +1,53 @@
+(* Shard planning is deliberately dumb: deterministic mix-major
+   chunking, no load model. Balance comes from granularity (several
+   shards per worker) plus the coordinator's pull-based dispatch —
+   a slow worker simply claims fewer shards. *)
+
+type cell_spec = { mix : string; scheme : string }
+
+type shard = {
+  shard_id : int;
+  seed : int64;
+  cells : cell_spec list;
+}
+
+let default_shard_size ~workers ~cells_per_seed =
+  if cells_per_seed <= 0 then 1
+  else max 1 (min cells_per_seed (cells_per_seed / (max 1 workers * 4)))
+
+let cells_of_grid ~mix_names ~scheme_names =
+  List.concat_map
+    (fun mix -> List.map (fun scheme -> { mix; scheme }) scheme_names)
+    mix_names
+
+let chunk size xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let make ?shard_size ~workers ~seeds ~mix_names ~scheme_names () =
+  if workers < 1 then invalid_arg "Plan.make: workers < 1";
+  let cells = cells_of_grid ~mix_names ~scheme_names in
+  let size =
+    match shard_size with
+    | Some s when s < 1 -> invalid_arg "Plan.make: shard_size < 1"
+    | Some s -> s
+    | None -> default_shard_size ~workers ~cells_per_seed:(List.length cells)
+  in
+  let next = ref 0 in
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun cs ->
+          let shard_id = !next in
+          incr next;
+          { shard_id; seed; cells = cs })
+        (chunk size cells))
+    seeds
+
+let total_cells shards =
+  List.fold_left (fun acc s -> acc + List.length s.cells) 0 shards

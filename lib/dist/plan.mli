@@ -1,0 +1,48 @@
+(** Pure shard planner for distributed sweeps.
+
+    A shard is the coordinator's dispatch unit: a contiguous run of
+    mix-major (mix, scheme) cells of one replicate's grid. Cells of the
+    same mix stay adjacent, so a worker holding a whole shard compiles
+    each mix at most once ({!Vliw_experiments.Sweep.prepare_row} is the
+    expensive step it amortizes).
+
+    The planner is pure and total: the multiset union of every shard's
+    cells equals seeds x mixes x schemes exactly — no cell is dropped,
+    none duplicated, for any grid shape, worker count and shard size
+    (property-tested). All scheduling policy (who runs which shard,
+    re-queuing on worker death) lives in {!Coordinator}; re-planning a
+    partial grid is just [make] over the remaining cells' names. *)
+
+type cell_spec = { mix : string; scheme : string }
+
+type shard = {
+  shard_id : int;  (** dense, 0-based, in plan order *)
+  seed : int64;  (** master seed of the replicate the cells belong to *)
+  cells : cell_spec list;  (** non-empty; mix-major order *)
+}
+
+val default_shard_size : workers:int -> cells_per_seed:int -> int
+(** Aim for ~4 shards per worker per replicate, clamped to [1 ..
+    cells_per_seed] — enough slack for work stealing when one shard
+    runs long, without drowning the wire in one-cell messages. *)
+
+val make :
+  ?shard_size:int ->
+  workers:int ->
+  seeds:int64 list ->
+  mix_names:string list ->
+  scheme_names:string list ->
+  unit ->
+  shard list
+(** Chunk every seed's mix-major cell list into shards of [shard_size]
+    (default {!default_shard_size}; the last shard of a seed may be
+    shorter). Shard ids are dense across seeds in plan order. Raises
+    [Invalid_argument] when [shard_size < 1] or [workers < 1]. An empty
+    grid (no seeds, mixes or schemes) plans as []. *)
+
+val total_cells : shard list -> int
+
+val cells_of_grid :
+  mix_names:string list -> scheme_names:string list -> cell_spec list
+(** The mix-major cell list of one replicate's grid — what each seed's
+    shards are chunked from. *)

@@ -1,0 +1,150 @@
+module J = Vliw_util.Json
+
+type assign = {
+  a_shard : int;
+  a_scale : string;
+  a_seed : int64;
+  a_cells : Plan.cell_spec list;
+}
+
+type to_worker = Assign of assign | Quit
+
+type cell_result = {
+  r_mix : string;
+  r_scheme : string;
+  r_ipc : float;
+  r_elapsed_s : float;
+  r_error : string option;
+}
+
+type from_worker =
+  | Ready of { pid : int }
+  | Cell of { c_shard : int; c_result : cell_result }
+  | Shard_done of { d_shard : int }
+
+let hex64 v = Printf.sprintf "0x%Lx" v
+
+let to_worker_to_json = function
+  | Assign a ->
+    J.Obj
+      [
+        ("op", J.Str "assign");
+        ("shard", J.Num (float_of_int a.a_shard));
+        ("scale", J.Str a.a_scale);
+        ("seed", J.Str (hex64 a.a_seed));
+        ( "cells",
+          J.List
+            (List.map
+               (fun (c : Plan.cell_spec) ->
+                 J.Obj [ ("mix", J.Str c.mix); ("scheme", J.Str c.scheme) ])
+               a.a_cells) );
+      ]
+  | Quit -> J.Obj [ ("op", J.Str "quit") ]
+
+let from_worker_to_json = function
+  | Ready { pid } ->
+    J.Obj [ ("ev", J.Str "ready"); ("pid", J.Num (float_of_int pid)) ]
+  | Cell { c_shard; c_result = r } ->
+    J.Obj
+      ([
+         ("ev", J.Str "cell");
+         ("shard", J.Num (float_of_int c_shard));
+         ("mix", J.Str r.r_mix);
+         ("scheme", J.Str r.r_scheme);
+         (* [bits] is authoritative; the decimal ipc is for humans
+            reading a captured stream. *)
+         ("bits", J.Str (hex64 (Int64.bits_of_float r.r_ipc)));
+         ( "ipc",
+           if Float.is_finite r.r_ipc then J.Num r.r_ipc else J.Null );
+         ("t", J.Num r.r_elapsed_s);
+       ]
+      @ match r.r_error with None -> [] | Some e -> [ ("err", J.Str e) ])
+  | Shard_done { d_shard } ->
+    J.Obj
+      [ ("ev", J.Str "shard_done"); ("shard", J.Num (float_of_int d_shard)) ]
+
+(* --- decoding --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field_string j key =
+  match J.member key j with
+  | Some (J.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "%S must be a string" key)
+  | None -> Error (Printf.sprintf "missing %S field" key)
+
+let field_int j key =
+  match Option.bind (J.member key j) J.to_int with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%S must be an integer" key)
+
+let field_seed j key =
+  let* s = field_string j key in
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%S is not a valid 64-bit value" key)
+
+let cell_spec_of_json j =
+  let* mix = field_string j "mix" in
+  let* scheme = field_string j "scheme" in
+  Ok { Plan.mix; scheme }
+
+let to_worker_of_json j =
+  match J.member "op" j with
+  | Some (J.Str "quit") -> Ok Quit
+  | Some (J.Str "assign") ->
+    let* a_shard = field_int j "shard" in
+    let* a_scale = field_string j "scale" in
+    let* a_seed = field_seed j "seed" in
+    let* a_cells =
+      match J.member "cells" j with
+      | Some (J.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest ->
+            let* c = cell_spec_of_json item in
+            go (c :: acc) rest
+        in
+        go [] items
+      | _ -> Error "\"cells\" must be a list"
+    in
+    Ok (Assign { a_shard; a_scale; a_seed; a_cells })
+  | Some (J.Str op) -> Error (Printf.sprintf "unknown op %S" op)
+  | _ -> Error "missing \"op\" field"
+
+let from_worker_of_json j =
+  match J.member "ev" j with
+  | Some (J.Str "ready") ->
+    let* pid = field_int j "pid" in
+    Ok (Ready { pid })
+  | Some (J.Str "shard_done") ->
+    let* d_shard = field_int j "shard" in
+    Ok (Shard_done { d_shard })
+  | Some (J.Str "cell") ->
+    let* c_shard = field_int j "shard" in
+    let* r_mix = field_string j "mix" in
+    let* r_scheme = field_string j "scheme" in
+    let* bits = field_seed j "bits" in
+    let r_elapsed_s =
+      match Option.bind (J.member "t" j) J.to_float with
+      | Some t -> t
+      | None -> 0.0
+    in
+    let r_error =
+      match J.member "err" j with Some (J.Str e) -> Some e | _ -> None
+    in
+    Ok
+      (Cell
+         {
+           c_shard;
+           c_result =
+             {
+               r_mix;
+               r_scheme;
+               r_ipc = Int64.float_of_bits bits;
+               r_elapsed_s;
+               r_error;
+             };
+         })
+  | Some (J.Str ev) -> Error (Printf.sprintf "unknown event %S" ev)
+  | _ -> Error "missing \"ev\" field"

@@ -1,0 +1,42 @@
+(** Coordinator/worker wire protocol: NDJSON, one message per line.
+
+    The codec follows the {!Vliw_service.Request} conventions — an op
+    tag, seeds as hex strings (JSON numbers are floats and cannot carry
+    64 bits) — and, like the ledger and the checkpoint journal, every
+    IPC crosses the wire as the hex image of its IEEE-754 bits. That is
+    what makes the merged grid bit-identical to a single-process run:
+    no float ever round-trips through decimal.
+
+    Decoding is strict: a malformed or unknown message is an [Error]
+    the receiving side surfaces (the coordinator degrades the worker,
+    the worker exits). There is no version negotiation — both ends are
+    the same binary. *)
+
+type assign = {
+  a_shard : int;  (** shard id, echoed in every result *)
+  a_scale : string;  (** {!Vliw_experiments.Common.scale_name} *)
+  a_seed : int64;  (** master seed; workers derive row seeds from it *)
+  a_cells : Plan.cell_spec list;
+}
+
+type to_worker =
+  | Assign of assign
+  | Quit  (** orderly shutdown; the worker exits 0 *)
+
+type cell_result = {
+  r_mix : string;
+  r_scheme : string;
+  r_ipc : float;  (** [nan] when [r_error <> None]; wired as raw bits *)
+  r_elapsed_s : float;  (** worker-side simulation wall clock *)
+  r_error : string option;  (** a failed attempt, for the retry machinery *)
+}
+
+type from_worker =
+  | Ready of { pid : int }  (** greeting; dispatch may start *)
+  | Cell of { c_shard : int; c_result : cell_result }
+  | Shard_done of { d_shard : int }
+
+val to_worker_to_json : to_worker -> Vliw_util.Json.t
+val to_worker_of_json : Vliw_util.Json.t -> (to_worker, string) result
+val from_worker_to_json : from_worker -> Vliw_util.Json.t
+val from_worker_of_json : Vliw_util.Json.t -> (from_worker, string) result

@@ -1,0 +1,121 @@
+module E = Vliw_experiments
+module Ndjson = Vliw_util.Ndjson
+
+exception Killed
+
+(* The coordinator may close the transport the instant the last cell
+   result lands — before reading a trailing Shard_done. A write into a
+   closed transport is an orderly end of service, not a fault. *)
+exception Hangup
+
+let write_line fd doc =
+  let line = Ndjson.line doc in
+  let len = String.length line in
+  let rec push off =
+    if off < len then push (off + Unix.write_substring fd line off (len - off))
+  in
+  try push 0
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    raise Hangup
+
+let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
+  (* Prepared rows are the expensive step (program generation +
+     compile); cache them like the service daemon does — bounded by
+     wholesale flush, no eviction order needed. Per-invocation, so
+     in-process test workers running as sibling domains never share
+     mutable state. *)
+  let prepared_cache : (string * int64 * string, E.Sweep.prepared_row) Hashtbl.t
+      =
+    Hashtbl.create 64
+  in
+  let prepared_row ~scale ~seed mix =
+    let key = (E.Common.scale_name scale, seed, mix) in
+    match Hashtbl.find_opt prepared_cache key with
+    | Some pr -> pr
+    | None ->
+      if Hashtbl.length prepared_cache >= 64 then Hashtbl.reset prepared_cache;
+      let pr = E.Sweep.prepare_row ~scale ~seed mix in
+      Hashtbl.add prepared_cache key pr;
+      pr
+  in
+  let simulate ~scale ~seed (c : Plan.cell_spec) =
+    let pr = prepared_row ~scale ~seed c.mix in
+    let column = E.Sweep.static_column (Vliw_merge.Catalog.find_exn c.scheme) in
+    E.Sweep.simulate_prepared pr column
+  in
+  let completed = ref 0 in
+  let emit msg = write_line output (Protocol.from_worker_to_json msg) in
+  let run_cell ~shard ~scale ~seed (c : Plan.cell_spec) =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      match scale with
+      | None ->
+        {
+          Protocol.r_mix = c.mix;
+          r_scheme = c.scheme;
+          r_ipc = Float.nan;
+          r_elapsed_s = 0.0;
+          r_error = Some "unknown scale in shard assignment";
+        }
+      | Some scale -> (
+        match simulate ~scale ~seed c with
+        | ipc ->
+          {
+            Protocol.r_mix = c.mix;
+            r_scheme = c.scheme;
+            r_ipc = ipc;
+            r_elapsed_s = Unix.gettimeofday () -. t0;
+            r_error = None;
+          }
+        | exception e ->
+          {
+            Protocol.r_mix = c.mix;
+            r_scheme = c.scheme;
+            r_ipc = Float.nan;
+            r_elapsed_s = Unix.gettimeofday () -. t0;
+            r_error = Some (Printexc.to_string e);
+          })
+    in
+    emit (Protocol.Cell { c_shard = shard; c_result = result });
+    incr completed;
+    match die_after_cells with
+    | Some n when !completed >= n ->
+      log (Printf.sprintf "fault injection: dying after %d cell(s)" !completed);
+      raise Killed
+    | _ -> ()
+  in
+  let handle = function
+    | Protocol.Quit -> false
+    | Protocol.Assign a ->
+      let scale = E.Common.scale_of_name a.a_scale in
+      List.iter (run_cell ~shard:a.a_shard ~scale ~seed:a.a_seed) a.a_cells;
+      emit (Protocol.Shard_done { d_shard = a.a_shard });
+      true
+  in
+  try
+    emit (Protocol.Ready { pid = Unix.getpid () });
+    let reader = Ndjson.reader () in
+    let buf = Bytes.create 65536 in
+    let running = ref true in
+    while !running do
+      match Unix.read input buf 0 (Bytes.length buf) with
+      | 0 -> running := false (* coordinator gone: orderly exit *)
+      | n ->
+        List.iter
+          (fun line ->
+            match line with
+            | Ok doc -> (
+              match Protocol.to_worker_of_json doc with
+              | Ok msg -> if not (handle msg) then running := false
+              | Error e ->
+                log ("protocol error: " ^ e);
+                running := false)
+            | Error framing ->
+              log ("framing error: " ^ Ndjson.error_message framing);
+              running := false)
+          (Ndjson.feed reader ~len:n (Bytes.unsafe_to_string buf))
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        running := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  with Hangup -> log "coordinator closed the transport: orderly exit"

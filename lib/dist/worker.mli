@@ -1,0 +1,32 @@
+(** The worker side of a distributed sweep: a single-domain loop that
+    reads {!Protocol.to_worker} messages from a transport, simulates
+    each assigned cell with {!Vliw_experiments.Sweep.simulate_prepared}
+    (bit-identical to the in-process sweep by construction) and streams
+    one {!Protocol.from_worker} line per cell back, so the coordinator
+    gets live progress rather than a per-shard lump.
+
+    A worker is deliberately serial: the coordinator owns parallelism
+    (many workers), which keeps worker memory bounded and makes a
+    worker death lose at most one shard. Cell failures never kill the
+    worker — each simulation attempt is trapped and reported as an
+    error result for the coordinator's retry/degrade machinery. *)
+
+exception Killed
+(** Raised by {!serve} when the [die_after_cells] fault-injection
+    budget is exhausted: the worker stops abruptly mid-shard, without a
+    [Shard_done], exactly like a crash. The CLI maps it to a non-zero
+    exit; in-process test workers catch it and close their transport. *)
+
+val serve :
+  ?die_after_cells:int ->
+  ?log:(string -> unit) ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  unit ->
+  unit
+(** Run the worker loop until [Quit], EOF or a broken transport.
+    [input] and [output] may be the same descriptor (socket transport)
+    or a pipe pair (spawned via [vliwsim worker]). [die_after_cells n]
+    raises {!Killed} immediately after the [n]-th cell result is
+    written (n >= 1). [log] (default silent) receives diagnostics;
+    protocol lines are the only bytes ever written to [output]. *)

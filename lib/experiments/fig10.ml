@@ -7,13 +7,21 @@ type data = {
 let legend_groups =
   List.filter (fun (g, _) -> g <> "ST") Vliw_merge.Catalog.perf_groups
 
+let scheme_names =
+  List.filter_map
+    (fun (e : Vliw_merge.Catalog.entry) ->
+      if e.name = "ST" then None else Some e.name)
+    Vliw_merge.Catalog.all
+
+(* Fold externally computed cells (a distributed sweep's merged grid)
+   into the same artifact [run] builds — the seam `exp --workers N`
+   plugs a coordinator into. *)
+let of_cells ~scheme_names ~mix_names cells =
+  let grid = Sweep.grid_of_cells ~scheme_names ~mix_names cells in
+  { grid; groups = legend_groups; cells }
+
 let run ?scale ?seed ?jobs ?progress ?telemetry ?max_retries ?cell_timeout_s
     ?checkpoint ?resume ?log ?on_event () =
-  let scheme_names =
-    List.filter_map
-      (fun (e : Vliw_merge.Catalog.entry) -> if e.name = "ST" then None else Some e.name)
-      Vliw_merge.Catalog.all
-  in
   let scheme_names', mix_names, cells =
     Sweep.run_cells ?scale ?seed ~scheme_names ?jobs ?progress ?telemetry
       ?max_retries ?cell_timeout_s ?checkpoint ?resume ?log ?on_event ()

@@ -13,6 +13,16 @@ type data = {
           snapshots when the run requested telemetry. *)
 }
 
+val scheme_names : string list
+(** The fig10 scheme set: every catalog scheme except the
+    single-threaded "ST" baseline, in catalog order. *)
+
+val of_cells :
+  scheme_names:string list -> mix_names:string list -> Sweep.cell array -> data
+(** Build the artifact from externally computed mix-major cells (a
+    distributed sweep's merged grid); bit-equal inputs give bit-equal
+    artifacts to {!run}'s. *)
+
 val run :
   ?scale:Common.scale ->
   ?seed:int64 ->

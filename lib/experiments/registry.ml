@@ -26,6 +26,10 @@ type ctx = {
   resume : bool;  (* restore journaled fig10 cells instead of re-running *)
   log : string -> unit;  (* diagnostic sink (journal warnings etc.) *)
   on_event : (Sweep.event -> unit) option;  (* structured progress stream *)
+  replicate_seeds : int64 list option;  (* seed list for `exp replicates` *)
+  replicate_exec :
+    (seeds:int64 list -> (int64 * Fig10.data) list) option;
+      (* distributed per-seed fig10 executor for replicates *)
   fig10 : Fig10.data Lazy.t;
 }
 
@@ -34,9 +38,16 @@ type ctx = {
    journal path cannot serve two sweeps with different configurations
    (fig4's 3-scheme grid would clobber fig10's 16-scheme one). The retry
    budget applies to every sweep-backed experiment. *)
+(* [grid_exec] swaps the shared fig10 sweep's execution engine: when
+   given (the distributed coordinator, injected by the CLI for
+   `exp --workers N`), the lazy artifact is folded from its merged
+   cells instead of running Sweep.run_cells in-process. The executor
+   owns fault tolerance and checkpointing; bit-identical cells give a
+   bit-identical artifact. *)
 let make_ctx ?(scale = Common.Default) ?(seed = Common.default_seed) ?(jobs = 1)
     ?progress ?(telemetry = false) ?(max_retries = 0) ?checkpoint
-    ?(resume = false) ?(log = fun (_ : string) -> ()) ?on_event () =
+    ?(resume = false) ?(log = fun (_ : string) -> ()) ?on_event
+    ?replicate_seeds ?replicate_exec ?grid_exec () =
   {
     scale;
     seed;
@@ -48,10 +59,20 @@ let make_ctx ?(scale = Common.Default) ?(seed = Common.default_seed) ?(jobs = 1)
     resume;
     log;
     on_event;
+    replicate_seeds;
+    replicate_exec;
     fig10 =
-      lazy
-        (Fig10.run ~scale ~seed ~jobs ?progress ~telemetry ~max_retries
-           ?checkpoint ~resume ~log ?on_event ());
+      (match grid_exec with
+      | Some exec ->
+        lazy
+          (let scheme_names, mix_names, cells =
+             exec ~scheme_names:Fig10.scheme_names
+           in
+           Fig10.of_cells ~scheme_names ~mix_names cells)
+      | None ->
+        lazy
+          (Fig10.run ~scale ~seed ~jobs ?progress ~telemetry ~max_retries
+             ?checkpoint ~resume ~log ?on_event ()));
   }
 
 type csv = string list * string list list
@@ -155,7 +176,20 @@ let all : t list =
       (fun ctx -> Speedup.run ~scale:ctx.scale ~seed:ctx.seed ~mix:"LLHH" ())
       (Speedup.render "LLHH");
     entry "replicates" "Headline claims across seeds" ~expensive:true
-      (fun ctx -> Replicates.run ~scale:ctx.scale ~jobs:ctx.jobs ())
+      ~info:(fun (t : Replicates.t) ->
+        {
+          (* the grid cells live in the per-seed records of the
+             executor; the summary record carries the statistics *)
+          li_cells = [||];
+          li_scheme_names = Fig10.scheme_names;
+          li_mix_names = Vliw_workloads.Mixes.names;
+          li_gauges =
+            (("replicates.n", float_of_int t.n) :: Replicates.cell_gauges t.cells);
+          li_policy = "static";
+        })
+      (fun ctx ->
+        Replicates.run ~scale:ctx.scale ?seeds:ctx.replicate_seeds
+          ~jobs:ctx.jobs ?fig10s:ctx.replicate_exec ())
       Replicates.render;
     (* Expensive: 7 columns x 9 mixes with telemetry, on top of the
        standard set — run explicitly (`exp adaptive`). The checkpoint

@@ -23,6 +23,13 @@ type ctx = {
   on_event : (Sweep.event -> unit) option;
       (** Structured progress stream, forwarded to the shared fig10
           sweep (see {!Sweep.event} for domain-safety requirements). *)
+  replicate_seeds : int64 list option;
+      (** Seed list override for the replicates experiment ([None] =
+          the scale's default list; see {!Replicates.derive_seeds} for
+          -at-scale lists). *)
+  replicate_exec : (seeds:int64 list -> (int64 * Fig10.data) list) option;
+      (** Per-seed fig10 executor for replicates (the distributed
+          coordinator plugs in here); [None] = in-process. *)
   fig10 : Fig10.data Lazy.t;
       (** Forced at most once per ctx; shared by fig6, fig10, fig11,
           fig12 and claims. *)
@@ -39,10 +46,19 @@ val make_ctx :
   ?resume:bool ->
   ?log:(string -> unit) ->
   ?on_event:(Sweep.event -> unit) ->
+  ?replicate_seeds:int64 list ->
+  ?replicate_exec:(seeds:int64 list -> (int64 * Fig10.data) list) ->
+  ?grid_exec:
+    (scheme_names:string list -> string list * string list * Sweep.cell array) ->
   unit ->
   ctx
 (** Defaults: [max_retries = 0], no checkpoint, [resume = false],
-    silent [log]. *)
+    silent [log]. [grid_exec] replaces the shared fig10 sweep's
+    execution engine (`exp --workers N` injects the distributed
+    coordinator): it receives the fig10 scheme set and must return
+    resolved names plus mix-major cells, exactly like
+    {!Sweep.run_cells}; the lazy artifact is folded from them with
+    {!Fig10.of_cells}. *)
 
 type csv = string list * string list list
 

@@ -1,21 +1,102 @@
 type stat = { mean : float; sd : float }
 
+type cell_ci = {
+  ci_mix : string;
+  ci_scheme : string;
+  ci_mean : float;
+  ci_sd : float;
+  ci_half : float;  (* 95% half-width: 1.96 * sd / sqrt n; 0 when n < 2 *)
+  ci_n : int;  (* replicates with a non-degraded value for this cell *)
+}
+
 type t = {
   n : int;
+  seeds : int64 list;
   smt4_over_smt2 : stat;
   smt_over_csmt : stat;
   sc3_over_csmt4 : stat;
   sc3_over_smt2 : stat;
   sc3_below_smt4 : stat;
+  cells : cell_ci list;  (* mix-major, per (mix, scheme) across seeds *)
 }
 
 let default_seeds = [ 11L; 222L; 3333L; 44444L; 555555L ]
+
+(* Replicate seeds for -at-scale runs (100 seeds and beyond) derive
+   from the master seed through the same scramble that derives row
+   seeds, so any replicate count is reproducible from one number. *)
+let derive_seeds ?(seed = Common.default_seed) n =
+  List.init n (fun i -> Sweep.row_seed ~seed (Printf.sprintf "replicate-%d" i))
 
 let stat xs =
   let arr = Array.of_list xs in
   { mean = Vliw_util.Stats.mean arr; sd = Vliw_util.Stats.stddev arr }
 
-let run ?(scale = Common.Default) ?seeds ?jobs () =
+let cell_stats (grids : (int64 * Fig10.data) list) =
+  match grids with
+  | [] -> []
+  | (_, first) :: _ ->
+    List.concat
+      (List.mapi
+         (fun mix_row mix ->
+           List.mapi
+             (fun col scheme ->
+               let vals =
+                 List.filter_map
+                   (fun (_, (d : Fig10.data)) ->
+                     let v = d.grid.ipc.(mix_row).(col) in
+                     if Float.is_nan v then None else Some v)
+                   grids
+               in
+               let n = List.length vals in
+               let arr = Array.of_list vals in
+               let mean =
+                 if n = 0 then Float.nan else Vliw_util.Stats.mean arr
+               in
+               let sd = if n < 2 then 0.0 else Vliw_util.Stats.stddev arr in
+               let ci_half =
+                 if n < 2 then 0.0 else 1.96 *. sd /. sqrt (float_of_int n)
+               in
+               {
+                 ci_mix = mix;
+                 ci_scheme = scheme;
+                 ci_mean = mean;
+                 ci_sd = sd;
+                 ci_half;
+                 ci_n = n;
+               })
+             first.grid.scheme_names)
+         first.grid.mix_names)
+
+(* Per-cell mean and 95% half-width as ledger gauges, so a replicated
+   run's confidence intervals are durable and diffable. *)
+let cell_gauges cells =
+  List.concat_map
+    (fun c ->
+      if Float.is_nan c.ci_mean then []
+      else
+        [
+          (Printf.sprintf "ipc.mean.%s.%s" c.ci_mix c.ci_scheme, c.ci_mean);
+          (Printf.sprintf "ipc.ci95.%s.%s" c.ci_mix c.ci_scheme, c.ci_half);
+        ])
+    cells
+
+let of_grids grids =
+  let seeds = List.map fst grids in
+  let claims = List.map (fun (_, d) -> Claims.of_fig10 d) grids in
+  let pick f = stat (List.map f claims) in
+  {
+    n = List.length seeds;
+    seeds;
+    smt4_over_smt2 = pick (fun (c : Claims.t) -> c.smt4_over_smt2_pct);
+    smt_over_csmt = pick (fun c -> c.smt_over_csmt_pct);
+    sc3_over_csmt4 = pick (fun c -> c.scheme_2sc3_over_csmt4_pct);
+    sc3_over_smt2 = pick (fun c -> c.scheme_2sc3_over_smt2_pct);
+    sc3_below_smt4 = pick (fun c -> c.scheme_2sc3_below_smt4_pct);
+    cells = cell_stats grids;
+  }
+
+let run ?(scale = Common.Default) ?seeds ?jobs ?fig10s () =
   let seeds =
     match seeds with
     | Some s -> s
@@ -24,32 +105,43 @@ let run ?(scale = Common.Default) ?seeds ?jobs () =
          full-registry test affordable. *)
       (match scale with Common.Quick -> [ 11L; 222L ] | _ -> default_seeds)
   in
-  let claims =
-    List.map
-      (fun seed -> Claims.of_fig10 (Fig10.run ~scale ~seed ?jobs ()))
-      seeds
+  let grids =
+    match fig10s with
+    | Some exec -> exec ~seeds
+    | None ->
+      List.map (fun seed -> (seed, Fig10.run ~scale ~seed ?jobs ())) seeds
   in
-  let pick f = stat (List.map f claims) in
-  {
-    n = List.length seeds;
-    smt4_over_smt2 = pick (fun (c : Claims.t) -> c.smt4_over_smt2_pct);
-    smt_over_csmt = pick (fun c -> c.smt_over_csmt_pct);
-    sc3_over_csmt4 = pick (fun c -> c.scheme_2sc3_over_csmt4_pct);
-    sc3_over_smt2 = pick (fun c -> c.scheme_2sc3_over_smt2_pct);
-    sc3_below_smt4 = pick (fun c -> c.scheme_2sc3_below_smt4_pct);
-  }
+  of_grids grids
 
 let render t =
   let line label paper s =
     Printf.sprintf "  %-22s %+6.1f%% +/- %4.1f  (paper %s)" label s.mean s.sd paper
   in
+  let ci_summary =
+    let widths =
+      List.filter_map
+        (fun c -> if c.ci_n >= 2 then Some c.ci_half else None)
+        t.cells
+    in
+    match widths with
+    | [] -> []
+    | ws ->
+      let arr = Array.of_list ws in
+      [
+        Printf.sprintf
+          "  per-cell 95%% CI half-width: mean %.4f, max %.4f IPC (%d cells)"
+          (Vliw_util.Stats.mean arr)
+          (Array.fold_left max neg_infinity arr)
+          (List.length ws);
+      ]
+  in
   String.concat "\n"
-    [
-      Printf.sprintf "Headline claims over %d seeds (mean +/- sd):" t.n;
-      line "4T SMT vs 2T SMT:" "+61%" t.smt4_over_smt2;
-      line "4T SMT vs 4T CSMT:" "+27%" t.smt_over_csmt;
-      line "2SC3 vs 4T CSMT:" "+14%" t.sc3_over_csmt4;
-      line "2SC3 vs 2T SMT:" "+45%" t.sc3_over_smt2;
-      line "2SC3 vs 4T SMT:" "-11%" t.sc3_below_smt4;
-      "";
-    ]
+    ([
+       Printf.sprintf "Headline claims over %d seeds (mean +/- sd):" t.n;
+       line "4T SMT vs 2T SMT:" "+61%" t.smt4_over_smt2;
+       line "4T SMT vs 4T CSMT:" "+27%" t.smt_over_csmt;
+       line "2SC3 vs 4T CSMT:" "+14%" t.sc3_over_csmt4;
+       line "2SC3 vs 2T SMT:" "+45%" t.sc3_over_smt2;
+       line "2SC3 vs 4T SMT:" "-11%" t.sc3_below_smt4;
+     ]
+    @ ci_summary @ [ "" ])

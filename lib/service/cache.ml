@@ -33,12 +33,13 @@ let add t ~key ~ipc = if not (Float.is_nan ipc) then Hashtbl.replace t key ipc
 let size t = Hashtbl.length t
 
 (* Only records whose cells followed the standard sweep derivation may
-   feed the cache: static exp sweeps and the service's own records.
-   `run` records seed the simulation differently and adaptive records
-   depend on controller state, so their cells are not addressable by
-   (scale, seed, mix, scheme) alone. *)
+   feed the cache: static exp sweeps, the service's own records, and
+   distributed sweeps (whose grids are bit-identical to exp by
+   construction). `run` records seed the simulation differently and
+   adaptive records depend on controller state, so their cells are not
+   addressable by (scale, seed, mix, scheme) alone. *)
 let cacheable_run (r : Ledger.run) =
-  (r.cmd = "exp" || r.cmd = "serve") && r.policy = "static"
+  (r.cmd = "exp" || r.cmd = "serve" || r.cmd = "dist") && r.policy = "static"
 
 let preload t ~dir =
   List.iter

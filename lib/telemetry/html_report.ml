@@ -404,6 +404,30 @@ let section_service (r : Ledger.run) =
       (hbar_chart ~title:"Cell provenance" cells)
   end
 
+(* Distributed-sweep panel: only renders for [dist] records (or any run
+   booking dist.* counters). Headline numbers are the worker fleet and
+   the fault-tolerance work: deaths, requeues, retries, degrades. *)
+let section_dist (r : Ledger.run) =
+  let cells = counters_with_prefix r.counters "dist.cells." in
+  let shards = counters_with_prefix r.counters "dist.shards." in
+  let workers = counters_with_prefix r.counters "dist.workers." in
+  if r.cmd <> "dist" && cells = [] && shards = [] && workers = [] then ""
+  else begin
+    let count group name =
+      match List.assoc_opt name group with Some v -> v | None -> 0.0
+    in
+    let row k v = pf "<tr><th>%s</th><td>%s</td></tr>" (esc k) (esc v) in
+    pf
+      "<section><h2>Distributed sweep</h2><table class=\"kv\">%s%s%s%s</table>%s%s</section>"
+      (row "workers"
+         (fmt_num (count workers "spawned" +. count workers "attached")))
+      (row "worker deaths" (fmt_num (count workers "died")))
+      (row "shards requeued" (fmt_num (count shards "requeued")))
+      (row "cells degraded" (fmt_num (count cells "degraded")))
+      (hbar_chart ~title:"Cell provenance" cells)
+      (hbar_chart ~title:"Shard lifecycle" shards)
+  end
+
 let section_waste (r : Ledger.run) =
   let vertical = counters_with_prefix r.counters "waste.vertical." in
   let horizontal = counters_with_prefix r.counters "waste.horizontal." in
@@ -638,11 +662,11 @@ let render ?(runs = []) (r : Ledger.run) =
 <style>%s</style></head>
 <body><main>
 <h1>vliwsim run report</h1>
-%s%s%s%s%s%s%s%s
+%s%s%s%s%s%s%s%s%s
 <p class="note">Generated by vliwsim; self-contained file (no scripts, no external resources).</p>
 </main></body></html>
 |}
     (esc r.id) (style ~k) (section_summary r) (section_ipc_grid r)
-    (section_adaptive r) (section_service r) (section_waste r)
-    (section_stalls r)
+    (section_adaptive r) (section_service r) (section_dist r)
+    (section_waste r) (section_stalls r)
     (section_timeline r) (section_trajectory ~runs r)

@@ -344,6 +344,52 @@ let gc ?(dry_run = false) ~dir () =
          (List.map (fun r -> J.to_string (to_json r) ^ "\n") report.kept));
   report
 
+type merge_report = { added : run list; skipped : run list }
+
+(* Merging worker ledgers reuses [gc]'s deduplication key: a record
+   whose (fingerprint, grid digest) pair is already represented in the
+   target — or by an earlier source record this merge added — is an
+   identical result computed twice and is skipped. Same-fingerprint
+   records with different bits are drift evidence and always merge.
+   Added records get fresh target ids; their content (including the
+   original timestamp and git revision) is preserved verbatim. *)
+let merge ?(dry_run = false) ~dir ~from () =
+  let target = load ~dir in
+  let key r = r.fingerprint ^ "\x00" ^ grid_digest r.cells in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace seen (key r) ()) target;
+  let next =
+    ref
+      (1
+      + List.fold_left
+          (fun acc r ->
+            match numeric_id r with Some n -> max acc n | None -> acc)
+          0 target)
+  in
+  let added = ref [] and skipped = ref [] in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun r ->
+          if Hashtbl.mem seen (key r) then skipped := r :: !skipped
+          else begin
+            Hashtbl.replace seen (key r) ();
+            added := { r with id = Printf.sprintf "r%d" !next } :: !added;
+            incr next
+          end)
+        (load ~dir:src))
+    from;
+  let report = { added = List.rev !added; skipped = List.rev !skipped } in
+  if (not dry_run) && report.added <> [] then begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun r ->
+        Vliw_util.Atomic_io.append_line ~path:(ledger_path ~dir)
+          (J.to_string (to_json r)))
+      report.added
+  end;
+  report
+
 let find ~dir wanted =
   let runs = load ~dir in
   match List.find_opt (fun r -> r.id = wanted) runs with

@@ -112,6 +112,21 @@ val gc : ?dry_run:bool -> dir:string -> unit -> gc_report
     left untouched; otherwise the survivors are rewritten atomically
     (a no-op when nothing was dropped). *)
 
+type merge_report = { added : run list; skipped : run list }
+(** [added] carry their newly assigned target ids; [skipped] are source
+    records whose results the target already holds. *)
+
+val merge :
+  ?dry_run:bool -> dir:string -> from:string list -> unit -> merge_report
+(** Merge other ledgers (e.g. per-worker [_runs] directories from a
+    distributed sweep) into [dir], applying {!gc}'s deduplication on
+    the way in: a source record whose (fingerprint, grid digest) pair
+    is already represented — in the target, or by an earlier source
+    record of this merge — is skipped as an identical duplicate, while
+    same-fingerprint records with different grid bits always merge
+    (drift evidence). Added records keep their content verbatim but
+    get fresh target ids. With [dry_run] nothing is written. *)
+
 val load : dir:string -> run list
 (** All parseable records in file (= chronological) order; [] if the
     ledger does not exist yet. *)

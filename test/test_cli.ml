@@ -36,6 +36,19 @@ let cases =
     (* no --socket/--tcp endpoint *)
     ("submit --socket /tmp/x.sock --op bogus", 2);
     ("submit --socket /tmp/x.sock --scale bogus", 2);
+    ("dist --workers 0", 2);
+    (* no transport at all *)
+    ("dist --workers=-1", 2);
+    ("dist --resume", 2);
+    (* --resume without --checkpoint *)
+    ("exp fig10 --workers=-1 -q", 2);
+    ("exp fig10 --replicates=-1 -q", 2);
+    ("worker --connect /tmp/x.sock --connect-tcp 9", 2);
+    (* conflicting transports *)
+    ("runs merge --runs-dir /tmp/x", 2);
+    (* no source ledgers *)
+    ("runs merge --runs-dir /tmp/x /nonexistent-vliw-ledger", 2);
+    (* source without a ledger file *)
     (* runtime errors: exit 1 (journal path in a missing directory) *)
     ("exp fig10 --scale quick -q --checkpoint /nonexistent-dir/x/ck", 1);
     ("submit --socket /nonexistent-dir/absent.sock", 1);

@@ -28,5 +28,6 @@ let () =
       Test_faults.suite;
       Test_observability.suite;
       Test_service.suite;
+      Test_dist.suite;
       Test_cli.suite;
     ]
