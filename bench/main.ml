@@ -52,7 +52,7 @@ type scheme_bench = {
   sb_cycles_per_sec : float;
   sb_words_per_cycle : float;
   sb_hit_rate : float;
-  sb_evictions : int;
+  sb_flushes : int;
 }
 
 let bench_scheme name =
@@ -93,13 +93,13 @@ let bench_scheme name =
   done;
   let dt = Unix.gettimeofday () -. t0 in
   let words = (Gc.allocated_bytes () -. a0) /. 8.0 in
-  let hit_rate, evictions =
+  let hit_rate, flushes =
     match Vliw_sim.Core.memo_stats core with
     | None -> (0.0, 0)
     | Some s ->
       let total = s.hits + s.misses in
       ((if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total),
-       s.evictions)
+       s.flushes)
   in
   {
     sb_name = name;
@@ -107,7 +107,7 @@ let bench_scheme name =
     sb_cycles_per_sec = float_of_int n_steps /. dt;
     sb_words_per_cycle = words /. float_of_int n_steps;
     sb_hit_rate = hit_rate;
-    sb_evictions = evictions;
+    sb_flushes = flushes;
   }
 
 let time_exp_all ~scale ~jobs () =
@@ -133,9 +133,9 @@ let write_json ~path ~scale_name ~calib ~exp_all_s schemes =
       fmt buf
         "    { \"name\": \"%s\", \"threads\": %d, \"cycles_per_sec\": %.0f, \
          \"words_per_cycle\": %.1f, \"memo_hit_rate\": %.4f, \
-         \"memo_evictions\": %d }%s\n"
+         \"memo_flushes\": %d }%s\n"
         sb.sb_name sb.sb_threads sb.sb_cycles_per_sec sb.sb_words_per_cycle
-        sb.sb_hit_rate sb.sb_evictions
+        sb.sb_hit_rate sb.sb_flushes
         (if i = List.length schemes - 1 then "" else ","))
     schemes;
   fmt buf "  ]\n}\n";

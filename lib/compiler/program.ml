@@ -129,15 +129,19 @@ let generate ~seed ?(mode = `Block) (m : Isa.Machine.t) (p : Profile.t) =
   { profile = p; blocks; entry = 0; instr_bytes; mode; total_ops; total_instrs }
 
 (* Top-level downward scan, equivalent to the fold it replaces (the
-   last matching exit wins) but closure-free on the retire path. *)
+   last matching exit wins) but closure-free on the retire path; -1
+   encodes "no exit here" so the scan also stays option-free. *)
 let rec exit_scan exits pc i =
-  if i < 0 then None
+  if i < 0 then -1
   else begin
     let idx, target = exits.(i) in
-    if idx = pc then Some target else exit_scan exits pc (i - 1)
+    if idx = pc then target else exit_scan exits pc (i - 1)
   end
 
-let exit_target b pc = exit_scan b.exits pc (Array.length b.exits - 1)
+let exit_target_idx b pc = exit_scan b.exits pc (Array.length b.exits - 1)
+
+let exit_target b pc =
+  match exit_target_idx b pc with -1 -> None | target -> Some target
 
 let block_of_addr t addr =
   let n = Array.length t.blocks in

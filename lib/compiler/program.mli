@@ -47,6 +47,11 @@ val exit_target : block -> int -> int option
 (** [exit_target b pc] is the taken target of the exit at instruction
     [pc], if that instruction is an exit. *)
 
+val exit_target_idx : block -> int -> int
+(** {!exit_target} without the option: the taken target, or [-1] when
+    the instruction is not an exit — the simulator's allocation-free
+    retire path. *)
+
 val block_of_addr : t -> int -> int option
 (** Reverse address lookup (diagnostics). *)
 

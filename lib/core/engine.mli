@@ -63,6 +63,74 @@ val select_instrs :
   selection
 (** Convenience wrapper turning instructions into packets first. *)
 
+(** Batched bit-parallel scheme evaluation.
+
+    A compiled evaluator for one (machine, routing, scheme): candidates
+    are packed into flat int lanes (one word-level signature lane per
+    cluster) and the scheme tree is evaluated with word-parallel bitwise
+    ops over them — no per-thread closures, no per-node option
+    allocation. {!Batch.eval} allocates nothing, so the simulator's
+    steady-state loop runs it every cycle and stays off the minor heap.
+    Decisions agree bit-for-bit with {!select} (property-tested against
+    {!select_reference}). Single-domain, like {!Memo}. *)
+module Batch : sig
+  type t
+
+  val create :
+    Vliw_isa.Machine.t -> routing:Conflict.routing_mode -> Scheme.t -> t
+
+  val scheme : t -> Scheme.t
+
+  val clear : t -> unit
+  (** Mark every port empty. *)
+
+  val clear_port : t -> int -> unit
+  (** Mark one port empty (stalled or vacant context). *)
+
+  val set_port : t -> int -> Vliw_isa.Instr.signature -> unit
+  (** Load port [i] with hardware thread [i]'s candidate, straight from
+      its interned signature — the simulator's positional fast path; no
+      packet is built. *)
+
+  val set_port_packet : t -> int -> Packet.t -> unit
+  (** Load port [i] from a packet (which may carry any thread set) —
+      the general/oracle entry point. *)
+
+  val eval : t -> rotation:int -> unit
+  (** Evaluate the scheme over the loaded ports. Allocation-free; the
+      outcome is read back through the accessors below and stays valid
+      until the next [eval]. *)
+
+  val issued : t -> int
+  (** Thread bitmask issued by the last {!eval}. *)
+
+  val rejected_conflict : t -> int
+  (** Threads denied by a cluster conflict, as a bitmask. *)
+
+  val rejected_capacity : t -> int
+  (** Threads denied by slot capacity, as a bitmask. *)
+
+  val order : t -> int array
+  (** Union-order buffer: ports accepted by the last {!eval}, in union
+      order; only the first {!order_len} entries are meaningful. Shared
+      scratch — do not mutate. *)
+
+  val order_len : t -> int
+end
+
+val select_batched :
+  Vliw_isa.Machine.t ->
+  ?routing:Conflict.routing_mode ->
+  Scheme.t ->
+  ?rotation:int ->
+  Packet.t option array ->
+  selection
+(** Same contract as {!select}, evaluated through a throwaway {!Batch}
+    (ports loaded with {!Batch.set_port_packet}, packet rebuilt by
+    folding {!Packet.union} over the recorded union order). The oracle
+    surface of the batched kernel; the simulator keeps a persistent
+    {!Batch} per scheme instead (see {!Merge_network}). *)
+
 (** Bounded memo table over selection outcomes.
 
     A scheme's selection is a pure function of (rotation, per-port
@@ -78,7 +146,10 @@ module Memo : sig
   type stats = {
     hits : int;
     misses : int;
-    evictions : int;  (** Whole-table flushes on reaching capacity. *)
+    flushes : int;
+        (** Whole-table flushes on reaching capacity. Hit/miss tallies
+            are cumulative across flushes: a flush drops the cached
+            entries, never the counters. *)
     size : int;  (** Entries currently cached. *)
   }
 

@@ -24,12 +24,14 @@ type t = {
   routing : Conflict.routing_mode;
   cap : int option;
   n : int;  (* thread ports; fixed for the lifetime of the network *)
-  pool : (string, string * Engine.Memo.t) Hashtbl.t;
-      (* scheme structure -> (display name, its pooled Memo table) *)
+  pool : (string, string * Engine.Memo.t * Engine.Batch.t) Hashtbl.t;
+      (* scheme structure -> (display name, its pooled Memo table, its
+         batched evaluator) *)
   mutable pool_order : string list;  (* insertion order, newest first *)
   mutable name : string;
   mutable scheme : Scheme.t;
   mutable memo : Engine.Memo.t;
+  mutable batch : Engine.Batch.t;
   mutable reconfigurations : int;
 }
 
@@ -53,12 +55,13 @@ let validate_scheme scheme =
 let memo_of t ~name scheme =
   let key = Scheme.to_string scheme in
   match Hashtbl.find_opt t.pool key with
-  | Some (_, memo) -> memo
+  | Some (_, memo, batch) -> (memo, batch)
   | None ->
     let memo = Engine.Memo.create ?cap:t.cap t.machine ~routing:t.routing scheme in
-    Hashtbl.add t.pool key (name, memo);
+    let batch = Engine.Batch.create t.machine ~routing:t.routing scheme in
+    Hashtbl.add t.pool key (name, memo, batch);
     t.pool_order <- key :: t.pool_order;
-    memo
+    (memo, batch)
 
 let create ?cap ?name machine ~routing scheme =
   validate_scheme scheme;
@@ -74,10 +77,11 @@ let create ?cap ?name machine ~routing scheme =
       name;
       scheme;
       memo = Engine.Memo.create ?cap machine ~routing scheme;
+      batch = Engine.Batch.create machine ~routing scheme;
       reconfigurations = 0;
     }
   in
-  Hashtbl.add t.pool (Scheme.to_string scheme) (name, t.memo);
+  Hashtbl.add t.pool (Scheme.to_string scheme) (name, t.memo, t.batch);
   t.pool_order <- [ Scheme.to_string scheme ];
   t
 
@@ -100,7 +104,9 @@ let reconfigure t ?name scheme =
            "Merge_network.reconfigure: %d-thread scheme on a %d-port network"
            (Scheme.n_threads scheme) t.n);
     let name = match name with Some n -> n | None -> display_name scheme in
-    t.memo <- memo_of t ~name scheme;
+    let memo, batch = memo_of t ~name scheme in
+    t.memo <- memo;
+    t.batch <- batch;
     t.name <- name;
     t.scheme <- scheme;
     t.reconfigurations <- t.reconfigurations + 1
@@ -117,11 +123,13 @@ let select t ~rotation avail = Engine.Memo.select t.memo ~rotation avail
 let select_issue t ~rotation avail =
   Engine.Memo.select_issue t.memo ~rotation avail
 
+let batch t = t.batch
+
 let memo_stats t = Engine.Memo.stats t.memo
 
 let pool_stats t =
   List.rev_map
     (fun key ->
-      let name, memo = Hashtbl.find t.pool key in
+      let name, memo, _ = Hashtbl.find t.pool key in
       (name, Engine.Memo.stats memo))
     t.pool_order

@@ -64,7 +64,13 @@ val select : t -> rotation:int -> Packet.t option array -> Engine.selection
 val select_issue :
   t -> rotation:int -> Packet.t option array -> Engine.selection
 (** Memoized scheme evaluation without packet reconstruction
-    ({!Engine.Memo.select_issue}) — the simulator's per-cycle loop. *)
+    ({!Engine.Memo.select_issue}) — the simulator's observing per-cycle
+    loop. *)
+
+val batch : t -> Engine.Batch.t
+(** The currently installed scheme's batched evaluator
+    ({!Engine.Batch}), pooled per scheme like the Memo tables — the
+    simulator's allocation-free steady-state loop. *)
 
 val memo_stats : t -> Engine.Memo.stats
 (** Statistics of the currently installed scheme's table. *)

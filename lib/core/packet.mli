@@ -52,6 +52,11 @@ val op_count : t -> int
 val thread_list : t -> int list
 (** Contributing threads, ascending. *)
 
+val bits_to_list : int -> int list
+(** Set bit indices of a thread bitmask, ascending — the decoding
+    behind {!thread_list}, shared with the batched kernel's outcome
+    masks. *)
+
 val cluster_threads : t -> int -> int list
 (** Distinct threads with operations on the given cluster, ascending. *)
 

@@ -203,12 +203,18 @@ let signature (m : Machine.t) t =
     t.sg <- Some (m, sg);
     sg
 
+(* Top-level recursion instead of [Array.exists]: the closure it takes
+   (and the stdlib's internal loop) are minor-heap blocks, and this runs
+   once per retirement inside the zero-allocation steady-state loop. *)
+let rec counts_have_branch counts i =
+  i >= 0
+  && ((counts.(i) lsr count_shift_branch) land count_field <> 0
+     || counts_have_branch counts (i - 1))
+
 let has_branch t =
   match t.sg with
   | Some (_, sg) ->
-    Array.exists
-      (fun w -> (w lsr count_shift_branch) land count_field <> 0)
-      sg.sg_counts
+    counts_have_branch sg.sg_counts (Array.length sg.sg_counts - 1)
   | None -> has_branch_slow t
 
 let well_formed (m : Machine.t) t =

@@ -31,7 +31,7 @@ type t = {
   mutable rejects_conflict : int;  (* merge rejects by cause, always on: *)
   mutable rejects_capacity : int;  (* cheap controller observations *)
   mutable memo_flushed : (string, int * int * int) Hashtbl.t;
-      (* per-scheme (hits, misses, evictions) already booked into
+      (* per-scheme (hits, misses, flushes) already booked into
          [counters], so repeated [metrics] calls stay idempotent *)
   mutable switch_flushed : int * int;
       (* (scheme_switches, switch_stall_cycles) already booked *)
@@ -91,68 +91,71 @@ let install t contexts =
    the thread and yields no candidate this cycle. *)
 let candidate t ~hw (th : Thread_state.t) =
   if Thread_state.stalled th ~now:t.cycle then None
+  else if th.pending != Thread_state.no_instr then Some th.pending
   else begin
-    match th.pending with
-    | Some _ as r -> r
-    | None ->
-      let instr = Thread_state.current_instr th in
-      let r = Some instr in
-      th.pending <- r;
-      let stall = Mem.Mem_system.ifetch t.mem instr.addr in
-      if stall > 0 then begin
-        th.resume_at <- t.cycle + stall;
-        th.stall_src <- Thread_state.Fetch_stall;
-        if Tel.Sink.enabled t.telemetry then begin
-          Tel.Sink.emit t.telemetry ~cycle:t.cycle
-            (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1i });
-          Tel.Sink.emit t.telemetry ~cycle:t.cycle
-            (Tel.Event.Fetch_stall { thread = hw; penalty = stall })
-        end;
-        None
-      end
-      else r
+    let instr = Thread_state.current_instr th in
+    th.pending <- instr;
+    let stall = Mem.Mem_system.ifetch t.mem instr.addr in
+    if stall > 0 then begin
+      th.resume_at <- t.cycle + stall;
+      th.stall_src <- Thread_state.Fetch_stall;
+      if Tel.Sink.enabled t.telemetry then begin
+        Tel.Sink.emit t.telemetry ~cycle:t.cycle
+          (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1i });
+        Tel.Sink.emit t.telemetry ~cycle:t.cycle
+          (Tel.Event.Fetch_stall { thread = hw; penalty = stall })
+      end;
+      None
+    end
+    else Some instr
+  end
+
+(* Sum of D-miss stall penalties over the instruction's memory
+   operations. The per-operation work depends only on the operation
+   count; top-level recursion with int accumulators keeps the retire
+   path free of refs and closures (a [ref] is a minor-heap block, and
+   retirement runs inside the zero-allocation steady-state loop). *)
+let rec dstall_of t ~hw (th : Thread_state.t) remaining acc =
+  if remaining = 0 then acc
+  else begin
+    let addr = Thread_state.next_addr th in
+    let s = Mem.Mem_system.daccess t.mem addr in
+    if s > 0 && Tel.Sink.enabled t.telemetry then
+      Tel.Sink.emit t.telemetry ~cycle:t.cycle
+        (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1d });
+    dstall_of t ~hw th (remaining - 1)
+      (if t.config.stall_on_dmiss then acc + s else acc)
   end
 
 let retire t ~hw (th : Thread_state.t) (instr : Isa.Instr.t) =
   th.instrs_retired <- th.instrs_retired + 1;
   th.ops_retired <- th.ops_retired + Isa.Instr.op_count instr;
-  let dstall = ref 0 in
-  (* The per-operation work depends only on the operation count, so a
-     counted loop replaces the closure-based iteration. *)
-  for _ = 1 to Isa.Instr.mem_op_count instr do
-    let addr = Mem.Addr_stream.next th.addr_stream in
-    let s = Mem.Mem_system.daccess t.mem addr in
-    if s > 0 && Tel.Sink.enabled t.telemetry then
-      Tel.Sink.emit t.telemetry ~cycle:t.cycle
-        (Tel.Event.Cache_miss { thread = hw; level = Tel.Event.L1d });
-    if t.config.stall_on_dmiss then dstall := !dstall + s
-  done;
-  let bstall = ref 0 in
-  if Isa.Instr.has_branch instr then begin
-    let taken =
-      Vliw_util.Rng.bernoulli th.ctrl_rng th.program.profile.taken_prob
-    in
-    let target =
-      match
-        Vliw_compiler.Program.exit_target th.program.blocks.(th.block) th.pc
-      with
-      | Some target -> target
-      | None -> assert false (* every branch instruction is an exit *)
-    in
-    let correct =
-      Predictor.predict_and_update t.predictor ~addr:instr.addr ~taken
-    in
-    if not correct then bstall := t.config.machine.branch_penalty;
-    if taken then Thread_state.jump_taken th ~target
-    else Thread_state.advance_fall_through th
-  end
-  else Thread_state.advance_fall_through th;
-  th.pending <- None;
+  let dstall = dstall_of t ~hw th (Isa.Instr.mem_op_count instr) 0 in
+  let bstall =
+    if Isa.Instr.has_branch instr then begin
+      let taken = Thread_state.next_taken th in
+      let target =
+        Vliw_compiler.Program.exit_target_idx th.program.blocks.(th.block) th.pc
+      in
+      assert (target >= 0) (* every branch instruction is an exit *);
+      let correct =
+        Predictor.predict_and_update t.predictor ~addr:instr.addr ~taken
+      in
+      if taken then Thread_state.jump_taken th ~target
+      else Thread_state.advance_fall_through th;
+      if correct then 0 else t.config.machine.branch_penalty
+    end
+    else begin
+      Thread_state.advance_fall_through th;
+      0
+    end
+  in
+  th.pending <- Thread_state.no_instr;
   th.pending_packet <- None;
-  th.resume_at <- t.cycle + 1 + !dstall + !bstall;
+  th.resume_at <- t.cycle + 1 + dstall + bstall;
   th.stall_src <-
-    (if !dstall >= !bstall && !dstall > 0 then Thread_state.Mem_stall
-     else if !bstall > 0 then Thread_state.Branch_stall
+    (if dstall >= bstall && dstall > 0 then Thread_state.Mem_stall
+     else if bstall > 0 then Thread_state.Branch_stall
      else Thread_state.Ready)
 
 (* Round-robin search for the first thread with a candidate, starting
@@ -368,7 +371,7 @@ let step_common t ~want_packet =
       match t.contexts.(hw) with
       | None -> assert false
       | Some th ->
-        let instr = Option.get th.pending in
+        let instr = th.pending in
         issued_ops := !issued_ops + Isa.Instr.op_count instr;
         retire t ~hw th instr)
     sel.issued;
@@ -411,9 +414,101 @@ let step_common t ~want_packet =
   end;
   sel
 
-let step t =
-  ignore (step_common t ~want_packet:false : Merge.Engine.selection);
+let rec popcount acc m =
+  if m = 0 then acc else popcount (acc + 1) (m land (m - 1))
+
+(* Retire every thread of the issued mask in ascending hardware order —
+   the order of the observing path's fold over [sel.issued], so the
+   shared D-cache and predictor see the same access interleaving — then
+   book the cycle's issue statistics. Top-level recursion with int
+   accumulators instead of refs: refs are minor-heap blocks. *)
+let rec retire_issued t issued hw issued_ops n_issued =
+  if hw >= t.n then begin
+    t.ops <- t.ops + issued_ops;
+    t.instrs <- t.instrs + n_issued;
+    t.issue_hist.(n_issued) <- t.issue_hist.(n_issued) + 1;
+    if issued_ops = 0 then t.vertical <- t.vertical + 1
+  end
+  else if issued land (1 lsl hw) = 0 then
+    retire_issued t issued (hw + 1) issued_ops n_issued
+  else begin
+    match t.contexts.(hw) with
+    | None -> assert false
+    | Some th ->
+      let instr = th.pending in
+      retire t ~hw th instr;
+      retire_issued t issued (hw + 1)
+        (issued_ops + Isa.Instr.op_count instr)
+        (n_issued + 1)
+  end
+
+(* Allocation-free steady state: merged policy with telemetry off and no
+   counter attribution. Candidates go straight into the scheme's batched
+   evaluator as interned signatures — no packets, no selection record,
+   no per-cycle closures — and every decision agrees bit-for-bit with
+   the observing path. Retirement walks the issued mask in ascending
+   hardware-thread order, exactly the order of the observing path's fold
+   over [sel.issued], so the shared D-cache and predictor see the same
+   access interleaving and the telemetry-on/off bit-equality property
+   holds end-to-end. *)
+let step_fast t net =
+  let batch = Merge.Merge_network.batch net in
+  let machine = t.config.Config.machine in
+  for i = 0 to t.n - 1 do
+    match t.contexts.(i) with
+    | None -> Merge.Engine.Batch.clear_port batch i
+    | Some th ->
+      if Thread_state.stalled th ~now:t.cycle then
+        Merge.Engine.Batch.clear_port batch i
+      else begin
+        if th.pending == Thread_state.no_instr then begin
+          let instr = Thread_state.current_instr th in
+          th.pending <- instr;
+          let stall = Mem.Mem_system.ifetch t.mem instr.Isa.Instr.addr in
+          if stall > 0 then begin
+            th.resume_at <- t.cycle + stall;
+            th.stall_src <- Thread_state.Fetch_stall
+          end
+        end;
+        (* [stalled] again: the fetch just above may have missed. *)
+        if Thread_state.stalled th ~now:t.cycle then
+          Merge.Engine.Batch.clear_port batch i
+        else
+          Merge.Engine.Batch.set_port batch i
+            (Isa.Instr.signature machine th.pending)
+      end
+  done;
+  if t.cycle < t.switch_stall_until then begin
+    (* Scheme-switch bubble: candidates were fetched (the I-cache sees
+       them, as in the observing path) but nothing issues. *)
+    t.switch_stall_cycles <- t.switch_stall_cycles + 1;
+    t.issue_hist.(0) <- t.issue_hist.(0) + 1;
+    t.vertical <- t.vertical + 1
+  end
+  else begin
+    let rotation =
+      Merge.Merge_network.rotation net ~rotate:t.config.rotate_priority
+        ~cycle:t.cycle
+    in
+    Merge.Engine.Batch.eval batch ~rotation;
+    t.rejects_conflict <-
+      t.rejects_conflict
+      + popcount 0 (Merge.Engine.Batch.rejected_conflict batch);
+    t.rejects_capacity <-
+      t.rejects_capacity
+      + popcount 0 (Merge.Engine.Batch.rejected_capacity batch);
+    retire_issued t (Merge.Engine.Batch.issued batch) 0 0 0
+  end;
   t.cycle <- t.cycle + 1
+
+let step t =
+  match t.network with
+  | Some net
+    when (not (Tel.Sink.enabled t.telemetry)) && Option.is_none t.attribution ->
+    step_fast t net
+  | _ ->
+    ignore (step_common t ~want_packet:false : Merge.Engine.selection);
+    t.cycle <- t.cycle + 1
 
 let step_record t =
   let sel = step_common t ~want_packet:true in
@@ -506,11 +601,11 @@ let flush_memo_counters t =
         in
         book Tel.Report.n_memo_hits (s.hits - fh);
         book Tel.Report.n_memo_misses (s.misses - fm);
-        book Tel.Report.n_memo_evictions (s.evictions - fe);
+        book Tel.Report.n_memo_flushes (s.flushes - fe);
         book (Tel.Report.n_memo_scheme name "hits") (s.hits - fh);
         book (Tel.Report.n_memo_scheme name "misses") (s.misses - fm);
-        book (Tel.Report.n_memo_scheme name "evictions") (s.evictions - fe);
-        Hashtbl.replace t.memo_flushed name (s.hits, s.misses, s.evictions))
+        book (Tel.Report.n_memo_scheme name "flushes") (s.flushes - fe);
+        Hashtbl.replace t.memo_flushed name (s.hits, s.misses, s.flushes))
       (Merge.Merge_network.pool_stats net)
   | _ -> ()
 

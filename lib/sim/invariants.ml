@@ -202,15 +202,14 @@ let check_select ?(machine = Machine.default)
     let avail = random_avail rng machine n in
     let rotation = Rng.int rng (max 1 n) in
     let fast = Engine.select machine ~routing scheme ~rotation avail in
+    let batched = Engine.select_batched machine ~routing scheme ~rotation avail in
     let reference =
       Engine.select_reference machine ~routing scheme ~rotation avail
     in
-    if
-      not
-        (fast.issued = reference.issued
-        && fast.rejected = reference.rejected
-        && fast.packet = reference.packet)
-    then
+    let agree (a : Engine.selection) (b : Engine.selection) =
+      a.issued = b.issued && a.rejected = b.rejected && a.packet = b.packet
+    in
+    if not (agree fast reference) then
       raise
         (Violation
            (Printf.sprintf
@@ -218,5 +217,14 @@ let check_select ?(machine = Machine.default)
                fast %s\nref  %s"
               (Vliw_merge.Scheme.to_string scheme)
               rotation (selection_repr fast)
+              (selection_repr reference)));
+    if not (agree batched reference) then
+      raise
+        (Violation
+           (Printf.sprintf
+              "select_batched <> select_reference on %s (rotation %d):\n\
+               batched %s\nref     %s"
+              (Vliw_merge.Scheme.to_string scheme)
+              rotation (selection_repr batched)
               (selection_repr reference)))
   done

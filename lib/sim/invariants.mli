@@ -53,9 +53,9 @@ val check_select :
   Vliw_merge.Scheme.t ->
   unit
 (** Sampled probe that {!Vliw_merge.Engine.select} and
-    {!Vliw_merge.Engine.select_reference} agree bit-for-bit on random
-    availability vectors for [scheme] (default: 64 samples on the
-    default machine, flexible routing). The exhaustive property lives in
-    the QCheck suite; this probe is cheap enough for `vliwsim check` and
-    CI smoke runs.
+    {!Vliw_merge.Engine.select_batched} both agree bit-for-bit with
+    {!Vliw_merge.Engine.select_reference} on random availability vectors
+    for [scheme] (default: 64 samples on the default machine, flexible
+    routing). The exhaustive property lives in the QCheck suite; this
+    probe is cheap enough for `vliwsim check` and CI smoke runs.
     @raise Violation on the first disagreement, with both selections. *)

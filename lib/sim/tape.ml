@@ -1,0 +1,76 @@
+(* Shared per-thread draw tape for lockstep scheme columns.
+
+   A thread's stochastic inputs — data addresses from its
+   [Addr_stream], branch outcomes from its control RNG — depend only on
+   the draw index, never on when the draw happens: the k-th call
+   returns the same value under any merge scheme, any interleaving, any
+   stall pattern. Scheme columns of one sweep row already share their
+   row seed so they compare schemes on identical workloads; a tape
+   makes them share the generation work too. The first column to reach
+   draw k generates and records it; every later column replays the
+   recorded value, bit-identical by construction (the generators were
+   derived from the same seed, so the value replayed is exactly the
+   value the column's own generator would have produced).
+
+   A tape owns the generators of the first thread that adopted it;
+   later adopters' freshly-created generators are simply never drawn
+   from. Buffers grow geometrically; tapes are single-domain, like the
+   simulator cores that read them — one [set] per lockstep row task. *)
+
+type t = {
+  addr_stream : Vliw_mem.Addr_stream.t;
+  ctrl_rng : Vliw_util.Rng.t;
+  mutable addrs : int array;
+  mutable n_addrs : int;
+  mutable taken : Bytes.t;
+  mutable n_taken : int;
+}
+
+(* Tapes of one row's threads, keyed by thread id. *)
+type set = (int, t) Hashtbl.t
+
+let create_set () : set = Hashtbl.create 8
+
+let adopt (set : set) ~id ~addr_stream ~ctrl_rng =
+  match Hashtbl.find_opt set id with
+  | Some t -> t
+  | None ->
+    let t =
+      {
+        addr_stream;
+        ctrl_rng;
+        addrs = Array.make 1024 0;
+        n_addrs = 0;
+        taken = Bytes.make 1024 '\000';
+        n_taken = 0;
+      }
+    in
+    Hashtbl.add set id t;
+    t
+
+let addr t k =
+  while k >= t.n_addrs do
+    if t.n_addrs = Array.length t.addrs then begin
+      let bigger = Array.make (2 * Array.length t.addrs) 0 in
+      Array.blit t.addrs 0 bigger 0 t.n_addrs;
+      t.addrs <- bigger
+    end;
+    t.addrs.(t.n_addrs) <- Vliw_mem.Addr_stream.next t.addr_stream;
+    t.n_addrs <- t.n_addrs + 1
+  done;
+  t.addrs.(k)
+
+(* [p] is the thread's (constant) taken probability: every column passes
+   the same profile value, so generation and replay agree. *)
+let taken t k p =
+  while k >= t.n_taken do
+    if t.n_taken = Bytes.length t.taken then begin
+      let bigger = Bytes.make (2 * Bytes.length t.taken) '\000' in
+      Bytes.blit t.taken 0 bigger 0 t.n_taken;
+      t.taken <- bigger
+    end;
+    Bytes.set t.taken t.n_taken
+      (if Vliw_util.Rng.bernoulli t.ctrl_rng p then '\001' else '\000');
+    t.n_taken <- t.n_taken + 1
+  done;
+  Bytes.get t.taken k <> '\000'

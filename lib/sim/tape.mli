@@ -1,0 +1,35 @@
+(** Shared per-thread draw tape for lockstep scheme columns.
+
+    A thread's stochastic inputs (data addresses, branch outcomes)
+    depend only on the draw index, never on issue timing — so scheme
+    columns of one sweep row, which already share their row seed, can
+    share the generation work too. The first simulation to reach draw
+    [k] generates and records it; later simulations replay it,
+    bit-identical by construction. Single-domain: one {!set} per
+    lockstep row task. *)
+
+type t
+
+type set
+(** Tapes of one row's threads, keyed by thread id. *)
+
+val create_set : unit -> set
+
+val adopt :
+  set ->
+  id:int ->
+  addr_stream:Vliw_mem.Addr_stream.t ->
+  ctrl_rng:Vliw_util.Rng.t ->
+  t
+(** The tape for thread [id]: created from the given (freshly derived)
+    generators on first adoption, returned as-is — the new generators
+    unused — on every later one. Sound because all adopters derive
+    their generators from the same seed. *)
+
+val addr : t -> int -> int
+(** The thread's k-th data address, generating up to [k] on first
+    demand. *)
+
+val taken : t -> int -> float -> bool
+(** The thread's k-th branch outcome at taken-probability [p] ([p] must
+    be the same on every call — it is a program-profile constant). *)

@@ -45,7 +45,7 @@ let n_h_ilp = "waste.horizontal.ilp"
    throughput, not machine behaviour. *)
 let n_memo_hits = "merge.memo.hits"
 let n_memo_misses = "merge.memo.misses"
-let n_memo_evictions = "merge.memo.evictions"
+let n_memo_flushes = "merge.memo.flushes"
 
 (* Per-scheme decision-cache statistics, one counter triple per scheme
    the core's merge network has run (pooled tables survive scheme
@@ -139,7 +139,7 @@ let memo_scheme_stats (s : Counters.snapshot) =
             match field with
             | `Hits -> (h + v, m, e)
             | `Misses -> (h, m + v, e)
-            | `Evictions -> (h, m, e + v)
+            | `Flushes -> (h, m, e + v)
           in
           Hashtbl.replace tbl scheme t
         in
@@ -149,8 +149,8 @@ let memo_scheme_stats (s : Counters.snapshot) =
           match strip_suffix rest ".misses" with
           | Some scheme -> record scheme `Misses
           | None -> (
-            match strip_suffix rest ".evictions" with
-            | Some scheme -> record scheme `Evictions
+            match strip_suffix rest ".flushes" with
+            | Some scheme -> record scheme `Flushes
             | None -> ()))
       end)
     s.Counters.counters;
@@ -195,7 +195,7 @@ let render s =
         "Merge decision cache: %d/%d lookups hit (%s), %d flushes\n" hits
         lookups
         (pct_of lookups hits)
-        (Counters.count s n_memo_evictions)
+        (Counters.count s n_memo_flushes)
   in
   let memo_by_scheme =
     match memo_scheme_stats s with

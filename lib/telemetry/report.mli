@@ -50,12 +50,14 @@ val n_memo_hits : string
 
 val n_memo_misses : string
 
-val n_memo_evictions : string
-(** Whole-table flushes on reaching the capacity bound. *)
+val n_memo_flushes : string
+(** Whole-table flushes on reaching the capacity bound
+    ([merge.memo.flushes]). Hit/miss tallies are cumulative across
+    flushes: a flush drops cached entries, never counters. *)
 
 val n_memo_scheme_prefix : string
 (** Prefix of the per-scheme decision-cache counters
-    ([merge.memo.scheme.<name>.hits|misses|evictions]); one triple per
+    ([merge.memo.scheme.<name>.hits|misses|flushes]); one triple per
     scheme the core's merge network has run. *)
 
 val n_memo_scheme : string -> string -> string
@@ -64,7 +66,7 @@ val n_memo_scheme : string -> string -> string
 
 val memo_scheme_stats : Counters.snapshot -> (string * int * int * int) list
 (** Per-scheme decision-cache statistics recovered from a snapshot:
-    [(scheme, hits, misses, evictions)], name-sorted. *)
+    [(scheme, hits, misses, flushes)], name-sorted. *)
 
 val n_switch_bubbles : string
 (** Counter name behind [handles.switch_bubbles]

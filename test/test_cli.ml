@@ -51,6 +51,9 @@ let cases =
     (* source without a ledger file *)
     (* runtime errors: exit 1 (journal path in a missing directory) *)
     ("exp fig10 --scale quick -q --checkpoint /nonexistent-dir/x/ck", 1);
+    (* a library-level Invalid_argument surfaces as a diagnostic + exit
+       1 (runtime error), never exit 2 (reserved for usage problems) *)
+    ("run --scale quick --trace-len 0", 1);
     ("submit --socket /nonexistent-dir/absent.sock", 1);
     (* no daemon listening *)
     (* successes: exit 0 *)

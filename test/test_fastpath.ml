@@ -6,7 +6,7 @@
    pin the two to bit-identical selections over the full 4-thread
    design space, both routing modes and all rotations, and pin the
    decision cache ([Engine.Memo]) to the uncached engine — including
-   across evictions. *)
+   across flushes. *)
 
 module Isa = Vliw_isa
 module M = Vliw_merge
@@ -72,6 +72,76 @@ let prop_fast_equals_reference_random_trees =
             (M.Engine.select_reference m ~routing scheme avail))
         routing_modes)
 
+(* The batched bit-parallel kernel against the same oracle, over the
+   enumerated design space x routings x rotations. *)
+let prop_batched_equals_reference =
+  Q.Test.make ~name:"select_batched = select_reference (random schemes)"
+    ~count:800
+    (Q.triple
+       (Q.make ~print:string_of_int (Q.Gen.int_bound (List.length four_thread_space - 1)))
+       (Tgen.avail_arb 4)
+       (Q.make ~print:string_of_int (Q.Gen.int_bound 3)))
+    (fun (si, instrs, rotation) ->
+      let scheme = List.nth four_thread_space si in
+      let avail = packets_of instrs in
+      List.for_all
+        (fun routing ->
+          same_selection
+            (M.Engine.select_batched m ~routing scheme ~rotation avail)
+            (M.Engine.select_reference m ~routing scheme ~rotation avail))
+        routing_modes)
+
+let prop_batched_equals_reference_random_trees =
+  Q.Test.make
+    ~name:"select_batched = select_reference (random trees, 6 threads)"
+    ~count:400
+    (Q.pair (Tgen.scheme_arb 6) (Tgen.avail_arb 6))
+    (fun (scheme, instrs) ->
+      let avail = packets_of instrs in
+      List.for_all
+        (fun routing ->
+          same_selection
+            (M.Engine.select_batched m ~routing scheme avail)
+            (M.Engine.select_reference m ~routing scheme avail))
+        routing_modes)
+
+(* A persistent Batch is what the simulator actually drives: reusing one
+   evaluator across eval calls (varying ports and rotations) must keep
+   agreeing with the throwaway-oracle surface. *)
+let prop_batch_reuse_matches =
+  Q.Test.make ~name:"persistent Batch = select_batched across evals" ~count:200
+    (Q.pair
+       (Q.make ~print:string_of_int (Q.Gen.int_bound (List.length four_thread_space - 1)))
+       (Q.list_of_size (Q.Gen.return 5) (Q.pair (Tgen.avail_arb 4) (Q.make ~print:string_of_int (Q.Gen.int_bound 3)))))
+    (fun (si, inputs) ->
+      let scheme = List.nth four_thread_space si in
+      List.for_all
+        (fun routing ->
+          let b = M.Engine.Batch.create m ~routing scheme in
+          List.for_all
+            (fun (instrs, rotation) ->
+              let avail = packets_of instrs in
+              Array.iteri
+                (fun i -> function
+                  | None -> M.Engine.Batch.clear_port b i
+                  | Some p -> M.Engine.Batch.set_port_packet b i p)
+                avail;
+              M.Engine.Batch.eval b ~rotation;
+              let oracle =
+                M.Engine.select m ~routing scheme ~rotation avail
+              in
+              let issued_mask =
+                List.fold_left (fun acc t -> acc lor (1 lsl t)) 0 oracle.issued
+              in
+              M.Engine.Batch.issued b = issued_mask
+              && M.Engine.Batch.rejected_conflict b
+                   lor M.Engine.Batch.rejected_capacity b
+                 = List.fold_left
+                     (fun acc (r : M.Engine.reject) -> acc lor (1 lsl r.thread))
+                     0 oracle.rejected)
+            inputs)
+        routing_modes)
+
 (* Exhaustive over the design space with a fixed adversarial avail: every
    enumerated 4-thread scheme, both routings, all rotations. *)
 let test_fast_equals_reference_exhaustive () =
@@ -114,6 +184,9 @@ let test_fast_equals_reference_exhaustive () =
             (fun routing ->
               for rotation = 0 to 3 do
                 let fast = M.Engine.select m ~routing scheme ~rotation avail in
+                let batched =
+                  M.Engine.select_batched m ~routing scheme ~rotation avail
+                in
                 let slow =
                   M.Engine.select_reference m ~routing scheme ~rotation avail
                 in
@@ -121,7 +194,11 @@ let test_fast_equals_reference_exhaustive () =
                 if not (same_selection fast slow) then
                   Alcotest.failf "%s, %s, rot %d:\nfast %s\nref  %s"
                     (M.Scheme.to_string scheme) (routing_name routing) rotation
-                    (show_selection fast) (show_selection slow)
+                    (show_selection fast) (show_selection slow);
+                if not (same_selection batched slow) then
+                  Alcotest.failf "%s, %s, rot %d:\nbatched %s\nref     %s"
+                    (M.Scheme.to_string scheme) (routing_name routing) rotation
+                    (show_selection batched) (show_selection slow)
               done)
             routing_modes)
         avails)
@@ -198,7 +275,7 @@ let test_memo_eviction () =
     done
   done;
   let stats = M.Engine.Memo.stats memo in
-  Alcotest.(check bool) "table flushed at least once" true (stats.evictions > 0);
+  Alcotest.(check bool) "table flushed at least once" true (stats.flushes > 0);
   Alcotest.(check bool) "bounded by cap" true (stats.size <= 8);
   (* Post-flush the table still serves: the same lookup twice in a row
      must hit. *)
@@ -210,6 +287,33 @@ let test_memo_eviction () =
   Alcotest.(check bool) "identical selections" true
     (same_selection first second);
   Alcotest.(check int) "second lookup hits" (before + 1) after
+
+(* Regression: hit/miss tallies must be cumulative across whole-table
+   flushes — a flush drops the cached entries, never the counters
+   (`vliwsim profile` under-reported long adaptive runs otherwise). *)
+let test_memo_counters_cumulative_across_flush () =
+  let scheme = (M.Catalog.find_exn "3SSS").scheme in
+  let memo = M.Engine.Memo.create ~cap:4 m ~routing:M.Conflict.Flexible scheme in
+  let fixed =
+    Isa.Instr.of_cluster_ops ~addr:0 [| [ Isa.Op.make Isa.Op.Alu 0 ]; []; []; [] |]
+  in
+  (* 16 distinct 2-live signatures: every lookup misses, so the table
+     crosses its cap-4 flush boundary several times. *)
+  let lookups = ref 0 in
+  for round = 0 to 15 do
+    let ops = List.init ((round / 4) + 1) (fun i -> Isa.Op.make Isa.Op.Alu i) in
+    let cl = Array.make 4 [] in
+    cl.(round mod 4) <- ops;
+    let variable = Isa.Instr.of_cluster_ops ~addr:(round * 64) cl in
+    let avail = packets_of [| Some fixed; Some variable; None; None |] in
+    ignore (M.Engine.Memo.select memo avail : M.Engine.selection);
+    incr lookups
+  done;
+  let s = M.Engine.Memo.stats memo in
+  Alcotest.(check bool) "crossed the flush boundary" true (s.flushes > 0);
+  Alcotest.(check int) "hits+misses survive flushes cumulatively" !lookups
+    (s.hits + s.misses);
+  Alcotest.(check int) "all distinct keys missed" !lookups s.misses
 
 let test_memo_closed_forms () =
   let scheme = (M.Catalog.find_exn "3CCC").scheme in
@@ -285,18 +389,79 @@ let test_no_routing_per_cycle () =
       : M.Engine.selection);
   Alcotest.(check bool) "reference path routes" true (M.Routing.calls () > 0)
 
+(* --- zero-allocation steady state ----------------------------------- *)
+
+(* The batched fast path (merged policy, telemetry off, no counters)
+   must not touch the minor heap once warm: the measured minor-word
+   delta over N steps must equal the delta of the measurement harness
+   alone (0 steps). Warmup covers cold-start work — signature interning
+   is already done at Program.generate time, but cache tags, predictor
+   counters and the Batch lanes deserve settling. *)
+let test_zero_alloc_steady_state () =
+  let entry = M.Catalog.find_exn "2SC3" in
+  let config = Vliw_sim.Config.make entry.scheme in
+  let mix = Vliw_workloads.Mixes.find_exn "LLHH" in
+  let rng = Vliw_util.Rng.create 7L in
+  let programs =
+    List.map
+      (fun p ->
+        Vliw_compiler.Program.generate
+          ~seed:(Vliw_util.Rng.next_int64 rng)
+          config.Vliw_sim.Config.machine p)
+      mix.members
+  in
+  let threads =
+    Array.of_list
+      (List.mapi
+         (fun id program ->
+           Vliw_sim.Thread_state.create ~id
+             ~seed:(Vliw_util.Rng.next_int64 rng)
+             program)
+         programs)
+  in
+  let mem = Vliw_mem.Mem_system.create config.Vliw_sim.Config.machine in
+  let core = Vliw_sim.Core.create config mem in
+  let n = Vliw_sim.Config.contexts config in
+  Vliw_sim.Core.install core
+    (Array.init n (fun i ->
+         if i < Array.length threads then Some threads.(i) else None));
+  for _ = 1 to 10_000 do
+    Vliw_sim.Core.step core
+  done;
+  let delta steps =
+    let w0 = Gc.minor_words () in
+    for _ = 1 to steps do
+      Vliw_sim.Core.step core
+    done;
+    Gc.minor_words () -. w0
+  in
+  let harness_only = delta 0 in
+  let with_steps = delta 10_000 in
+  if with_steps <> harness_only then
+    Alcotest.failf
+      "steady state allocated %.0f minor words over 10k cycles (harness \
+       baseline %.0f)"
+      (with_steps -. harness_only) harness_only
+
 let suite =
   ( "fastpath",
     [
       Alcotest.test_case "fast = reference, exhaustive space" `Quick
         test_fast_equals_reference_exhaustive;
       Alcotest.test_case "memo eviction stays correct" `Quick test_memo_eviction;
+      Alcotest.test_case "memo counters cumulative across flushes" `Quick
+        test_memo_counters_cumulative_across_flush;
       Alcotest.test_case "memo closed forms" `Quick test_memo_closed_forms;
       Alcotest.test_case "signature of empty instr" `Quick test_signature_empty;
       Alcotest.test_case "signature interning" `Quick test_signature_shared_id;
       Alcotest.test_case "no routing per cycle" `Quick test_no_routing_per_cycle;
+      Alcotest.test_case "zero-alloc steady state" `Quick
+        test_zero_alloc_steady_state;
       Tgen.to_alcotest prop_fast_equals_reference;
       Tgen.to_alcotest prop_fast_equals_reference_random_trees;
+      Tgen.to_alcotest prop_batched_equals_reference;
+      Tgen.to_alcotest prop_batched_equals_reference_random_trees;
+      Tgen.to_alcotest prop_batch_reuse_matches;
       Tgen.to_alcotest prop_memo_matches_select;
       Tgen.to_alcotest prop_signature_counts_consistent;
     ] )
