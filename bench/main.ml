@@ -159,6 +159,8 @@ let record_ledger ~scale_name ~jobs ~calib ~exp_all_s ~wall_s schemes =
         (fun sb ->
           [
             ("cycles_per_sec." ^ sb.sb_name, sb.sb_cycles_per_sec);
+            ("Mcycles_per_sec." ^ sb.sb_name, sb.sb_cycles_per_sec /. 1e6);
+            ("words_per_cycle." ^ sb.sb_name, sb.sb_words_per_cycle);
             ("memo_hit_rate." ^ sb.sb_name, sb.sb_hit_rate);
           ])
         schemes

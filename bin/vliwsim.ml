@@ -121,6 +121,53 @@ let sweep_telemetry ctx =
 
 module Ledger = Vliw_telemetry.Ledger
 module Openmetrics = Vliw_telemetry.Openmetrics
+module Span = Vliw_telemetry.Span
+module Log = Vliw_util.Log
+
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Structured-log threshold on stderr: $(b,debug), $(b,info), \
+           $(b,warn) or $(b,error).")
+
+let log_format_arg =
+  Arg.(
+    value & opt string "human"
+    & info [ "log-format" ] ~docv:"FMT"
+        ~doc:
+          "Structured-log rendering: $(b,human) (aligned key=value \
+           lines) or $(b,json) (NDJSON, one object per record, for \
+           machine ingestion).")
+
+let make_log ~component ~quiet level format =
+  if quiet then Log.null
+  else
+    let level =
+      match Log.level_of_string level with
+      | Ok l -> l
+      | Error e -> usage "%s" e
+    in
+    let format =
+      match Log.format_of_string format with
+      | Ok f -> f
+      | Error e -> usage "%s" e
+    in
+    Log.make ~level ~format ~component (fun line ->
+        Printf.eprintf "%s\n%!" line)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a distributed trace (submit/queue/schedule/dispatch \
+           spans across every process involved) and write the merged \
+           Chrome trace-event JSON to $(docv) on completion — load it \
+           in Perfetto or chrome://tracing. Observation only: results \
+           are bit-identical with tracing on or off.")
 
 let runs_dir_arg =
   Arg.(
@@ -255,7 +302,10 @@ let run_experiment scale seed csv_dir jobs quiet telemetry max_retries
       max_retries;
       checkpoint;
       resume;
-      log = note;
+      log =
+        (if quiet then Log.null
+         else
+           Log.make ~component:"dist" (fun l -> Printf.eprintf "%s\n%!" l));
       on_event;
     }
   in
@@ -1027,6 +1077,95 @@ let runs_lint file =
     Printf.eprintf "%s: %d violation(s)\n%!" file (List.length errors);
     1
 
+(* Re-derive the span forest from a --trace-out Chrome file (ids travel
+   in each event's args) and run the structural validator over it: every
+   parent present, every child nested inside its parent. This is what
+   the CI trace-smoke job runs against a merged 2-worker trace. *)
+let runs_lint_trace slack file =
+  if not (Sys.file_exists file) then usage "no such file: %s" file;
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  let module J = Vliw_util.Json in
+  match J.parse text with
+  | Error e ->
+    Printf.eprintf "%s: not valid JSON: %s\n%!" file e;
+    1
+  | Ok doc ->
+    let events =
+      match J.member "traceEvents" doc with Some (J.List es) -> es | _ -> []
+    in
+    let errors = ref [] and spans = ref [] in
+    List.iter
+      (fun ev ->
+        match J.member "ph" ev with
+        | Some (J.Str "X") -> (
+          let sarg k =
+            match J.member "args" ev with
+            | Some args -> (
+              match J.member k args with Some (J.Str s) -> Some s | _ -> None)
+            | None -> None
+          in
+          let numf k =
+            match J.member k ev with Some (J.Num v) -> Some v | _ -> None
+          in
+          match (sarg "trace", sarg "span", sarg "kind", numf "ts", numf "dur")
+          with
+          | Some tr, Some sp, Some kd, Some ts, Some dur -> (
+            let parent =
+              match sarg "parent" with
+              | None -> Ok None
+              | Some p -> Result.map Option.some (Span.id_of_hex p)
+            in
+            match (Span.id_of_hex tr, Span.id_of_hex sp, parent,
+                   Span.kind_of_name kd)
+            with
+            | Ok trace, Ok id, Ok parent, Some kind ->
+              let lane =
+                match J.member "tid" ev with
+                | Some (J.Num t) -> Printf.sprintf "lane %d" (int_of_float t)
+                | _ -> "?"
+              in
+              let name =
+                match J.member "name" ev with Some (J.Str n) -> n | _ -> ""
+              in
+              spans :=
+                {
+                  Span.trace;
+                  id;
+                  parent;
+                  kind;
+                  name;
+                  lane;
+                  start_s = ts /. 1e6;
+                  dur_s = dur /. 1e6;
+                }
+                :: !spans
+            | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ ->
+              errors := ("bad span id: " ^ e) :: !errors
+            | _, _, _, None -> errors := ("unknown span kind " ^ kd) :: !errors
+            )
+          | _ ->
+            errors :=
+              "X event missing trace/span/kind args or ts/dur" :: !errors)
+        | _ -> ())
+      events;
+    let spans = List.rev !spans in
+    let problems = List.rev !errors @ Span.validate ~slack_s:slack spans in
+    if spans = [] then begin
+      Printf.eprintf "%s: no spans found in the trace\n%!" file;
+      1
+    end
+    else begin
+      match problems with
+      | [] ->
+        Printf.printf "%s: %d span(s), every parent present, well-nested\n"
+          file (List.length spans);
+        0
+      | ps ->
+        List.iter (fun e -> Printf.eprintf "%s: %s\n" file e) ps;
+        Printf.eprintf "%s: %d violation(s)\n%!" file (List.length ps);
+        1
+    end
+
 let runs_gc runs_dir dry_run =
   let report = Ledger.gc ~dry_run ~dir:runs_dir () in
   List.iter
@@ -1122,6 +1261,30 @@ let runs_cmd =
             terminator). Exits 1 on violations.")
       Term.(const runs_lint $ file_arg)
   in
+  let lint_trace_cmd =
+    let file_arg =
+      Arg.(
+        required & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"Chrome trace file to validate.")
+    in
+    let slack_arg =
+      Arg.(
+        value & opt float 0.05
+        & info [ "slack" ] ~docv:"SECONDS"
+            ~doc:
+              "Nesting tolerance: a child may escape its parent's \
+               interval by up to $(docv) (absorbs cross-process clock \
+               reads).")
+    in
+    Cmd.v
+      (Cmd.info "lint-trace"
+         ~doc:
+           "Validate a merged Chrome trace written by $(b,--trace-out): \
+            valid JSON, every span's parent present in the trace, every \
+            child span nested inside its parent (worker spans inside \
+            their dispatch spans, and so on). Exits 1 on violations.")
+      Term.(const runs_lint_trace $ slack_arg $ file_arg)
+  in
   let gc_cmd =
     let dry_run_arg =
       Arg.(
@@ -1167,7 +1330,10 @@ let runs_cmd =
        ~doc:
          "Inspect the run ledger: list, show, diff, export metrics, gc, \
           merge.")
-    [ list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd; gc_cmd; merge_cmd ]
+    [
+      list_cmd; show_cmd; diff_cmd; export_cmd; lint_cmd; lint_trace_cmd;
+      gc_cmd; merge_cmd;
+    ]
 
 let run_report runs_dir wanted output =
   let r = find_run ~runs_dir wanted in
@@ -1210,7 +1376,7 @@ let tcp_arg =
         ~doc:"Loopback TCP port to listen on (serve) or connect to (submit).")
 
 let run_serve socket tcp runs_dir jobs no_ledger metrics_out max_inflight
-    max_jobs quiet =
+    max_jobs quiet log_level log_format trace_out =
   if socket = None && tcp = None then
     usage "serve: pass --socket PATH and/or --tcp PORT";
   Service.Server.run
@@ -1225,9 +1391,8 @@ let run_serve socket tcp runs_dir jobs no_ledger metrics_out max_inflight
       max_inflight;
       max_jobs;
       handle_signals = true;
-      log =
-        (if quiet then fun _ -> ()
-         else fun msg -> Printf.eprintf "serve: %s\n%!" msg);
+      log = make_log ~component:"serve" ~quiet log_level log_format;
+      trace_out;
     };
   0
 
@@ -1262,13 +1427,26 @@ let serve_cmd =
     Term.(
       const run_serve $ socket_arg $ tcp_arg $ runs_dir_arg $ jobs_arg
       $ no_ledger_arg $ metrics_out_arg $ max_inflight_arg $ max_jobs_arg
-      $ quiet_arg)
+      $ quiet_arg $ log_level_arg $ log_format_arg $ trace_out_arg)
 
 (* The submit client: one request per invocation, replies streamed to
    stdout as they arrive. Exit codes keep the CLI contract: 0 when the
    request succeeds, 1 on an error reply / lost connection (runtime),
    2 on bad flags (usage). *)
-let run_submit socket tcp op tag scale seed priority mixes schemes quiet =
+let run_submit socket tcp op tag scale seed priority mixes schemes quiet
+    trace_out =
+  (* Client-side trace context: ids travel with the request, the
+     server's spans come back on the done reply, and the merged tree
+     (rooted at this client's span) is written as a Chrome trace. *)
+  let tracer =
+    match trace_out with
+    | None -> None
+    | Some path ->
+      let c = Span.collector ~seed:0xc11e47c0deL () in
+      let trace = Span.fresh_id c in
+      let root = Span.fresh_id c in
+      Some (c, trace, root, path)
+  in
   let req =
     match op with
     | "submit" ->
@@ -1280,6 +1458,11 @@ let run_submit socket tcp op tag scale seed priority mixes schemes quiet =
           priority;
           mixes;
           schemes;
+          trace =
+            Option.map
+              (fun (_, trace, root, _) ->
+                { Service.Request.trace_id = trace; parent_span = Some root })
+              tracer;
         }
     | "ping" -> Service.Request.Ping
     | "stats" -> Service.Request.Stats
@@ -1312,6 +1495,9 @@ let run_submit socket tcp op tag scale seed priority mixes schemes quiet =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
+      let t_send =
+        match tracer with Some (c, _, _, _) -> Span.now c | None -> 0.0
+      in
       let line =
         Vliw_util.Ndjson.line (Service.Request.to_json req)
       in
@@ -1344,7 +1530,34 @@ let run_submit socket tcp op tag scale seed priority mixes schemes quiet =
           | Some (J.Str text) -> print_string text
           | _ -> print_string (Vliw_util.Ndjson.line doc));
           Some 0
-        | Some ("done" | "pong" | "stats" | "shutting_down") ->
+        | Some "done" ->
+          print_string (Vliw_util.Ndjson.line doc);
+          (match tracer with
+          | None -> ()
+          | Some (c, trace, root, path) ->
+            (match J.member "spans" doc with
+            | Some spans_json -> (
+              match Span.list_of_json spans_json with
+              | Ok sps -> List.iter (Span.add c) sps
+              | Error e ->
+                Printf.eprintf "submit: bad spans in reply: %s\n%!" e)
+            | None -> ());
+            Span.add c
+              {
+                Span.trace;
+                id = root;
+                parent = None;
+                kind = Span.Submit;
+                name = "client";
+                lane = "client";
+                start_s = t_send;
+                dur_s = Span.now c -. t_send;
+              };
+            Vliw_util.Atomic_io.write_file ~path
+              (Span.to_chrome ~process_name:"vliwsim submit" (Span.spans c));
+            Printf.eprintf "wrote %s\n%!" path);
+          Some 0
+        | Some ("pong" | "stats" | "shutting_down") ->
           print_string (Vliw_util.Ndjson.line doc);
           Some 0
         | _ ->
@@ -1422,7 +1635,8 @@ let submit_cmd =
           recorded run) come back as cache hits without re-simulation.")
     Term.(
       const run_submit $ socket_arg $ tcp_arg $ op_arg $ tag_arg $ scale_arg
-      $ seed_arg $ priority_arg $ mixes_arg $ schemes_arg $ quiet_arg)
+      $ seed_arg $ priority_arg $ mixes_arg $ schemes_arg $ quiet_arg
+      $ trace_out_arg)
 
 (* --- worker / dist --------------------------------------------------- *)
 
@@ -1433,10 +1647,12 @@ module Dist = Vliw_dist
    started by hand with --connect/--connect-tcp against a coordinator
    listener. Protocol lines are the only bytes on stdout; diagnostics
    go to stderr. *)
-let run_worker connect connect_tcp die_after_cells quiet =
+let run_worker connect connect_tcp die_after_cells quiet log_level log_format
+    =
   let log =
-    if quiet then fun (_ : string) -> ()
-    else fun msg -> Printf.eprintf "worker[%d]: %s\n%!" (Unix.getpid ()) msg
+    make_log
+      ~component:(Printf.sprintf "worker[%d]" (Unix.getpid ()))
+      ~quiet log_level log_format
   in
   let input, output =
     match (connect, connect_tcp) with
@@ -1464,7 +1680,7 @@ let run_worker connect connect_tcp die_after_cells quiet =
   match Dist.Worker.serve ?die_after_cells ~log ~input ~output () with
   | () -> 0
   | exception Dist.Worker.Killed ->
-    log "fault injection: dying mid-shard";
+    Log.warn log "fault injection: dying mid-shard" [];
     1
 
 let worker_cmd =
@@ -1502,11 +1718,12 @@ let worker_cmd =
           Cells are simulated exactly as in-process sweeps — bit-identical \
           by construction.")
     Term.(
-      const run_worker $ connect_arg $ connect_tcp_arg $ die_arg $ quiet_arg)
+      const run_worker $ connect_arg $ connect_tcp_arg $ die_arg $ quiet_arg
+      $ log_level_arg $ log_format_arg)
 
 let run_dist scale seed workers replicates shard_size max_retries shard_timeout
     checkpoint resume listen_socket listen_tcp chaos_kill no_ledger runs_dir
-    metrics_out log_json quiet =
+    metrics_out log_json quiet log_level log_format trace_out =
   if workers < 0 then usage "--workers must be non-negative";
   if replicates < 0 then usage "--replicates must be non-negative";
   if max_retries < 0 then usage "--max-retries must be non-negative";
@@ -1521,6 +1738,11 @@ let run_dist scale seed workers replicates shard_size max_retries shard_timeout
     else E.Replicates.derive_seeds ~seed replicates
   in
   let on_event, close_log = event_logger ~quiet log_json in
+  let tracer =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (Span.collector ~seed:0xd157c0deL ())
+  in
   let config =
     {
       Dist.Coordinator.default_config with
@@ -1535,10 +1757,9 @@ let run_dist scale seed workers replicates shard_size max_retries shard_timeout
       checkpoint;
       resume;
       die_first_worker_after = chaos_kill;
-      log =
-        (if quiet then fun (_ : string) -> ()
-         else fun msg -> Printf.eprintf "dist: %s\n%!" msg);
+      log = make_log ~component:"dist" ~quiet log_level log_format;
       on_event;
+      tracer;
     }
   in
   let result =
@@ -1586,6 +1807,16 @@ let run_dist scale seed workers replicates shard_size max_retries shard_timeout
      carries the per-cell confidence intervals as gauges. *)
   let n_seeds = List.length datas in
   let wall_per_seed = result.d_wall_s /. float_of_int (max 1 n_seeds) in
+  (* Fleet-wide latency quantiles (per span kind) ride every record's
+     gauges, so the HTML report's latency panel works on dist runs. *)
+  let span_gauges =
+    match tracer with
+    | None -> []
+    | Some c -> Span.latency_gauges (Span.spans c)
+  in
+  let t_ledger0 =
+    match tracer with Some c -> Span.now c | None -> 0.0
+  in
   List.iteri
     (fun i (s, (d : E.Fig10.data)) ->
       let is_last = i = n_seeds - 1 && replicates = 0 in
@@ -1593,12 +1824,25 @@ let run_dist scale seed workers replicates shard_size max_retries shard_timeout
         (record_run ~no_ledger ~runs_dir
            ~metrics_out:(if is_last then metrics_out else None)
            (Ledger.make ~counters
-              ~gauges:[ ("ipc.mean", E.Common.grid_mean d.grid) ]
+              ~gauges:
+                (("ipc.mean", E.Common.grid_mean d.grid) :: span_gauges)
               ~cells:(ledger_cells d.cells) ~cmd:"dist" ~label:"fig10"
               ~scale:(E.Common.scale_name scale) ~seed:s
               ~jobs:(max 1 workers) ~scheme_names:d.grid.scheme_names
               ~mix_names:d.grid.mix_names ~wall_s:wall_per_seed ())))
     datas;
+  (match (tracer, trace_out) with
+  | Some c, Some path ->
+    ignore
+      (Span.record c
+         ~trace:(Span.fresh_id c)
+         ~kind:Span.Ledger_append ~name:"dist" ~lane:"coordinator"
+         ~start_s:t_ledger0
+         ~dur_s:(Span.now c -. t_ledger0)
+         ());
+    Vliw_util.Atomic_io.write_file ~path (Span.to_chrome (Span.spans c));
+    Printf.eprintf "wrote %s\n%!" path
+  | _ -> ());
   if replicates = 0 then begin
     match datas with
     | [ (_, d) ] -> print_string (E.Fig10.render d)
@@ -1729,7 +1973,266 @@ let dist_cmd =
       $ shard_size_arg $ retries_arg $ timeout_arg $ checkpoint_arg
       $ resume_arg $ listen_socket_arg $ listen_tcp_arg $ chaos_arg
       $ no_ledger_arg $ runs_dir_arg $ metrics_out_arg $ log_json_arg
-      $ quiet_arg)
+      $ quiet_arg $ log_level_arg $ log_format_arg $ trace_out_arg)
+
+(* --- top -------------------------------------------------------------- *)
+
+(* One poll = one short-lived connection carrying a single {"op":"stats"}
+   line. The serve daemon keeps the connection open but a fresh one per
+   frame costs nothing; the dist coordinator answers a stats query and
+   then drops the peer — so reconnecting each frame is the one shape
+   that monitors both daemons. *)
+let poll_stats socket tcp =
+  let module J = Vliw_util.Json in
+  let connected =
+    match (socket, tcp) with
+    | Some path, _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_UNIX path);
+         Ok fd
+       with e ->
+         Unix.close fd;
+         Error (Printexc.to_string e))
+    | None, Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+         Ok fd
+       with e ->
+         Unix.close fd;
+         Error (Printexc.to_string e))
+    | None, None -> usage "top: pass --socket PATH or --tcp PORT"
+  in
+  match connected with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let line = Vliw_util.Ndjson.line (J.Obj [ ("op", J.Str "stats") ]) in
+        let rec push off =
+          if off < String.length line then
+            push
+              (off + Unix.write_substring fd line off (String.length line - off))
+        in
+        match push 0 with
+        | () -> (
+          let reader = Vliw_util.Ndjson.reader () in
+          let buf = Bytes.create 4096 in
+          let rec read_reply () =
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> Error "connection closed before the stats reply"
+            | n -> (
+              match
+                Vliw_util.Ndjson.feed reader ~len:n (Bytes.unsafe_to_string buf)
+              with
+              | [] -> read_reply ()
+              | Ok doc :: _ -> Ok doc
+              | Error e :: _ -> Error (Vliw_util.Ndjson.error_message e))
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              Error "connection reset"
+          in
+          read_reply ())
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("write failed: " ^ Unix.error_message e))
+
+let render_top ~target ~history doc =
+  let module J = Vliw_util.Json in
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let num key = match J.member key doc with Some (J.Num v) -> Some v | _ -> None in
+  let inum key = Option.map int_of_float (num key) in
+  let counters =
+    match J.member "counters" doc with
+    | Some (J.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> match v with J.Num n -> Some (k, n) | _ -> None)
+        kvs
+    | _ -> []
+  in
+  let counter k = Option.value ~default:0.0 (List.assoc_opt k counters) in
+  let kind =
+    match J.member "kind" doc with Some (J.Str s) -> s | _ -> "service"
+  in
+  let draining =
+    match J.member "draining" doc with Some (J.Bool d) -> d | _ -> false
+  in
+  line "vliwsim top — %s @ %s%s" kind target
+    (if draining then "  [draining]" else "");
+  (match kind with
+  | "dist" ->
+    let completed = Option.value ~default:0 (inum "completed") in
+    let total = Option.value ~default:0 (inum "total") in
+    line "progress      %d/%d cells (%.1f%%)  wall %.1fs" completed total
+      (if total = 0 then 0.0
+       else 100.0 *. float_of_int completed /. float_of_int total)
+      (Option.value ~default:0.0 (num "wall_s"));
+    line "queue         %d shard(s)"
+      (Option.value ~default:0 (inum "queue_depth"));
+    line "retried       %.0f  degraded %.0f  deaths %.0f"
+      (counter "dist.cells.retried")
+      (counter "dist.cells.degraded")
+      (counter "dist.workers.died");
+    let workers =
+      match J.member "workers" doc with Some (J.List ws) -> ws | _ -> []
+    in
+    line "workers       %d attached" (List.length workers);
+    List.iter
+      (fun w ->
+        let wnum key =
+          match J.member key w with
+          | Some (J.Num v) -> int_of_float v
+          | _ -> 0
+        in
+        let ready =
+          match J.member "ready" w with Some (J.Bool r) -> r | _ -> false
+        in
+        line "  worker %-4d %s  cells=%d" (wnum "worker")
+          (if ready then "idle" else "busy")
+          (wnum "cells"))
+      workers
+  | _ ->
+    line "queue depth   %d" (Option.value ~default:0 (inum "queue_depth"));
+    let inflight =
+      match J.member "inflight" doc with Some (J.List l) -> l | _ -> []
+    in
+    let inflight_jobs =
+      List.fold_left
+        (fun acc c ->
+          match J.member "jobs" c with
+          | Some (J.Num n) -> acc + int_of_float n
+          | _ -> acc)
+        0 inflight
+    in
+    line "clients       %d (%d in-flight job(s))"
+      (Option.value ~default:0 (inum "clients"))
+      inflight_jobs;
+    let cached = counter "service.cells.cached" in
+    let simulated = counter "service.cells.simulated" in
+    line "cache         %d cell(s), hit rate %s"
+      (Option.value ~default:0 (inum "cache_cells"))
+      (if cached +. simulated <= 0.0 then "-"
+       else Printf.sprintf "%.1f%%" (100.0 *. cached /. (cached +. simulated)));
+    line "jobs done     %.0f" (counter "service.jobs.completed"));
+  (match history with
+  | [] -> ()
+  | rates ->
+    let last = List.nth rates (List.length rates - 1) in
+    line "cells/s       %.1f  %s" last
+      (Vliw_util.Ascii_chart.sparkline ~width:30 rates));
+  (match J.member "latency" doc with
+  | Some (J.Obj kvs) ->
+    let get k =
+      match List.assoc_opt k kvs with Some (J.Num v) -> Some v | _ -> None
+    in
+    line "latency (s)   p50 / p95 / p99";
+    List.iter
+      (fun kind ->
+        let k = Span.kind_name kind in
+        match
+          (get ("span." ^ k ^ ".p50"), get ("span." ^ k ^ ".p95"),
+           get ("span." ^ k ^ ".p99"), get ("span." ^ k ^ ".count"))
+        with
+        | Some p50, Some p95, Some p99, Some n ->
+          line "  %-12s %.4f / %.4f / %.4f  (n=%.0f)" k p50 p95 p99 n
+        | _ -> ())
+      Span.all_kinds
+  | _ -> ());
+  Buffer.contents b
+
+let run_top socket tcp interval once =
+  if interval <= 0.0 then usage "top: --interval must be positive";
+  let target =
+    match (socket, tcp) with
+    | Some path, _ -> path
+    | None, Some port -> Printf.sprintf "127.0.0.1:%d" port
+    | None, None -> usage "top: pass --socket PATH or --tcp PORT"
+  in
+  let cells_done counters_doc =
+    let module J = Vliw_util.Json in
+    match J.member "counters" counters_doc with
+    | Some (J.Obj kvs) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          match (k, v) with
+          | ( ( "service.cells.cached" | "service.cells.simulated"
+              | "dist.cells.simulated" | "dist.cells.restored" ),
+              J.Num n ) ->
+            acc +. n
+          | _ -> acc)
+        0.0 kvs
+    | _ -> 0.0
+  in
+  let history = ref [] in
+  let prev = ref None in
+  let rec loop () =
+    match poll_stats socket tcp with
+    | Error e ->
+      if once then begin
+        Printf.eprintf "top: %s\n%!" e;
+        1
+      end
+      else begin
+        Printf.printf "\027[H\027[2Jvliwsim top — %s\nunreachable: %s \
+                       (retrying every %.1fs)\n%!"
+          target e interval;
+        Unix.sleepf interval;
+        loop ()
+      end
+    | Ok doc ->
+      let now = Unix.gettimeofday () in
+      let total = cells_done doc in
+      (match !prev with
+      | Some (t0, c0) when now > t0 ->
+        history := !history @ [ (total -. c0) /. (now -. t0) ]
+      | _ -> ());
+      prev := Some (now, total);
+      let frame = render_top ~target ~history:!history doc in
+      if once then begin
+        print_string frame;
+        0
+      end
+      else begin
+        print_string ("\027[H\027[2J" ^ frame);
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      end
+  in
+  loop ()
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls (each poll is one connection).")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render a single frame without terminal escape codes and \
+             exit (0 on a valid stats reply) — for scripts and CI.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live fleet monitor: poll a running $(b,serve) daemon or \
+          $(b,dist) coordinator over its socket and render queue depth, \
+          in-flight work per client/worker, cache hit rate, per-kind \
+          latency quantiles and a cells/s sparkline, refreshing in \
+          place.")
+    Term.(const run_top $ socket_arg $ tcp_arg $ interval_arg $ once_arg)
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -1812,8 +2315,8 @@ let () =
     Cmd.group info
       [
         exp_cmd; run_cmd; trace_cmd; profile_cmd; compile_cmd; check_cmd;
-        serve_cmd; submit_cmd; dist_cmd; worker_cmd; runs_cmd; report_cmd;
-        schemes_cmd; benchmarks_cmd;
+        serve_cmd; submit_cmd; dist_cmd; worker_cmd; top_cmd; runs_cmd;
+        report_cmd; schemes_cmd; benchmarks_cmd;
       ]
   in
   (* Uniform exit-code policy. [~catch:false] lets command-body

@@ -19,6 +19,9 @@
 
 module E = Vliw_experiments
 module Ndjson = Vliw_util.Ndjson
+module J = Vliw_util.Json
+module Log = Vliw_util.Log
+module Span = Vliw_telemetry.Span
 
 type stats = {
   mutable cells_simulated : int;
@@ -76,8 +79,9 @@ type config = {
   checkpoint : string option;
   resume : bool;
   die_first_worker_after : int option;
-  log : string -> unit;
+  log : Log.t;
   on_event : (E.Sweep.event -> unit) option;
+  tracer : Span.collector option;
 }
 
 let default_config =
@@ -93,8 +97,9 @@ let default_config =
     checkpoint = None;
     resume = false;
     die_first_worker_after = None;
-    log = (fun _ -> ());
+    log = Log.null;
     on_event = None;
+    tracer = None;
   }
 
 type result = {
@@ -114,6 +119,7 @@ type ishard = {
   is_id : int;
   is_seed_idx : int;
   mutable is_cells : (int * Plan.cell_spec) list;
+  is_born : float;  (* tracer clock at queueing; 0 when untraced *)
 }
 
 type wrk = {
@@ -126,6 +132,8 @@ type wrk = {
   mutable w_shard : ishard option;
   mutable w_deadline : float;  (* infinity when idle or no timeout *)
   mutable w_closed : bool;
+  (* open dispatch span: (shard span id, dispatch span id, start) *)
+  mutable w_trace : (int64 * int64 * float) option;
 }
 
 type seed_state = {
@@ -180,6 +188,20 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
   let degraded_total = ref 0 in
   let elapsed_sum = ref 0.0 and elapsed_n = ref 0 in
   let emit ev = Option.iter (fun f -> f ev) cfg.on_event in
+  (* Trace context: one trace per run, a root span the per-shard trees
+     hang under. The root id is allocated now (children reference it)
+     but its span is recorded at the end, once its duration is known. *)
+  let trace_ctx =
+    Option.map
+      (fun c ->
+        let trace = Span.fresh_id c in
+        let root = Span.fresh_id c in
+        (c, trace, root, Span.now c))
+      cfg.tracer
+  in
+  let tnow () =
+    match trace_ctx with Some (c, _, _, _) -> Span.now c | None -> 0.0
+  in
   (* --- per-seed grids, restored from checkpoint journals --------------- *)
   let multi = List.length seeds > 1 in
   let states =
@@ -214,11 +236,10 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
                      match E.Checkpoint.load ~path with
                      | Ok t when E.Checkpoint.meta_equal t.meta meta -> t
                      | Ok _ ->
-                       cfg.log
-                         (Printf.sprintf
-                            "warning: checkpoint %s ignored (configuration \
-                             mismatch); starting fresh"
-                            path);
+                       Log.warn cfg.log
+                         "checkpoint ignored (configuration mismatch); \
+                          starting fresh"
+                         [ ("path", Log.S path) ];
                        E.Checkpoint.create meta
                      | Error _ -> E.Checkpoint.create meta
                    else E.Checkpoint.create meta
@@ -265,7 +286,14 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
   let shard_seed : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let queue : ishard Queue.t = Queue.create () in
   let new_shard seed_idx cells =
-    let s = { is_id = !next_shard; is_seed_idx = seed_idx; is_cells = cells } in
+    let s =
+      {
+        is_id = !next_shard;
+        is_seed_idx = seed_idx;
+        is_cells = cells;
+        is_born = tnow ();
+      }
+    in
     incr next_shard;
     Hashtbl.replace shard_seed s.is_id seed_idx;
     s
@@ -347,6 +375,7 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
         w_shard = None;
         w_deadline = infinity;
         w_closed = false;
+        w_trace = None;
       }
     in
     incr next_worker;
@@ -355,6 +384,49 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
     w
   in
   let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  (* Quiet removal for peers that were never workers (stats monitors):
+     no death is charged and nothing re-queues. *)
+  let drop_peer (w : wrk) =
+    if not w.w_closed then begin
+      w.w_closed <- true;
+      Hashtbl.remove workers w.w_id;
+      alive_workers := Hashtbl.length workers;
+      close_fd w.w_in;
+      if w.w_out <> w.w_in then close_fd w.w_out
+    end
+  in
+  (* Close the open shard/dispatch spans of [w]'s current shard, whether
+     it completed or died: the dispatch span ends now either way. *)
+  let close_dispatch (w : wrk) =
+    (match (trace_ctx, w.w_trace, w.w_shard) with
+    | Some (c, trace, root, _), Some (shard_span, disp_span, t_disp), Some s ->
+      let now = Span.now c in
+      let name = Printf.sprintf "shard %d" s.is_id in
+      Span.add c
+        {
+          Span.trace;
+          id = disp_span;
+          parent = Some shard_span;
+          kind = Span.Dispatch;
+          name = Printf.sprintf "%s worker %d" name w.w_id;
+          lane = "coordinator";
+          start_s = t_disp;
+          dur_s = now -. t_disp;
+        };
+      Span.add c
+        {
+          Span.trace;
+          id = shard_span;
+          parent = Some root;
+          kind = Span.Shard;
+          name;
+          lane = "coordinator";
+          start_s = s.is_born;
+          dur_s = now -. s.is_born;
+        }
+    | _ -> ());
+    w.w_trace <- None
+  in
   let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
   let spawn_worker () =
     if Array.length cfg.worker_argv = 0 || !spawned_total >= respawn_budget then
@@ -380,11 +452,13 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
         incr spawned_total;
         stats.workers_spawned <- stats.workers_spawned + 1;
         let w = add_worker ~pid:(Some pid) ~fd_in:stdin_w ~fd_out:stdout_r in
-        cfg.log (Printf.sprintf "worker %d spawned (pid %d)" w.w_id pid);
+        Log.info cfg.log "worker spawned"
+          [ ("worker", Log.I w.w_id); ("pid", Log.I pid) ];
         true
       | exception e ->
         List.iter close_fd [ stdin_r; stdin_w; stdout_r; stdout_w ];
-        cfg.log ("warning: worker spawn failed: " ^ Printexc.to_string e);
+        Log.warn cfg.log "worker spawn failed"
+          [ ("err", Log.S (Printexc.to_string e)) ];
         false
     end
   in
@@ -402,7 +476,9 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
       | None -> ());
       stats.workers_died <- stats.workers_died + 1;
       if timeout then stats.workers_timeouts <- stats.workers_timeouts + 1;
-      cfg.log (Printf.sprintf "worker %d died: %s" w.w_id reason);
+      Log.warn cfg.log "worker died"
+        [ ("worker", Log.I w.w_id); ("reason", Log.S reason) ];
+      close_dispatch w;
       match w.w_shard with
       | None -> ()
       | Some s ->
@@ -469,7 +545,7 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
   (* --- inbound messages ------------------------------------------------- *)
   let handle_cell_result (w : wrk) c_shard (r : Protocol.cell_result) =
     match Hashtbl.find_opt shard_seed c_shard with
-    | None -> cfg.log (Printf.sprintf "stale result for shard %d" c_shard)
+    | None -> Log.warn cfg.log "stale result" [ ("shard", Log.I c_shard) ]
     | Some seed_idx -> (
       let st = states.(seed_idx) in
       (match w.w_shard with
@@ -486,8 +562,8 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
       | _ -> ());
       match Hashtbl.find_opt st.ss_index (r.r_mix, r.r_scheme) with
       | None ->
-        cfg.log
-          (Printf.sprintf "result for unknown cell %s/%s" r.r_mix r.r_scheme)
+        Log.warn cfg.log "result for unknown cell"
+          [ ("mix", Log.S r.r_mix); ("scheme", Log.S r.r_scheme) ]
       | Some i ->
         if st.ss_results.(i) <> None then
           (* duplicate delivery after a timeout/requeue race: cells are
@@ -512,6 +588,13 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
             st.ss_attempts.(i) <- st.ss_attempts.(i) + 1;
             if st.ss_attempts.(i) <= cfg.max_retries then begin
               stats.cells_retried <- stats.cells_retried + 1;
+              (match trace_ctx with
+              | Some (c, trace, root, _) ->
+                ignore
+                  (Span.record c ~trace ~parent:root ~kind:Span.Retry
+                     ~name:(r.r_mix ^ "/" ^ r.r_scheme)
+                     ~lane:"coordinator" ~start_s:(Span.now c) ~dur_s:0.0 ())
+              | None -> ());
               emit
                 (E.Sweep.Cell_retried
                    {
@@ -548,12 +631,85 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
                 }
             end))
   in
+  (* The live-stats reply for [vliwsim top]: same ["reply":"stats"]
+     shape as the service daemon's, tagged ["kind":"dist"]. *)
+  let stats_json () =
+    let num n = J.Num (float_of_int n) in
+    let worker_rows =
+      Hashtbl.fold
+        (fun _ w acc ->
+          if w.w_pid = None && not w.w_ready then acc (* stats monitors *)
+          else
+            J.Obj
+              [
+                ("worker", num w.w_id);
+                ("ready", J.Bool w.w_ready);
+                ( "cells",
+                  num
+                    (match w.w_shard with
+                    | Some s -> List.length s.is_cells
+                    | None -> 0) );
+              ]
+            :: acc)
+        workers []
+    in
+    let latency =
+      match cfg.tracer with
+      | None -> []
+      | Some c ->
+        [
+          ( "latency",
+            J.Obj
+              (List.map
+                 (fun (k, v) -> (k, J.Num v))
+                 (Span.latency_gauges (Span.spans c))) );
+        ]
+    in
+    J.Obj
+      ([
+         ("reply", J.Str "stats");
+         ("kind", J.Str "dist");
+         ("completed", num !completed);
+         ("total", num total);
+         ("queue_depth", num (Queue.length queue));
+         ("wall_s", J.Num (Unix.gettimeofday () -. t0));
+         ("workers", J.List worker_rows);
+         ( "counters",
+           J.Obj (List.map (fun (k, v) -> (k, num v)) (counters_list stats)) );
+       ]
+      @ latency)
+  in
+  let reply_line (w : wrk) doc =
+    let line = Ndjson.line doc in
+    let len = String.length line in
+    try
+      let rec push off =
+        if off < len then
+          push (off + Unix.write_substring w.w_in line off (len - off))
+      in
+      push 0
+    with Unix.Unix_error _ -> ()
+  in
   let handle_msg (w : wrk) = function
-    | Protocol.Ready _ -> w.w_ready <- true
+    | Protocol.Ready _ ->
+      if (not w.w_ready) && w.w_pid = None then
+        stats.workers_attached <- stats.workers_attached + 1;
+      w.w_ready <- true
+    | Protocol.Query_stats ->
+      (* a monitor, not a worker: answer and drop the connection *)
+      reply_line w (stats_json ());
+      drop_peer w
     | Protocol.Cell { c_shard; c_result } -> handle_cell_result w c_shard c_result
-    | Protocol.Shard_done { d_shard } -> (
+    | Protocol.Shard_done { d_shard; d_spans } -> (
       match w.w_shard with
       | Some s when s.is_id = d_shard ->
+        (match trace_ctx with
+        | Some (c, _, _, _) ->
+          (* worker child spans merge under this worker's lane *)
+          let lane = Printf.sprintf "worker %d" w.w_id in
+          List.iter (fun sp -> Span.add c { sp with Span.lane }) d_spans
+        | None -> ());
+        close_dispatch w;
         w.w_shard <- None;
         w.w_deadline <- infinity;
         stats.shards_completed <- stats.shards_completed + 1;
@@ -608,7 +764,7 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
          Unix.close fd;
          raise e);
       listeners := fd :: !listeners;
-      cfg.log ("listening on " ^ path))
+      Log.info cfg.log "listening" [ ("socket", Log.S path) ])
     cfg.listen_socket;
   Option.iter
     (fun port ->
@@ -621,22 +777,24 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
          Unix.close fd;
          raise e);
       listeners := fd :: !listeners;
-      cfg.log (Printf.sprintf "listening on 127.0.0.1:%d" port))
+      Log.info cfg.log "listening"
+        [ ("tcp", Log.S (Printf.sprintf "127.0.0.1:%d" port)) ])
     cfg.listen_tcp;
+  (* An accepted peer may be a worker or a [vliwsim top] monitor; it is
+     only counted as attached once it greets with Ready. *)
   let accept fd =
     match Unix.accept fd with
     | cfd, _addr ->
-      stats.workers_attached <- stats.workers_attached + 1;
       let w = add_worker ~pid:None ~fd_in:cfd ~fd_out:cfd in
-      cfg.log (Printf.sprintf "worker %d attached" w.w_id)
+      Log.info cfg.log "peer attached" [ ("worker", Log.I w.w_id) ]
     | exception Unix.Unix_error _ -> ()
   in
   (* pre-connected transports join the fleet before the loop starts *)
   List.iter
     (fun fd ->
-      stats.workers_attached <- stats.workers_attached + 1;
       let w = add_worker ~pid:None ~fd_in:fd ~fd_out:fd in
-      cfg.log (Printf.sprintf "worker %d attached (preconnected)" w.w_id))
+      Log.info cfg.log "peer attached"
+        [ ("worker", Log.I w.w_id); ("preconnected", Log.B true) ])
     cfg.attached;
   (* --- scheduling ------------------------------------------------------- *)
   let dispatch () =
@@ -647,16 +805,39 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
           && not (Queue.is_empty queue)
         then begin
           let s = Queue.pop queue in
+          (* Allocate the shard + dispatch span ids up front: the
+             worker's child spans reference the dispatch id, so it must
+             cross the wire with the assign. The spans themselves are
+             recorded when the dispatch closes. *)
+          let a_trace, w_trace =
+            match trace_ctx with
+            | None -> (None, None)
+            | Some (c, trace, _root, _) ->
+              let shard_span = Span.fresh_id c in
+              let disp_span = Span.fresh_id c in
+              ( Some { Protocol.t_trace = trace; t_parent = Some disp_span },
+                Some (shard_span, disp_span, Span.now c) )
+          in
           let assign =
             {
               Protocol.a_shard = s.is_id;
               a_scale = scale_str;
               a_seed = states.(s.is_seed_idx).ss_seed;
               a_cells = List.map snd s.is_cells;
+              a_trace;
             }
           in
           if send w (Protocol.Assign assign) then begin
             w.w_shard <- Some s;
+            (match (trace_ctx, w_trace) with
+            | Some (c, trace, _, _), Some (shard_span, _, t_disp) ->
+              ignore
+                (Span.record c ~trace ~parent:shard_span ~kind:Span.Queue_wait
+                   ~name:(Printf.sprintf "shard %d" s.is_id)
+                   ~lane:"coordinator" ~start_s:s.is_born
+                   ~dur_s:(t_disp -. s.is_born) ())
+            | _ -> ());
+            w.w_trace <- w_trace;
             w.w_deadline <-
               (match cfg.shard_timeout_s with
               | Some t -> Unix.gettimeofday () +. t
@@ -738,6 +919,9 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
       (* orderly shutdown: Quit, close (EOF doubles as quit), reap *)
       List.iter
         (fun w ->
+          (* a rival worker may have finished this worker's cells via a
+             requeue race; its dispatch span still has to close *)
+          close_dispatch w;
           if send w Protocol.Quit then begin
             w.w_closed <- true;
             Hashtbl.remove workers w.w_id;
@@ -747,6 +931,20 @@ let run ?(scale = E.Common.Default) ?(seed = E.Common.default_seed) ?seeds
           end)
         (snapshot ()));
   let wall_s = Unix.gettimeofday () -. t0 in
+  (match trace_ctx with
+  | Some (c, trace, root, t_start) ->
+    Span.add c
+      {
+        Span.trace;
+        id = root;
+        parent = None;
+        kind = Span.Submit;
+        name = "dist sweep";
+        lane = "coordinator";
+        start_s = t_start;
+        dur_s = Span.now c -. t_start;
+      }
+  | None -> ());
   emit (E.Sweep.Sweep_finished { total; degraded = !degraded_total; wall_s });
   {
     d_scheme_names = scheme_names;

@@ -58,11 +58,20 @@ type config = {
   die_first_worker_after : int option;
       (** fault injection: the first spawned worker gets
           [--die-after-cells N] appended to its argv *)
-  log : string -> unit;
+  log : Vliw_util.Log.t;
+      (** structured diagnostics (worker ids, shard ids, reasons as
+          fields); default {!Vliw_util.Log.null} *)
   on_event : (Vliw_experiments.Sweep.event -> unit) option;
       (** the coordinator synthesizes the same event stream as
           {!Vliw_experiments.Sweep.run_cells} (minus [Cell_started],
           which only the worker could observe) *)
+  tracer : Vliw_telemetry.Span.collector option;
+      (** when set, the run records a span tree — a [submit] root, per
+          shard a [shard] span wrapping [queue_wait] + [dispatch], the
+          workers' [prepare_row]/[simulate_cell] children merged back
+          under their dispatch span, and [retry] markers — and answers
+          stats queries with per-kind latency quantiles. Observation
+          only: grids are bit-identical with tracing on or off. *)
 }
 
 val default_config : config

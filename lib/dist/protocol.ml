@@ -1,10 +1,17 @@
 module J = Vliw_util.Json
+module Span = Vliw_telemetry.Span
+
+(* Trace context piggybacked on an assign: the coordinator's trace id
+   and the dispatch span the worker's child spans should hang under.
+   Optional on the wire (absent = no-trace) so old peers keep parsing. *)
+type trace = { t_trace : int64; t_parent : int64 option }
 
 type assign = {
   a_shard : int;
   a_scale : string;
   a_seed : int64;
   a_cells : Plan.cell_spec list;
+  a_trace : trace option;
 }
 
 type to_worker = Assign of assign | Quit
@@ -20,25 +27,36 @@ type cell_result = {
 type from_worker =
   | Ready of { pid : int }
   | Cell of { c_shard : int; c_result : cell_result }
-  | Shard_done of { d_shard : int }
+  | Shard_done of { d_shard : int; d_spans : Span.t list }
+  | Query_stats
 
 let hex64 v = Printf.sprintf "0x%Lx" v
+
+let trace_fields = function
+  | None -> []
+  | Some { t_trace; t_parent } -> (
+    (("trace", J.Str (hex64 t_trace)) :: [])
+    @
+    match t_parent with
+    | None -> []
+    | Some p -> [ ("parent", J.Str (hex64 p)) ])
 
 let to_worker_to_json = function
   | Assign a ->
     J.Obj
-      [
-        ("op", J.Str "assign");
-        ("shard", J.Num (float_of_int a.a_shard));
-        ("scale", J.Str a.a_scale);
-        ("seed", J.Str (hex64 a.a_seed));
-        ( "cells",
-          J.List
-            (List.map
-               (fun (c : Plan.cell_spec) ->
-                 J.Obj [ ("mix", J.Str c.mix); ("scheme", J.Str c.scheme) ])
-               a.a_cells) );
-      ]
+      ([
+         ("op", J.Str "assign");
+         ("shard", J.Num (float_of_int a.a_shard));
+         ("scale", J.Str a.a_scale);
+         ("seed", J.Str (hex64 a.a_seed));
+         ( "cells",
+           J.List
+             (List.map
+                (fun (c : Plan.cell_spec) ->
+                  J.Obj [ ("mix", J.Str c.mix); ("scheme", J.Str c.scheme) ])
+                a.a_cells) );
+       ]
+      @ trace_fields a.a_trace)
   | Quit -> J.Obj [ ("op", J.Str "quit") ]
 
 let from_worker_to_json = function
@@ -59,9 +77,14 @@ let from_worker_to_json = function
          ("t", J.Num r.r_elapsed_s);
        ]
       @ match r.r_error with None -> [] | Some e -> [ ("err", J.Str e) ])
-  | Shard_done { d_shard } ->
+  | Shard_done { d_shard; d_spans } ->
     J.Obj
-      [ ("ev", J.Str "shard_done"); ("shard", J.Num (float_of_int d_shard)) ]
+      ([ ("ev", J.Str "shard_done"); ("shard", J.Num (float_of_int d_shard)) ]
+      @
+      match d_spans with
+      | [] -> []
+      | spans -> [ ("spans", Span.list_to_json spans) ])
+  | Query_stats -> J.Obj [ ("ev", J.Str "stats") ]
 
 (* --- decoding --------------------------------------------------------- *)
 
@@ -83,6 +106,22 @@ let field_seed j key =
   match Int64.of_string_opt s with
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "%S is not a valid 64-bit value" key)
+
+let field_id_opt j key =
+  match J.member key j with
+  | None -> Ok None
+  | Some (J.Str s) -> (
+    match Int64.of_string_opt s with
+    | Some v -> Ok (Some v)
+    | None -> Error (Printf.sprintf "%S is not a valid 64-bit value" key))
+  | Some _ -> Error (Printf.sprintf "%S must be a hex id string" key)
+
+let field_trace j =
+  let* trace_id = field_id_opt j "trace" in
+  let* t_parent = field_id_opt j "parent" in
+  match trace_id with
+  | None -> Ok None
+  | Some t_trace -> Ok (Some { t_trace; t_parent })
 
 let cell_spec_of_json j =
   let* mix = field_string j "mix" in
@@ -108,7 +147,8 @@ let to_worker_of_json j =
         go [] items
       | _ -> Error "\"cells\" must be a list"
     in
-    Ok (Assign { a_shard; a_scale; a_seed; a_cells })
+    let* a_trace = field_trace j in
+    Ok (Assign { a_shard; a_scale; a_seed; a_cells; a_trace })
   | Some (J.Str op) -> Error (Printf.sprintf "unknown op %S" op)
   | _ -> Error "missing \"op\" field"
 
@@ -117,9 +157,15 @@ let from_worker_of_json j =
   | Some (J.Str "ready") ->
     let* pid = field_int j "pid" in
     Ok (Ready { pid })
+  | Some (J.Str "stats") -> Ok Query_stats
   | Some (J.Str "shard_done") ->
     let* d_shard = field_int j "shard" in
-    Ok (Shard_done { d_shard })
+    let* d_spans =
+      match J.member "spans" j with
+      | None -> Ok []
+      | Some spans -> Span.list_of_json spans
+    in
+    Ok (Shard_done { d_shard; d_spans })
   | Some (J.Str "cell") ->
     let* c_shard = field_int j "shard" in
     let* r_mix = field_string j "mix" in
@@ -147,4 +193,9 @@ let from_worker_of_json j =
              };
          })
   | Some (J.Str ev) -> Error (Printf.sprintf "unknown event %S" ev)
-  | _ -> Error "missing \"ev\" field"
+  | _ -> (
+    (* A monitor ([vliwsim top]) speaks the service's stats shape; the
+       coordinator answers it on the same listener workers use. *)
+    match J.member "op" j with
+    | Some (J.Str "stats") -> Ok Query_stats
+    | _ -> Error "missing \"ev\" field")

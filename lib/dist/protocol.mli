@@ -10,13 +10,20 @@
     Decoding is strict: a malformed or unknown message is an [Error]
     the receiving side surfaces (the coordinator degrades the worker,
     the worker exits). There is no version negotiation — both ends are
-    the same binary. *)
+    the same binary; the optional trace fields below default to
+    no-trace, so a pre-tracing peer still parses every message. *)
+
+(** Trace context piggybacked on an assign: the coordinator's trace id
+    and the dispatch span worker child spans hang under. On the wire as
+    optional ["trace"]/["parent"] hex fields. *)
+type trace = { t_trace : int64; t_parent : int64 option }
 
 type assign = {
   a_shard : int;  (** shard id, echoed in every result *)
   a_scale : string;  (** {!Vliw_experiments.Common.scale_name} *)
   a_seed : int64;  (** master seed; workers derive row seeds from it *)
   a_cells : Plan.cell_spec list;
+  a_trace : trace option;  (** [None] = untraced (the wire default) *)
 }
 
 type to_worker =
@@ -34,7 +41,14 @@ type cell_result = {
 type from_worker =
   | Ready of { pid : int }  (** greeting; dispatch may start *)
   | Cell of { c_shard : int; c_result : cell_result }
-  | Shard_done of { d_shard : int }
+  | Shard_done of { d_shard : int; d_spans : Vliw_telemetry.Span.t list }
+      (** [d_spans] carries the worker's child spans for a traced
+          assign (wired only when non-empty, as a ["spans"] list). *)
+  | Query_stats
+      (** A live-stats probe from [vliwsim top], not a worker: the
+          coordinator replies with one stats JSON line and drops the
+          connection. Decoded from [{"ev":"stats"}] and, for monitor
+          compatibility with the service protocol, [{"op":"stats"}]. *)
 
 val to_worker_to_json : to_worker -> Vliw_util.Json.t
 val to_worker_of_json : Vliw_util.Json.t -> (to_worker, string) result

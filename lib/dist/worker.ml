@@ -1,5 +1,7 @@
 module E = Vliw_experiments
 module Ndjson = Vliw_util.Ndjson
+module Log = Vliw_util.Log
+module Span = Vliw_telemetry.Span
 
 exception Killed
 
@@ -18,7 +20,13 @@ let write_line fd doc =
   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
     raise Hangup
 
-let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
+(* Span ids must be deterministic per (seed, shard) so a traced rerun
+   produces the same tree; only the timestamps come from [clock]. *)
+let tracer_seed ~seed ~shard =
+  Int64.logxor seed (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (shard + 1)))
+
+let serve ?die_after_cells ?(log = Log.null) ?(clock = Unix.gettimeofday)
+    ~input ~output () =
   (* Prepared rows are the expensive step (program generation +
      compile); cache them like the service daemon does — bounded by
      wholesale flush, no eviction order needed. Per-invocation, so
@@ -28,13 +36,38 @@ let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
       =
     Hashtbl.create 64
   in
+  (* Trace context of the assign being served: collector, trace id, and
+     the coordinator's dispatch span its children hang under. *)
+  let tracer : (Span.collector * int64 * int64 option) option ref = ref None in
+  let lane = Printf.sprintf "pid %d" (Unix.getpid ()) in
+  let traced kind name f =
+    match !tracer with
+    | None -> f ()
+    | Some (c, trace, parent) ->
+      let t0 = clock () in
+      let finish () =
+        ignore
+          (Span.record c ~trace ?parent ~kind ~name ~lane ~start_s:t0
+             ~dur_s:(clock () -. t0) ())
+      in
+      let v =
+        try f ()
+        with e ->
+          finish ();
+          raise e
+      in
+      finish ();
+      v
+  in
   let prepared_row ~scale ~seed mix =
     let key = (E.Common.scale_name scale, seed, mix) in
     match Hashtbl.find_opt prepared_cache key with
     | Some pr -> pr
     | None ->
       if Hashtbl.length prepared_cache >= 64 then Hashtbl.reset prepared_cache;
-      let pr = E.Sweep.prepare_row ~scale ~seed mix in
+      let pr =
+        traced Span.Prepare_row mix (fun () -> E.Sweep.prepare_row ~scale ~seed mix)
+      in
       Hashtbl.add prepared_cache key pr;
       pr
   in
@@ -58,7 +91,11 @@ let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
           r_error = Some "unknown scale in shard assignment";
         }
       | Some scale -> (
-        match simulate ~scale ~seed c with
+        match
+          traced Span.Simulate_cell
+            (c.mix ^ "/" ^ c.scheme)
+            (fun () -> simulate ~scale ~seed c)
+        with
         | ipc ->
           {
             Protocol.r_mix = c.mix;
@@ -80,7 +117,7 @@ let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
     incr completed;
     match die_after_cells with
     | Some n when !completed >= n ->
-      log (Printf.sprintf "fault injection: dying after %d cell(s)" !completed);
+      Log.warn log "fault injection: dying" [ ("cells", Log.I !completed) ];
       raise Killed
     | _ -> ()
   in
@@ -88,8 +125,18 @@ let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
     | Protocol.Quit -> false
     | Protocol.Assign a ->
       let scale = E.Common.scale_of_name a.a_scale in
+      tracer :=
+        (match a.a_trace with
+        | None -> None
+        | Some { t_trace; t_parent } ->
+          let seed = tracer_seed ~seed:a.a_seed ~shard:a.a_shard in
+          Some (Span.collector ~clock ~seed (), t_trace, t_parent));
       List.iter (run_cell ~shard:a.a_shard ~scale ~seed:a.a_seed) a.a_cells;
-      emit (Protocol.Shard_done { d_shard = a.a_shard });
+      let d_spans =
+        match !tracer with None -> [] | Some (c, _, _) -> Span.spans c
+      in
+      tracer := None;
+      emit (Protocol.Shard_done { d_shard = a.a_shard; d_spans });
       true
   in
   try
@@ -108,14 +155,15 @@ let serve ?die_after_cells ?(log = fun (_ : string) -> ()) ~input ~output () =
               match Protocol.to_worker_of_json doc with
               | Ok msg -> if not (handle msg) then running := false
               | Error e ->
-                log ("protocol error: " ^ e);
+                Log.error log "protocol error" [ ("err", Log.S e) ];
                 running := false)
             | Error framing ->
-              log ("framing error: " ^ Ndjson.error_message framing);
+              Log.error log "framing error"
+                [ ("err", Log.S (Ndjson.error_message framing)) ];
               running := false)
           (Ndjson.feed reader ~len:n (Bytes.unsafe_to_string buf))
       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
         running := false
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
-  with Hangup -> log "coordinator closed the transport: orderly exit"
+  with Hangup -> Log.info log "coordinator closed the transport: orderly exit" []

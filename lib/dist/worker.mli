@@ -19,7 +19,8 @@ exception Killed
 
 val serve :
   ?die_after_cells:int ->
-  ?log:(string -> unit) ->
+  ?log:Vliw_util.Log.t ->
+  ?clock:(unit -> float) ->
   input:Unix.file_descr ->
   output:Unix.file_descr ->
   unit ->
@@ -28,5 +29,15 @@ val serve :
     [input] and [output] may be the same descriptor (socket transport)
     or a pipe pair (spawned via [vliwsim worker]). [die_after_cells n]
     raises {!Killed} immediately after the [n]-th cell result is
-    written (n >= 1). [log] (default silent) receives diagnostics;
-    protocol lines are the only bytes ever written to [output]. *)
+    written (n >= 1). [log] (default {!Vliw_util.Log.null}) receives
+    structured diagnostics; protocol lines are the only bytes ever
+    written to [output].
+
+    When an assign carries trace context, the worker records
+    [prepare_row] (cache misses only) and [simulate_cell] child spans
+    under the coordinator's dispatch span and ships them back on
+    [Shard_done]. Span ids derive from the assign's (seed, shard), so a
+    traced rerun rebuilds the same tree; [clock] (default
+    [Unix.gettimeofday]) stamps them and is injectable for tests.
+    Tracing never touches simulation inputs — grids stay bit-identical
+    with it on or off. *)

@@ -4,6 +4,12 @@
 
 module J = Vliw_util.Json
 
+(* A traced submit carries the client's trace id and (optionally) the
+   client-side root span the server's spans should hang under. Both are
+   optional on the wire: absent means no-trace, so old peers and old
+   requests keep parsing. *)
+type trace = { trace_id : int64; parent_span : int64 option }
+
 type submit = {
   tag : string;
   scale : string;
@@ -11,6 +17,7 @@ type submit = {
   priority : int;
   mixes : string list;
   schemes : string list;
+  trace : trace option;
 }
 
 type t = Submit of submit | Ping | Stats | Metrics | Shutdown
@@ -23,20 +30,33 @@ let default_submit =
     priority = 0;
     mixes = [];
     schemes = [];
+    trace = None;
   }
+
+let hex id = Printf.sprintf "0x%Lx" id
+
+let trace_fields = function
+  | None -> []
+  | Some { trace_id; parent_span } -> (
+    (("trace", J.Str (hex trace_id)) :: [])
+    @
+    match parent_span with
+    | None -> []
+    | Some s -> [ ("span", J.Str (hex s)) ])
 
 let to_json = function
   | Submit s ->
     J.Obj
-      [
-        ("op", J.Str "submit");
-        ("tag", J.Str s.tag);
-        ("scale", J.Str s.scale);
-        ("seed", J.Str (Printf.sprintf "0x%Lx" s.seed));
-        ("priority", J.Num (float_of_int s.priority));
-        ("mixes", J.List (List.map (fun m -> J.Str m) s.mixes));
-        ("schemes", J.List (List.map (fun m -> J.Str m) s.schemes));
-      ]
+      ([
+         ("op", J.Str "submit");
+         ("tag", J.Str s.tag);
+         ("scale", J.Str s.scale);
+         ("seed", J.Str (hex s.seed));
+         ("priority", J.Num (float_of_int s.priority));
+         ("mixes", J.List (List.map (fun m -> J.Str m) s.mixes));
+         ("schemes", J.List (List.map (fun m -> J.Str m) s.schemes));
+       ]
+      @ trace_fields s.trace)
   | Ping -> J.Obj [ ("op", J.Str "ping") ]
   | Stats -> J.Obj [ ("op", J.Str "stats") ]
   | Metrics -> J.Obj [ ("op", J.Str "metrics") ]
@@ -84,6 +104,23 @@ let field_seed j key default =
   | Some (J.Num v) when Float.is_integer v -> Ok (Int64.of_float v)
   | Some _ -> Error (Printf.sprintf "%S must be a seed string" key)
 
+(* Like {!field_seed} but with no default: absence is [None]. *)
+let field_id_opt j key =
+  match J.member key j with
+  | None -> Ok None
+  | Some (J.Str s) -> (
+    match Int64.of_string_opt s with
+    | Some v -> Ok (Some v)
+    | None -> Error (Printf.sprintf "%S is not a valid 64-bit id" key))
+  | Some _ -> Error (Printf.sprintf "%S must be a hex id string" key)
+
+let field_trace j =
+  let* trace_id = field_id_opt j "trace" in
+  let* parent_span = field_id_opt j "span" in
+  match trace_id with
+  | None -> Ok None
+  | Some trace_id -> Ok (Some { trace_id; parent_span })
+
 let of_json j =
   match J.member "op" j with
   | None -> Error "missing \"op\" field"
@@ -99,7 +136,8 @@ let of_json j =
     let* priority = field_int j "priority" d.priority in
     let* mixes = field_names j "mixes" in
     let* schemes = field_names j "schemes" in
-    Ok (Submit { tag; scale; seed; priority; mixes; schemes })
+    let* trace = field_trace j in
+    Ok (Submit { tag; scale; seed; priority; mixes; schemes; trace })
   | Some (J.Str op) -> Error (Printf.sprintf "unknown op %S" op)
   | Some _ -> Error "\"op\" must be a string"
 

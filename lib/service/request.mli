@@ -7,6 +7,13 @@
     round-trips through {!to_json}/{!of_json} is not necessarily
     servable. *)
 
+(** Trace context a client attaches to a submit. [trace_id] names the
+    trace; [parent_span] is the client's root span, which the server's
+    spans hang under. On the wire both are optional hex-string fields
+    (["trace"], ["span"]): absent means no-trace, so pre-tracing peers
+    keep parsing. *)
+type trace = { trace_id : int64; parent_span : int64 option }
+
 type submit = {
   tag : string;  (** Client-chosen label echoed in every reply. *)
   scale : string;  (** "quick" | "default" | "full" (validated server-side). *)
@@ -14,6 +21,7 @@ type submit = {
   priority : int;  (** Higher runs sooner; ties break FIFO. *)
   mixes : string list;  (** [[]] = every Table 2 mix. *)
   schemes : string list;  (** [[]] = every catalog scheme except ST. *)
+  trace : trace option;  (** [None] = untraced (the wire default). *)
 }
 
 type t =

@@ -25,9 +25,11 @@
 
 module J = Vliw_util.Json
 module Ndjson = Vliw_util.Ndjson
+module Log = Vliw_util.Log
 module E = Vliw_experiments
 module Ledger = Vliw_telemetry.Ledger
 module Counters = Vliw_telemetry.Counters
+module Span = Vliw_telemetry.Span
 
 type config = {
   socket_path : string option;
@@ -41,7 +43,9 @@ type config = {
   max_requests : int;
   max_jobs : int option;
   handle_signals : bool;
-  log : string -> unit;
+  log : Log.t;
+  tracer : Span.collector option;
+  trace_out : string option;
 }
 
 let default_config =
@@ -57,7 +61,9 @@ let default_config =
     max_requests = 10_000;
     max_jobs = None;
     handle_signals = false;
-    log = (fun _ -> ());
+    log = Log.null;
+    tracer = None;
+    trace_out = None;
   }
 
 (* --- service counters -------------------------------------------------- *)
@@ -98,6 +104,10 @@ let stats =
     cache_cells = 0;
   }
 
+(* Span latencies observed into per-kind histograms; process-global for
+   the same scrape-without-a-handle reason as [stats]. *)
+let span_registry = ref (Counters.create ())
+
 let reset_stats () =
   stats.requests <- 0;
   stats.rejected <- 0;
@@ -110,7 +120,8 @@ let reset_stats () =
   stats.clients_accepted <- 0;
   stats.queue_depth <- 0;
   stats.clients_now <- 0;
-  stats.cache_cells <- 0
+  stats.cache_cells <- 0;
+  span_registry := Counters.create ()
 
 let counters_list () =
   [
@@ -135,7 +146,11 @@ let gauges_list () =
 let metrics_exposition () =
   Vliw_telemetry.Openmetrics.render
     ~labels:[ ("component", "service") ]
-    ~snapshot:{ Counters.counters = counters_list (); histograms = [] }
+    ~snapshot:
+      {
+        Counters.counters = counters_list ();
+        histograms = (Counters.snapshot !span_registry).Counters.histograms;
+      }
     ~gauges:(gauges_list ()) ()
 
 (* --- jobs -------------------------------------------------------------- *)
@@ -166,6 +181,14 @@ type job = {
   mutable j_simulated : int;
   mutable j_degraded : int;
   j_t0 : float;
+  (* tracing: (trace id, client parent span, client asked) when the job
+     is traced — either the request carried ids or server tracing is on.
+     Spans only ride the "done" reply when the client asked. *)
+  j_trace : (int64 * int64 option * bool) option;
+  j_root : int64;  (* preallocated submit-span id; children hang here *)
+  j_t0c : float;  (* tracer-clock sibling of [j_t0] *)
+  mutable j_sched : bool;  (* queue_wait + schedule recorded already *)
+  mutable j_spans : Span.t list;  (* this job's spans, newest first *)
 }
 
 type client = {
@@ -193,10 +216,29 @@ let run cfg =
   let cache = Cache.create () in
   stats.cache_preloaded <- Cache.preload cache ~dir:cfg.runs_dir;
   stats.cache_cells <- Cache.size cache;
-  cfg.log
-    (Printf.sprintf "cache: %d cell(s) preloaded from %s"
-       stats.cache_preloaded
-       (Ledger.ledger_path ~dir:cfg.runs_dir));
+  Log.info cfg.log "cache preloaded"
+    [
+      ("cells", Log.I stats.cache_preloaded);
+      ("ledger", Log.S (Ledger.ledger_path ~dir:cfg.runs_dir));
+    ];
+  (* The collector always exists (per-request tracing works even on an
+     untraced daemon); it only accumulates spans for traced jobs, so an
+     untraced deployment records nothing. *)
+  let tracer =
+    match cfg.tracer with
+    | Some c -> c
+    | None -> Span.collector ~seed:0x5e21e5713ea11L ()
+  in
+  let server_traced = cfg.tracer <> None || cfg.trace_out <> None in
+  let job_span job ?parent ~kind ~name ~lane ~start_s ~dur_s () =
+    match job.j_trace with
+    | None -> ()
+    | Some (trace, _, _) ->
+      let sp =
+        Span.record tracer ~trace ?parent ~kind ~name ~lane ~start_s ~dur_s ()
+      in
+      job.j_spans <- sp :: job.j_spans
+  in
   (* Rows compiled once and shared across jobs; flushed wholesale when
      over budget (the Memo idiom — bounded without an eviction order). *)
   let prepared : (string * int64 * string, E.Sweep.prepared_row) Hashtbl.t =
@@ -239,7 +281,7 @@ let run cfg =
          Unix.close fd;
          raise e);
       add_listener fd;
-      cfg.log ("listening on " ^ path))
+      Log.info cfg.log "listening" [ ("socket", Log.S path) ])
     cfg.socket_path;
   Option.iter
     (fun port ->
@@ -252,7 +294,8 @@ let run cfg =
          Unix.close fd;
          raise e);
       add_listener fd;
-      cfg.log (Printf.sprintf "listening on 127.0.0.1:%d" port))
+      Log.info cfg.log "listening"
+        [ ("tcp", Log.S (Printf.sprintf "127.0.0.1:%d" port)) ])
     cfg.tcp_port;
   (* client and job state *)
   let clients : (int, client) Hashtbl.t = Hashtbl.create 16 in
@@ -271,9 +314,8 @@ let run cfg =
         refresh_gauges ();
         try Vliw_util.Atomic_io.write_file ~path (metrics_exposition ())
         with e ->
-          cfg.log
-            (Printf.sprintf "warning: could not write %s: %s" path
-               (Printexc.to_string e)))
+          Log.warn cfg.log "could not write metrics"
+            [ ("path", Log.S path); ("err", Log.S (Printexc.to_string e)) ])
       cfg.metrics_out
   in
   let close_client c =
@@ -408,7 +450,9 @@ let run cfg =
             ("service.cells.degraded", job.j_degraded);
             ("service.cells.simulated", job.j_simulated);
           ]
-        ~gauges:(if Float.is_nan mean then [] else [ ("ipc.mean", mean) ])
+        ~gauges:
+          ((if Float.is_nan mean then [] else [ ("ipc.mean", mean) ])
+          @ Span.latency_gauges (List.rev job.j_spans))
         ~cells ~cmd:"serve"
         ~label:(if job.j_tag = "" then job.j_id else job.j_tag)
         ~scale:(E.Common.scale_name job.j_scale)
@@ -417,15 +461,42 @@ let run cfg =
     in
     let run_id =
       if cfg.no_ledger then None
-      else
+      else begin
+        let t_app = Span.now tracer in
         match Ledger.append ~dir:cfg.runs_dir record with
-        | r -> Some r.Ledger.id
+        | r ->
+          job_span job ~parent:job.j_root ~kind:Span.Ledger_append
+            ~name:job.j_id ~lane:"server" ~start_s:t_app
+            ~dur_s:(Span.now tracer -. t_app) ();
+          Some r.Ledger.id
         | exception e ->
-          cfg.log
-            (Printf.sprintf "warning: could not record serve ledger entry: %s"
-               (Printexc.to_string e));
+          Log.warn cfg.log "could not record serve ledger entry"
+            [
+              ("job", Log.S job.j_id); ("err", Log.S (Printexc.to_string e));
+            ];
           None
+      end
     in
+    (* Close the root submit span last so every child fits inside it,
+       then feed the finished tree to the exposition histograms. *)
+    (match job.j_trace with
+    | None -> ()
+    | Some (trace, parent, _) ->
+      let sp =
+        {
+          Span.trace;
+          id = job.j_root;
+          parent;
+          kind = Span.Submit;
+          name = job.j_id;
+          lane = "server";
+          start_s = job.j_t0c;
+          dur_s = Span.now tracer -. job.j_t0c;
+        }
+      in
+      Span.add tracer sp;
+      job.j_spans <- sp :: job.j_spans;
+      Span.observe_histograms !span_registry (List.rev job.j_spans));
     emit_event job
       (E.Sweep.Sweep_finished
          {
@@ -448,15 +519,31 @@ let run cfg =
              ("simulated", J.Num (float_of_int job.j_simulated));
              ("degraded", J.Num (float_of_int job.j_degraded));
              ("wall_s", J.Num wall_s);
-           ]));
+           ]
+         @
+         match job.j_trace with
+         | Some (trace, _, true) ->
+           [
+             ("trace", J.Str (Span.id_to_hex trace));
+             ("spans", Span.list_to_json (List.rev job.j_spans));
+           ]
+         | _ -> []));
     (match Hashtbl.find_opt clients job.j_client with
     | Some c -> c.c_inflight <- max 0 (c.c_inflight - 1)
     | None -> ());
     stats.jobs_completed <- stats.jobs_completed + 1;
     incr completed_jobs;
+    Log.debug cfg.log "job done"
+      [
+        ("job", Log.S job.j_id);
+        ("client", Log.I job.j_client);
+        ("cached", Log.I job.j_cached);
+        ("simulated", Log.I job.j_simulated);
+        ("wall_s", Log.F wall_s);
+      ];
     (match cfg.max_jobs with
     | Some n when !completed_jobs >= n ->
-      cfg.log (Printf.sprintf "max-jobs reached (%d); draining" n);
+      Log.info cfg.log "max-jobs reached; draining" [ ("max_jobs", Log.I n) ];
       draining := true
     | _ -> ());
     write_metrics ()
@@ -506,6 +593,14 @@ let run cfg =
                  (fun mix -> List.map (fun scheme -> (mix, scheme)) schemes)
                  mixes)
           in
+          let j_trace =
+            match s.trace with
+            | Some { Request.trace_id; parent_span } ->
+              Some (trace_id, parent_span, true)
+            | None ->
+              if server_traced then Some (Span.fresh_id tracer, None, false)
+              else None
+          in
           let job =
             {
               j_id = Printf.sprintf "j%d" !next_job;
@@ -525,9 +620,24 @@ let run cfg =
               j_simulated = 0;
               j_degraded = 0;
               j_t0 = Unix.gettimeofday ();
+              j_trace;
+              j_root =
+                (match j_trace with
+                | Some _ -> Span.fresh_id tracer
+                | None -> 0L);
+              j_t0c = Span.now tracer;
+              j_sched = false;
+              j_spans = [];
             }
           in
           c.c_inflight <- c.c_inflight + 1;
+          Log.debug cfg.log "submit accepted"
+            [
+              ("job", Log.S job.j_id);
+              ("client", Log.I c.c_id);
+              ("cells", Log.I (Array.length slots));
+              ("traced", Log.B (j_trace <> None));
+            ];
           (* Cache pass at submit time: hits are answered immediately
              and never occupy a scheduler slot. *)
           let cold = ref [] in
@@ -607,20 +717,42 @@ let run cfg =
       | Request.Ping -> send c (J.Obj [ ("reply", J.Str "pong") ])
       | Request.Stats ->
         refresh_gauges ();
+        let inflight =
+          Hashtbl.fold
+            (fun _ cl acc ->
+              if cl.c_inflight > 0 then
+                J.Obj
+                  [
+                    ("client", J.Num (float_of_int cl.c_id));
+                    ("jobs", J.Num (float_of_int cl.c_inflight));
+                  ]
+                :: acc
+              else acc)
+            clients []
+        in
+        let latency =
+          match Span.latency_gauges (Span.spans tracer) with
+          | [] -> []
+          | gs ->
+            [ ("latency", J.Obj (List.map (fun (k, v) -> (k, J.Num v)) gs)) ]
+        in
         send c
           (J.Obj
-             [
-               ("reply", J.Str "stats");
-               ("queue_depth", J.Num (float_of_int stats.queue_depth));
-               ("cache_cells", J.Num (float_of_int stats.cache_cells));
-               ("clients", J.Num (float_of_int stats.clients_now));
-               ("draining", J.Bool !draining);
-               ( "counters",
-                 J.Obj
-                   (List.map
-                      (fun (k, v) -> (k, J.Num (float_of_int v)))
-                      (counters_list ())) );
-             ])
+             ([
+                ("reply", J.Str "stats");
+                ("kind", J.Str "service");
+                ("queue_depth", J.Num (float_of_int stats.queue_depth));
+                ("cache_cells", J.Num (float_of_int stats.cache_cells));
+                ("clients", J.Num (float_of_int stats.clients_now));
+                ("draining", J.Bool !draining);
+                ("inflight", J.List inflight);
+                ( "counters",
+                  J.Obj
+                    (List.map
+                       (fun (k, v) -> (k, J.Num (float_of_int v)))
+                       (counters_list ())) );
+              ]
+             @ latency))
       | Request.Metrics ->
         refresh_gauges ();
         send c
@@ -668,6 +800,7 @@ let run cfg =
     | client_fd, _addr ->
       incr next_client;
       stats.clients_accepted <- stats.clients_accepted + 1;
+      Log.debug cfg.log "client accepted" [ ("client", Log.I !next_client) ];
       Hashtbl.replace clients !next_client
         {
           c_id = !next_client;
@@ -692,13 +825,29 @@ let run cfg =
           })
         !queue
     in
+    let t_plan0 = Span.now tracer in
     let batch, _ = Scheduler.plan ~capacity:effective_jobs snapshot in
+    let t_plan1 = Span.now tracer in
     let batch = Array.of_list batch in
     Array.iter
       (fun (_, (job, i)) ->
         job.j_pending <- List.filter (fun k -> k <> i) job.j_pending)
       batch;
     queue := List.filter (fun job -> job.j_pending <> []) !queue;
+    (* A traced job's first batch closes its queue_wait (submit -> this
+       planning pass) and pins the plan cost as its schedule span. *)
+    Array.iter
+      (fun (_, (job, _)) ->
+        if not job.j_sched then begin
+          job.j_sched <- true;
+          job_span job ~parent:job.j_root ~kind:Span.Queue_wait ~name:job.j_id
+            ~lane:"server" ~start_s:job.j_t0c
+            ~dur_s:(t_plan0 -. job.j_t0c) ();
+          job_span job ~parent:job.j_root ~kind:Span.Schedule ~name:job.j_id
+            ~lane:"server" ~start_s:t_plan0
+            ~dur_s:(t_plan1 -. t_plan0) ()
+        end)
+      batch;
     (* Prepared rows resolve in this domain (compilation must not race);
        workers only simulate. *)
     let tasks =
@@ -723,6 +872,11 @@ let run cfg =
         Hashtbl.replace touched job.j_id job;
         match res with
         | Ok (ipc, elapsed, worker) ->
+          let mix, scheme = job.j_slots.(i) in
+          job_span job ~parent:job.j_root ~kind:Span.Simulate_cell
+            ~name:(mix ^ "/" ^ scheme)
+            ~lane:(Printf.sprintf "pool %d" worker)
+            ~start_s:t_plan1 ~dur_s:elapsed ();
           record_result job i
             {
               r_ipc = ipc;
@@ -784,7 +938,19 @@ let run cfg =
         if !queue <> [] then run_batch ()
       done;
       write_metrics ();
-      cfg.log
-        (Printf.sprintf
-           "shutdown: %d job(s) served, %d cell(s) cached, %d simulated"
-           stats.jobs_completed stats.cells_cached stats.cells_simulated))
+      Option.iter
+        (fun path ->
+          try
+            Vliw_util.Atomic_io.write_file ~path
+              (Span.to_chrome ~process_name:"vliwsim serve"
+                 (Span.spans tracer))
+          with e ->
+            Log.warn cfg.log "could not write trace"
+              [ ("path", Log.S path); ("err", Log.S (Printexc.to_string e)) ])
+        cfg.trace_out;
+      Log.info cfg.log "shutdown"
+        [
+          ("jobs", Log.I stats.jobs_completed);
+          ("cached", Log.I stats.cells_cached);
+          ("simulated", Log.I stats.cells_simulated);
+        ])

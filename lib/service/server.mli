@@ -42,7 +42,22 @@ type config = {
   max_requests : int;  (** Requests per connection before it is closed. *)
   max_jobs : int option;  (** Drain and exit after this many jobs. *)
   handle_signals : bool;  (** Install SIGINT/SIGTERM drain handlers. *)
-  log : string -> unit;  (** Diagnostic sink (the CLI points it at stderr). *)
+  log : Vliw_util.Log.t;
+      (** Structured diagnostics (job/client ids as fields); default
+          {!Vliw_util.Log.null}. The CLI points it at stderr. *)
+  tracer : Vliw_telemetry.Span.collector option;
+      (** When set (or when [trace_out] is), every job records a span
+          tree — a [submit] root (parented to the client's span when
+          the request carries trace ids), [queue_wait] + [schedule]
+          closed at its first batch, one [simulate_cell] per cold cell
+          and a [ledger_append] — fed to the stats reply's latency
+          quantiles and the OpenMetrics histograms. A request carrying
+          trace ids is traced even when both are [None], and gets its
+          spans back on the [done] reply. Observation only: grids are
+          bit-identical with tracing on or off. *)
+  trace_out : string option;
+      (** Write the daemon-lifetime merged Chrome trace here at
+          shutdown. *)
 }
 
 val default_config : config

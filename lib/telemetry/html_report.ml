@@ -428,6 +428,42 @@ let section_dist (r : Ledger.run) =
       (hbar_chart ~title:"Shard lifecycle" shards)
   end
 
+(* Request-latency panel: renders when the record carries span.* gauges
+   (a traced serve job or a traced dist sweep). Quantiles are exact
+   (nearest-rank) and plotted in milliseconds; per-kind span counts ride
+   in the kv table. *)
+let section_latency (r : Ledger.run) =
+  let kinds =
+    List.filter_map
+      (fun (name, v) ->
+        match String.split_on_char '.' name with
+        | [ "span"; kind; "count" ] -> Some (kind, int_of_float v)
+        | _ -> None)
+      r.gauges
+  in
+  if kinds = [] then ""
+  else begin
+    let rows =
+      List.concat_map
+        (fun (kind, _) ->
+          List.filter_map
+            (fun q ->
+              match List.assoc_opt (pf "span.%s.%s" kind q) r.gauges with
+              | Some v -> Some (pf "%s %s" kind q, v *. 1000.0)
+              | None -> None)
+            [ "p50"; "p95"; "p99" ])
+        kinds
+    in
+    let row k v = pf "<tr><th>%s</th><td>%s</td></tr>" (esc k) (esc v) in
+    pf
+      "<section><h2>Request latency</h2><table class=\"kv\">%s</table>%s<p class=\"note\">Exact (nearest-rank) quantiles over this run's trace spans, one family per span kind.</p></section>"
+      (String.concat ""
+         (List.map
+            (fun (kind, n) -> row (kind ^ " spans") (string_of_int n))
+            kinds))
+      (hbar_chart ~title:"Span latency quantiles (ms)" rows)
+  end
+
 let section_waste (r : Ledger.run) =
   let vertical = counters_with_prefix r.counters "waste.vertical." in
   let horizontal = counters_with_prefix r.counters "waste.horizontal." in
@@ -554,24 +590,46 @@ let section_timeline (r : Ledger.run) =
   end
 
 let section_trajectory ~(runs : Ledger.run list) (current : Ledger.run) =
+  (* Grid runs chart mean IPC; gauge-only records (e.g. bench --json)
+     chart their headline gauge, so perf trends plot the same way
+     result drift does. *)
+  let metric_label, metric =
+    if Array.length current.cells > 0 then
+      ( "mean IPC",
+        fun (r : Ledger.run) ->
+          if Array.length r.cells = 0 then Float.nan else Ledger.mean_ipc r )
+    else begin
+      let key =
+        if List.mem_assoc "exp_all_calibrated" current.gauges then
+          "exp_all_calibrated"
+        else match current.gauges with (k, _) :: _ -> k | [] -> ""
+      in
+      ( key,
+        fun (r : Ledger.run) ->
+          match List.assoc_opt key r.gauges with
+          | Some v -> v
+          | None -> Float.nan )
+    end
+  in
+  if metric_label = "" then ""
+  else begin
   let comparable =
     List.filter
       (fun (r : Ledger.run) ->
-        r.fingerprint = current.fingerprint && Array.length r.cells > 0)
+        r.fingerprint = current.fingerprint
+        && not (Float.is_nan (metric r)))
       runs
   in
   match comparable with
   | [] | [ _ ] ->
-    if Array.length current.cells = 0 then ""
+    if Float.is_nan (metric current) then ""
     else
       pf
-        "<section><h2>Cross-run trajectory</h2><p class=\"hero\">%s</p><p class=\"note\">mean IPC this run — the trajectory chart appears once the ledger holds a second run with this configuration fingerprint.</p></section>"
-        (fmt_num (Ledger.mean_ipc current))
+        "<section><h2>Cross-run trajectory</h2><p class=\"hero\">%s</p><p class=\"note\">%s this run — the trajectory chart appears once the ledger holds a second run with this configuration fingerprint.</p></section>"
+        (fmt_num (metric current))
+        (esc metric_label)
   | _ ->
-    let pts =
-      List.map (fun r -> (r, Ledger.mean_ipc r)) comparable
-      |> List.filter (fun (_, v) -> not (Float.is_nan v))
-    in
+    let pts = List.map (fun r -> (r, metric r)) comparable in
     let n = List.length pts in
     if n < 2 then ""
     else begin
@@ -583,8 +641,8 @@ let section_trajectory ~(runs : Ledger.run list) (current : Ledger.run) =
       let py v = top +. plot_h -. (plot_h *. v /. vmax) in
       let buf = Buffer.create 4096 in
       Buffer.add_string buf
-        (pf "<svg viewBox=\"0 0 %.0f %.0f\" role=\"img\" aria-label=\"Mean IPC across runs\">"
-           w h);
+        (pf "<svg viewBox=\"0 0 %.0f %.0f\" role=\"img\" aria-label=\"%s across runs\">"
+           w h (esc metric_label));
       y_axis buf ~left ~top ~plot_w ~plot_h ~vmax ~ticks:4;
       let path =
         String.concat " "
@@ -601,10 +659,11 @@ let section_trajectory ~(runs : Ledger.run list) (current : Ledger.run) =
           let cur = r.id = current.id in
           Buffer.add_string buf
             (pf
-               "<g><circle cx=\"%.1f\" cy=\"%.1f\" r=\"%s\" fill=\"var(--c0)\" stroke=\"var(--surface)\" stroke-width=\"2\"/><title>%s (%s, git %s): mean IPC %.4f, wall %.2fs</title></g>"
+               "<g><circle cx=\"%.1f\" cy=\"%.1f\" r=\"%s\" fill=\"var(--c0)\" stroke=\"var(--surface)\" stroke-width=\"2\"/><title>%s (%s, git %s): %s %.4f, wall %.2fs</title></g>"
                (px i) (py v)
                (if cur then "6" else "4")
-               (esc r.id) (fmt_time r.time_s) (esc r.git_rev) v r.wall_s);
+               (esc r.id) (fmt_time r.time_s) (esc r.git_rev)
+               (esc metric_label) v r.wall_s);
           if i mod label_every = 0 || cur then
             Buffer.add_string buf
               (pf "<text class=\"tick\" x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%s</text>"
@@ -612,9 +671,10 @@ let section_trajectory ~(runs : Ledger.run list) (current : Ledger.run) =
         pts;
       Buffer.add_string buf "</svg>";
       pf
-        "<section><h2>Cross-run trajectory</h2>%s<p class=\"note\">Mean IPC across the %d ledger runs sharing configuration fingerprint %s; the large marker is this run.</p></section>"
-        (Buffer.contents buf) n (esc current.fingerprint)
+        "<section><h2>Cross-run trajectory</h2>%s<p class=\"note\">%s across the %d ledger runs sharing configuration fingerprint %s; the large marker is this run.</p></section>"
+        (Buffer.contents buf) (esc metric_label) n (esc current.fingerprint)
     end
+  end
 
 (* --- document --------------------------------------------------------- *)
 
@@ -662,11 +722,11 @@ let render ?(runs = []) (r : Ledger.run) =
 <style>%s</style></head>
 <body><main>
 <h1>vliwsim run report</h1>
-%s%s%s%s%s%s%s%s%s
+%s%s%s%s%s%s%s%s%s%s
 <p class="note">Generated by vliwsim; self-contained file (no scripts, no external resources).</p>
 </main></body></html>
 |}
     (esc r.id) (style ~k) (section_summary r) (section_ipc_grid r)
     (section_adaptive r) (section_service r) (section_dist r)
-    (section_waste r) (section_stalls r)
+    (section_latency r) (section_waste r) (section_stalls r)
     (section_timeline r) (section_trajectory ~runs r)

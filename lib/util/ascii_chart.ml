@@ -50,6 +50,38 @@ let grouped_bar_chart ?(width = 40) ~group_labels ~series () =
     group_labels;
   Buffer.contents buf
 
+(* Eight block glyphs from U+2581 to U+2588; the empty series renders as
+   an empty string rather than inventing a baseline. Values are scaled
+   against the series maximum (minimum pinned at 0 for rates) so a flat
+   non-zero series shows full blocks, not noise. *)
+let spark_glyphs = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline ?width values =
+  let values =
+    match width with
+    | None -> values
+    | Some w ->
+      let n = List.length values in
+      if n <= w then values
+      else
+        (* Keep the most recent [w] samples: a monitor cares about now. *)
+        List.filteri (fun i _ -> i >= n - w) values
+  in
+  match values with
+  | [] -> ""
+  | _ ->
+    let vmax = List.fold_left max 0.0 values in
+    let vmax = if vmax <= 0.0 then 1.0 else vmax in
+    let glyph v =
+      let v = max 0.0 v in
+      let i =
+        int_of_float
+          (Float.round (v /. vmax *. float_of_int (Array.length spark_glyphs - 1)))
+      in
+      spark_glyphs.(max 0 (min (Array.length spark_glyphs - 1) i))
+    in
+    String.concat "" (List.map glyph values)
+
 let scatter ?(rows = 18) ?(cols = 64) ~x_label ~y_label points =
   let buf = Buffer.create 2048 in
   match points with

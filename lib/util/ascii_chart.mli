@@ -15,6 +15,13 @@ val grouped_bar_chart :
 (** Grouped bars, one group per [group_labels] entry; each series
     contributes one bar per group (like the paper's Figure 10). *)
 
+val sparkline : ?width:int -> float list -> string
+(** [sparkline values] renders the series as one line of Unicode block
+    glyphs (▁▂▃▄▅▆▇█), scaled against the series maximum with the
+    baseline pinned at 0 — the compact rate display of [vliwsim top].
+    [width] keeps only the most recent samples; the empty series is the
+    empty string. *)
+
 val scatter :
   ?rows:int ->
   ?cols:int ->

@@ -1,0 +1,110 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other ->
+    Error
+      (Printf.sprintf "unknown log level %S (expected debug|info|warn|error)"
+         other)
+
+type format = Human | Json
+
+let format_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "human" | "text" -> Ok Human
+  | "json" | "ndjson" -> Ok Json
+  | other ->
+    Error (Printf.sprintf "unknown log format %S (expected human|json)" other)
+
+type value = S of string | I of int | F of float | B of bool
+
+type field = string * value
+
+type t = {
+  min_level : level;
+  format : format;
+  component : string;
+  clock : unit -> float;
+  t0 : float;
+  emit : string -> unit;
+}
+
+let make ?(level = Info) ?(format = Human) ?(clock = Unix.gettimeofday)
+    ~component emit =
+  { min_level = level; format; component; clock; t0 = clock (); emit }
+
+(* The silent logger: same [t0] discipline as a real one so a component
+   can compute timestamps against it without caring whether anyone
+   listens. *)
+let null = make ~level:Error ~component:"" (fun _ -> ())
+
+let with_component t component = { t with component }
+
+let enabled t level = level_rank level >= level_rank t.min_level
+
+(* Quote only when the raw string would be ambiguous on a space-split
+   line; ids and enum-ish values stay unquoted for grep-ability. *)
+let human_string s =
+  let needs_quote =
+    s = ""
+    || String.exists (fun c -> c = ' ' || c = '"' || c = '=' || c < ' ') s
+  in
+  if needs_quote then Printf.sprintf "%S" s else s
+
+let value_human = function
+  | S s -> human_string s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%g" f
+  | B b -> string_of_bool b
+
+let value_json = function
+  | S s -> Json.Str s
+  | I i -> Json.Num (float_of_int i)
+  | F f -> Json.Num f
+  | B b -> Json.Bool b
+
+let render t ~ts level msg fields =
+  match t.format with
+  | Human ->
+    let b = Buffer.create 96 in
+    Buffer.add_string b
+      (Printf.sprintf "%9.3f %-5s %s: %s" ts (level_name level) t.component
+         msg);
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b (value_human v))
+      fields;
+    Buffer.contents b
+  | Json ->
+    Json.to_string
+      (Json.Obj
+         (("ts", Json.Num ts)
+         :: ("level", Json.Str (level_name level))
+         :: ("component", Json.Str t.component)
+         :: ("msg", Json.Str msg)
+         :: List.map (fun (k, v) -> (k, value_json v)) fields))
+
+let msg t level message fields =
+  if enabled t level then begin
+    let ts = t.clock () -. t.t0 in
+    t.emit (render t ~ts level message fields)
+  end
+
+let debug t message fields = msg t Debug message fields
+let info t message fields = msg t Info message fields
+let warn t message fields = msg t Warn message fields
+let error t message fields = msg t Error message fields

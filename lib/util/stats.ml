@@ -51,6 +51,20 @@ let percentile xs p =
     ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
   end
 
+let quantile_exact xs p =
+  require_nonempty "quantile_exact" xs;
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg
+      (Printf.sprintf "Stats.quantile_exact: p = %g not in [0, 100]" p);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+  ys.(min (n - 1) (max 0 (rank - 1)))
+
+let p50 xs = quantile_exact xs 50.0
+let p95 xs = quantile_exact xs 95.0
+let p99 xs = quantile_exact xs 99.0
+
 let min_max xs =
   require_nonempty "min_max" xs;
   Array.fold_left

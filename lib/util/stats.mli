@@ -26,6 +26,26 @@ val percentile : float array -> float -> float
     @raise Invalid_argument on the empty array or [p] outside
     [\[0, 100\]]. *)
 
+val quantile_exact : float array -> float -> float
+(** [quantile_exact xs p] is the nearest-rank (type-1) quantile: the
+    smallest sample such that at least [p]% of the data is [<=] it.
+    Unlike {!percentile} it never interpolates, so the result is always
+    an element of [xs] — the right notion for latency summaries, where
+    an invented value between two observations is a lie. [p = 100]
+    lands on the largest element; a single sample is every quantile of
+    itself.
+    @raise Invalid_argument on the empty array or [p] outside
+    [\[0, 100\]]. *)
+
+val p50 : float array -> float
+(** [quantile_exact xs 50.] @raise Invalid_argument on the empty array. *)
+
+val p95 : float array -> float
+(** [quantile_exact xs 95.] @raise Invalid_argument on the empty array. *)
+
+val p99 : float array -> float
+(** [quantile_exact xs 99.] @raise Invalid_argument on the empty array. *)
+
 val min_max : float array -> float * float
 (** Smallest and largest element.
     @raise Invalid_argument on the empty array. *)

@@ -15,6 +15,7 @@ module Protocol = Vliw_dist.Protocol
 module Worker = Vliw_dist.Worker
 module Coordinator = Vliw_dist.Coordinator
 module Ledger = Vliw_telemetry.Ledger
+module Span = Vliw_telemetry.Span
 module E = Vliw_experiments
 
 let all_mixes = Vliw_workloads.Mixes.names
@@ -96,6 +97,36 @@ let cell_spec_gen =
       (fun m s -> { Plan.mix = m; scheme = s })
       (oneofl all_mixes) (oneofl all_schemes))
 
+let trace_gen =
+  QCheck.Gen.(
+    option
+      (map2
+         (fun t p -> { Protocol.t_trace = t; t_parent = p })
+         ui64 (option ui64)))
+
+let span_gen =
+  QCheck.Gen.(
+    let* trace = ui64 in
+    let* id = ui64 in
+    let* parent = option ui64 in
+    let* kind = oneofl Span.all_kinds in
+    let* name = string_size (int_bound 12) in
+    let* lane = string_size (int_bound 8) in
+    (* arbitrary bit patterns: the wire is a bit image, nan included *)
+    let* start_bits = ui64 in
+    let* dur_bits = ui64 in
+    return
+      {
+        Span.trace;
+        id;
+        parent;
+        kind;
+        name;
+        lane;
+        start_s = Int64.float_of_bits start_bits;
+        dur_s = Int64.float_of_bits dur_bits;
+      })
+
 let to_worker_gen =
   QCheck.Gen.(
     frequency
@@ -103,15 +134,16 @@ let to_worker_gen =
         (1, return Protocol.Quit);
         ( 4,
           map3
-            (fun shard seed cells ->
+            (fun (shard, trace) seed cells ->
               Protocol.Assign
                 {
                   a_shard = shard;
                   a_scale = "quick";
                   a_seed = seed;
                   a_cells = cells;
+                  a_trace = trace;
                 })
-            (int_bound 10_000)
+            (pair (int_bound 10_000) trace_gen)
             (map Int64.of_int (int_bound 1_000_000))
             (list_size (int_range 1 10) cell_spec_gen) );
       ])
@@ -121,7 +153,13 @@ let from_worker_gen =
     frequency
       [
         (1, map (fun pid -> Protocol.Ready { pid }) (int_bound 100_000));
-        (1, map (fun d -> Protocol.Shard_done { d_shard = d }) (int_bound 10_000));
+        (1, return Protocol.Query_stats);
+        ( 1,
+          map2
+            (fun d spans ->
+              Protocol.Shard_done { d_shard = d; d_spans = spans })
+            (int_bound 10_000)
+            (list_size (int_bound 4) span_gen) );
         ( 4,
           map3
             (fun shard (mix, scheme) (ipc, err) ->
@@ -153,14 +191,23 @@ let to_worker_eq a b =
   | Protocol.Quit, Protocol.Quit -> true
   | Protocol.Assign x, Protocol.Assign y ->
     x.a_shard = y.a_shard && x.a_scale = y.a_scale && x.a_seed = y.a_seed
-    && x.a_cells = y.a_cells
+    && x.a_cells = y.a_cells && x.a_trace = y.a_trace
   | _ -> false
+
+let span_eq (a : Span.t) (b : Span.t) =
+  a.trace = b.trace && a.id = b.id && a.parent = b.parent && a.kind = b.kind
+  && a.name = b.name && a.lane = b.lane
+  && Int64.bits_of_float a.start_s = Int64.bits_of_float b.start_s
+  && Int64.bits_of_float a.dur_s = Int64.bits_of_float b.dur_s
 
 let from_worker_eq a b =
   match (a, b) with
   | Protocol.Ready { pid = a }, Protocol.Ready { pid = b } -> a = b
-  | Protocol.Shard_done { d_shard = a }, Protocol.Shard_done { d_shard = b } ->
-    a = b
+  | Protocol.Query_stats, Protocol.Query_stats -> true
+  | Protocol.Shard_done a, Protocol.Shard_done b ->
+    a.d_shard = b.d_shard
+    && List.length a.d_spans = List.length b.d_spans
+    && List.for_all2 span_eq a.d_spans b.d_spans
   | Protocol.Cell x, Protocol.Cell y ->
     x.c_shard = y.c_shard
     && x.c_result.r_mix = y.c_result.r_mix
@@ -265,7 +312,7 @@ let test_worker_serve () =
   send_line ours
     (Protocol.to_worker_to_json
        (Protocol.Assign
-          { a_shard = 7; a_scale = "quick"; a_seed = 42L; a_cells = cells }));
+          { a_shard = 7; a_scale = "quick"; a_seed = 42L; a_cells = cells; a_trace = None }));
   let msgs =
     read_messages ours (fun ms ->
         List.exists (function Protocol.Shard_done _ -> true | _ -> false) ms)
@@ -278,7 +325,7 @@ let test_worker_serve () =
   | Protocol.Ready _ :: _ -> ()
   | _ -> Alcotest.fail "worker did not greet with ready");
   (match List.rev msgs with
-  | Protocol.Shard_done { d_shard = 7 } :: _ -> ()
+  | Protocol.Shard_done { d_shard = 7; _ } :: _ -> ()
   | _ -> Alcotest.fail "worker did not complete shard 7");
   let results =
     List.filter_map
@@ -336,6 +383,7 @@ let test_worker_bad_cell () =
                 { Plan.mix = "NOPE"; scheme = "C4" };
                 { Plan.mix = "LLHH"; scheme = "C4" };
               ];
+            a_trace = None;
           }));
   let msgs =
     read_messages ours (fun ms ->
@@ -647,6 +695,65 @@ let test_cell_ci_math () =
     (List.length
        (E.Replicates.cell_gauges (E.Replicates.cell_stats [ mk 1L Float.nan ])))
 
+(* The distributed half of the tracing acceptance contract: a traced
+   2-worker run produces bit-identical grids to the untraced run (and to
+   the local sweep), and the merged span forest — coordinator spans plus
+   the workers' children shipped back over Shard_done — is well-nested. *)
+let test_coordinator_traced_bit_identity () =
+  let mix_names = [ "LLHH"; "MMMM" ] and scheme_names = [ "C4"; "1S" ] in
+  let seed = 11L in
+  let plain =
+    run_distributed ~workers:2 ~mix_names ~scheme_names ~seed ()
+  in
+  let tracer = Span.collector ~seed:0xd157L () in
+  let fleet = List.init 2 (fun _ -> attached_worker ()) in
+  let traced =
+    match
+      Coordinator.run ~scale:E.Common.Quick ~seed ~scheme_names ~mix_names
+        {
+          Coordinator.default_config with
+          attached = List.map fst fleet;
+          tracer = Some tracer;
+        }
+    with
+    | result ->
+      List.iter (fun (_, d) -> Domain.join d) fleet;
+      result
+    | exception e ->
+      List.iter
+        (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+        fleet;
+      List.iter (fun (_, d) -> Domain.join d) fleet;
+      raise e
+  in
+  (match (plain.Coordinator.d_grids, traced.Coordinator.d_grids) with
+  | [ (11L, a) ], [ (11L, b) ] ->
+    check_grid_bit_identity ~seed ~mix_names ~scheme_names b;
+    Alcotest.(check int) "same shape" (Array.length a) (Array.length b);
+    Array.iteri
+      (fun i (ca : E.Sweep.cell) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s traced == untraced" ca.mix ca.scheme)
+          true
+          (Int64.bits_of_float ca.ipc = Int64.bits_of_float b.(i).ipc))
+      a
+  | _ -> Alcotest.fail "expected one grid per run");
+  let spans = Span.spans tracer in
+  let kinds = List.map (fun s -> s.Span.kind) spans in
+  Alcotest.(check bool) "submit root present" true (List.mem Span.Submit kinds);
+  Alcotest.(check bool) "dispatch spans present" true
+    (List.mem Span.Dispatch kinds);
+  Alcotest.(check bool) "worker simulate spans merged back" true
+    (List.mem Span.Simulate_cell kinds);
+  Alcotest.(check bool) "worker lanes rewritten" true
+    (List.exists
+       (fun s ->
+         s.Span.kind = Span.Simulate_cell
+         && (s.Span.lane = "worker 0" || s.Span.lane = "worker 1"))
+       spans);
+  Alcotest.(check (list string)) "merged fleet forest well-nested" []
+    (Span.validate ~slack_s:0.5 spans)
+
 let test_dist_counters_list () =
   let r = run_distributed ~workers:1 ~mix_names:[ "LLHH" ] ~scheme_names:[ "C4" ] ~seed:3L () in
   let counters = Coordinator.counters_list r.Coordinator.d_stats in
@@ -688,4 +795,6 @@ let suite =
         test_cell_ci_math;
       Alcotest.test_case "coordinator: dist.* counter export" `Quick
         test_dist_counters_list;
+      Alcotest.test_case "coordinator: traced run bit-identical + nested"
+        `Quick test_coordinator_traced_bit_identity;
     ] )

@@ -337,7 +337,42 @@ let test_html_report_self_contained () =
   let html2 = T.Html_report.render ~runs:[ bare ] bare in
   Alcotest.(check bool) "bare run renders" true (contains ~needle:"</html>" html2);
   Alcotest.(check bool) "bare run omits timeline" false
-    (contains ~needle:"Sweep cell timeline" html2)
+    (contains ~needle:"Sweep cell timeline" html2);
+  (* span.* gauges light the Request latency panel *)
+  Alcotest.(check bool) "untraced run omits latency panel" false
+    (contains ~needle:"Request latency" html);
+  let traced =
+    L.make ~cells:grid_cells
+      ~gauges:
+        [
+          ("span.submit.count", 2.0); ("span.submit.p50", 0.012);
+          ("span.submit.p95", 0.04); ("span.submit.p99", 0.04);
+          ("span.simulate_cell.count", 4.0); ("span.simulate_cell.p50", 0.003);
+        ]
+      ~cmd:"serve" ~label:"traced" ~scale:"quick" ~seed:1L ~jobs:1
+      ~scheme_names:[ "1S"; "2SC3" ] ~mix_names:[ "LLHH"; "MMMM" ] ~wall_s:0.1
+      ()
+  in
+  let html3 = T.Html_report.render traced in
+  Alcotest.(check bool) "latency panel renders" true
+    (contains ~needle:"Request latency" html3);
+  Alcotest.(check bool) "quantile bars present" true
+    (contains ~needle:"submit p95" html3);
+  (* gauge-only (cell-less) records still get a trajectory: the headline
+     gauge plays the role mean IPC plays for grids *)
+  let bench label =
+    L.make ~gauges:[ ("exp_all_calibrated", 12.5); ("words_per_cycle.C4", 3.0) ]
+      ~cmd:"bench" ~label ~scale:"quick" ~seed:1L ~jobs:1 ~scheme_names:[ "C4" ]
+      ~mix_names:[] ~wall_s:0.1 ()
+  in
+  let bdir = Filename.concat (tmp_dir ()) "bruns" in
+  let _b1 = L.append ~dir:bdir (bench "b1") in
+  let b2 = L.append ~dir:bdir (bench "b2") in
+  let html4 = T.Html_report.render ~runs:(L.load ~dir:bdir) b2 in
+  Alcotest.(check bool) "gauge-only trajectory renders" true
+    (contains ~needle:"Cross-run trajectory" html4);
+  Alcotest.(check bool) "trajectory charts the headline gauge" true
+    (contains ~needle:"exp_all_calibrated across" html4)
 
 (* --- Sweep events ----------------------------------------------------- *)
 
@@ -505,6 +540,82 @@ let ledger_cells cells =
       })
     cells
 
+(* --- Structured logging ---------------------------------------------- *)
+
+module Log = Vliw_util.Log
+
+let test_log_render () =
+  let sink = Buffer.create 256 in
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 1.5;
+    !t
+  in
+  let log =
+    Log.make ~level:Log.Debug ~format:Log.Human ~clock ~component:"serve"
+      (fun line ->
+        Buffer.add_string sink line;
+        Buffer.add_char sink '\n')
+  in
+  let fields =
+    [ ("job", Log.S "j-1"); ("cells", Log.I 9); ("wall_s", Log.F 0.25);
+      ("cached", Log.B true); ("msg text", Log.S "two words") ]
+  in
+  let human = Log.render log ~ts:12.5 Log.Warn "job done" fields in
+  Alcotest.(check bool) "level tag" true (contains ~needle:"warn" human);
+  Alcotest.(check bool) "component tag" true (contains ~needle:"serve:" human);
+  Alcotest.(check bool) "bare id unquoted" true (contains ~needle:"job=j-1" human);
+  Alcotest.(check bool) "int field" true (contains ~needle:"cells=9" human);
+  Alcotest.(check bool) "spacey value quoted" true
+    (contains ~needle:"=\"two words\"" human);
+  (* json mode: every line parses, fields are typed *)
+  let jlog = Log.make ~format:Log.Json ~clock ~component:"dist" (fun l ->
+      Buffer.add_string sink l) in
+  Buffer.clear sink;
+  Log.info jlog "worker up" [ ("worker", Log.I 3); ("addr", Log.S "w:1") ];
+  (match J.parse (Buffer.contents sink) with
+  | Error e -> Alcotest.fail ("json log line not JSON: " ^ e)
+  | Ok doc ->
+    Alcotest.(check bool) "level field" true
+      (J.member "level" doc = Some (J.Str "info"));
+    Alcotest.(check bool) "component field" true
+      (J.member "component" doc = Some (J.Str "dist"));
+    Alcotest.(check bool) "typed int field" true
+      (J.member "worker" doc = Some (J.Num 3.0));
+    (match J.member "ts" doc with
+    | Some (J.Num ts) ->
+      (* monotonic: seconds since logger creation, not wall time *)
+      Alcotest.(check bool) "ts is an offset" true (ts >= 0.0 && ts < 60.0)
+    | _ -> Alcotest.fail "no ts field"))
+
+let test_log_levels () =
+  let lines = ref [] in
+  let log =
+    Log.make ~level:Log.Warn ~component:"c" (fun l -> lines := l :: !lines)
+  in
+  Log.debug log "dropped" [];
+  Log.info log "dropped" [];
+  Log.warn log "kept" [];
+  Log.error log "kept" [];
+  Alcotest.(check int) "below-threshold records dropped" 2
+    (List.length !lines);
+  Alcotest.(check bool) "enabled matches" true
+    (Log.enabled log Log.Error && not (Log.enabled log Log.Info));
+  (* parsing the CLI spellings *)
+  Alcotest.(check bool) "warning alias" true
+    (Log.level_of_string "WARNING" = Ok Log.Warn);
+  Alcotest.(check bool) "bad level rejected" true
+    (match Log.level_of_string "loud" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "ndjson alias" true
+    (Log.format_of_string "ndjson" = Ok Log.Json);
+  (* with_component keeps the sink and threshold *)
+  let sub = Log.with_component log "c/sub" in
+  Log.error sub "tagged" [];
+  match !lines with
+  | latest :: _ ->
+    Alcotest.(check bool) "recomponented" true (contains ~needle:"c/sub" latest)
+  | [] -> Alcotest.fail "no line emitted"
+
 (* The full observability stack — NDJSON event log, per-cell telemetry,
    ledger append + reload, OpenMetrics render + lint — around a sweep,
    returning the IPC bit images as simulated and as persisted. *)
@@ -583,5 +694,7 @@ let suite =
       Alcotest.test_case "sweep retry events" `Quick test_sweep_retry_events;
       Alcotest.test_case "json logger writes NDJSON" `Quick
         test_json_logger_ndjson;
+      Alcotest.test_case "structured log rendering" `Quick test_log_render;
+      Alcotest.test_case "log levels and parsing" `Quick test_log_levels;
       QCheck_alcotest.to_alcotest test_observability_inert;
     ] )

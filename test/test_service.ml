@@ -115,8 +115,14 @@ let test_request_roundtrip =
       let* priority = int_range (-5) 100 in
       let* mixes = list_size (int_bound 3) (string_size (int_bound 6)) in
       let* schemes = list_size (int_bound 3) (string_size (int_bound 6)) in
+      let* trace =
+        option
+          (map2
+             (fun t p -> { Request.trace_id = t; parent_span = p })
+             ui64 (option ui64))
+      in
       return
-        (Request.Submit { tag; scale; seed; priority; mixes; schemes }))
+        (Request.Submit { tag; scale; seed; priority; mixes; schemes; trace }))
   in
   let gen =
     QCheck.Gen.(
@@ -409,6 +415,7 @@ let submit_req ~tag ~mixes ~schemes =
          priority = 0;
          mixes;
          schemes;
+         trace = None;
        })
 
 let test_daemon_end_to_end () =
@@ -536,6 +543,216 @@ let test_daemon_end_to_end () =
   (* the socket file is gone after graceful shutdown *)
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
 
+(* --- tracing ----------------------------------------------------------- *)
+
+module Span = Vliw_telemetry.Span
+
+let submit_json ?trace ?(mixes = [ "LLHH" ]) ?(schemes = [ "C4" ]) ~seed ~tag
+    () =
+  Request.to_json
+    (Request.Submit
+       { tag; scale = "quick"; seed; priority = 0; mixes; schemes; trace })
+
+(* Spin a daemon, hand [f] a connected fd, shut down gracefully, join. *)
+let with_daemon ?(jobs = 1) ?tracer ?max_line_bytes dir f =
+  let socket = Filename.concat dir "svc.sock" in
+  let runs_dir = Filename.concat dir "_runs" in
+  let cfg =
+    {
+      Server.default_config with
+      socket_path = Some socket;
+      runs_dir;
+      jobs;
+      tracer;
+      max_line_bytes =
+        Option.value max_line_bytes
+          ~default:Server.default_config.Server.max_line_bytes;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  Fun.protect
+    ~finally:(fun () -> Domain.join server)
+    (fun () ->
+      let fd = connect socket in
+      let r = f fd in
+      send_line fd (Request.to_json Request.Shutdown);
+      let _ =
+        read_until fd (fun d ->
+            if member_str "reply" d = Some "shutting_down" then Some d
+            else None)
+      in
+      Unix.close fd;
+      r)
+
+(* A traced submit gets its span tree back on the done reply, the
+   lifecycle spans decompose the reported latency, and the forest is
+   well-nested once the client adds its own root — the serve half of
+   the tracing acceptance contract. *)
+let test_daemon_traced_submit () =
+  let dir = temp_dir () in
+  let client = Span.collector ~seed:0xc0ffeeL () in
+  let trace = Span.fresh_id client in
+  let croot = Span.fresh_id client in
+  with_daemon ~jobs:1 dir (fun fd ->
+      let t_send = Unix.gettimeofday () in
+      send_line fd
+        (submit_json
+           ~trace:{ Request.trace_id = trace; parent_span = Some croot }
+           ~seed:42L ~tag:"traced" ());
+      let done1, _ = read_until fd done_reply in
+      let t_done = Unix.gettimeofday () in
+      Alcotest.(check (option string))
+        "trace id echoed"
+        (Some (Span.id_to_hex trace))
+        (member_str "trace" done1);
+      let spans =
+        match J.member "spans" done1 with
+        | Some j -> (
+          match Span.list_of_json j with
+          | Ok ss -> ss
+          | Error e -> Alcotest.fail ("reply spans undecodable: " ^ e))
+        | None -> Alcotest.fail "done reply carries no spans"
+      in
+      Alcotest.(check bool) "all spans in the request's trace" true
+        (List.for_all (fun s -> s.Span.trace = trace) spans);
+      let root =
+        match List.filter (fun s -> s.Span.kind = Span.Submit) spans with
+        | [ r ] -> r
+        | _ -> Alcotest.fail "expected exactly one submit root"
+      in
+      Alcotest.(check bool) "root parented to the client span" true
+        (root.Span.parent = Some croot);
+      Alcotest.(check bool) "children hang off the root" true
+        (List.for_all
+           (fun s -> s.Span.id = root.Span.id || s.Span.parent = Some root.Span.id)
+           spans);
+      let durs k =
+        List.filter_map
+          (fun s -> if s.Span.kind = k then Some s.Span.dur_s else None)
+          spans
+      in
+      (match
+         (durs Span.Queue_wait, durs Span.Schedule, durs Span.Simulate_cell,
+          durs Span.Ledger_append)
+       with
+      | [ qw ], [ sched ], [ sim ], [ led ] ->
+        let wall =
+          match member_num "wall_s" done1 with
+          | Some w -> w
+          | None -> Alcotest.fail "done reply carries no wall_s"
+        in
+        let parts = qw +. sched +. sim +. led in
+        Alcotest.(check bool)
+          (Printf.sprintf
+             "lifecycle spans (%.4fs) decompose the reported latency (%.4fs)"
+             parts wall)
+          true
+          (parts <= wall +. 0.01 && wall -. parts <= 0.25)
+      | _ -> Alcotest.fail "expected one span per lifecycle kind");
+      (* the client's own root over the reply closes the forest *)
+      let cspan =
+        {
+          Span.trace;
+          id = croot;
+          parent = None;
+          kind = Span.Submit;
+          name = "client";
+          lane = "client";
+          start_s = t_send;
+          dur_s = t_done -. t_send;
+        }
+      in
+      Alcotest.(check (list string)) "merged forest well-nested" []
+        (Span.validate ~slack_s:0.05 (cspan :: spans));
+      (* an untraced submit on the same connection gets no spans back *)
+      send_line fd (submit_json ~seed:42L ~tag:"plain" ());
+      let done2, _ = read_until fd done_reply in
+      Alcotest.(check bool) "untraced reply has no spans" true
+        (J.member "spans" done2 = None);
+      Alcotest.(check bool) "untraced reply has no trace id" true
+        (J.member "trace" done2 = None))
+
+(* Tracing is observation-only: a daemon with a collector (and a traced
+   request) produces the same grid bits as an untraced daemon serving an
+   untraced request, at jobs 1 and 4. *)
+let serve_once ~jobs ~seed ~traced =
+  let dir = temp_dir () in
+  let tracer = if traced then Some (Span.collector ~seed:99L ()) else None in
+  let digest =
+    with_daemon ~jobs ?tracer dir (fun fd ->
+        let trace =
+          if traced then
+            Some { Request.trace_id = 0xabcL; parent_span = None }
+          else None
+        in
+        send_line fd
+          (submit_json ?trace ~schemes:[ "C4"; "1S" ] ~seed ~tag:"obs" ());
+        let d, _ = read_until fd done_reply in
+        match member_str "digest" d with
+        | Some dg -> dg
+        | None -> Alcotest.fail "done reply carries no digest")
+  in
+  match Ledger.load ~dir:(Filename.concat dir "_runs") with
+  | [ r ] -> (digest, r)
+  | rs -> Alcotest.failf "expected 1 ledger record, found %d" (List.length rs)
+
+let test_tracing_observation_only =
+  QCheck.Test.make ~count:2
+    ~name:"serve: tracing is observation-only (jobs 1 and 4)"
+    QCheck.(int_bound 1000)
+    (fun seed_i ->
+      let seed = Int64.of_int seed_i in
+      List.for_all
+        (fun jobs ->
+          let d_plain, r_plain = serve_once ~jobs ~seed ~traced:false in
+          let d_traced, r_traced = serve_once ~jobs ~seed ~traced:true in
+          d_plain = d_traced && Ledger.diff r_plain r_traced = Ledger.Identical)
+        [ 1; 4 ])
+
+(* An oversized traced request is poisoned and discarded: error reply,
+   connection alive, and the daemon's span buffer records only the jobs
+   that actually ran. *)
+let test_traced_oversized_request () =
+  let dir = temp_dir () in
+  let tracer = Span.collector ~seed:5L () in
+  let trace = Span.fresh_id tracer in
+  let croot = Span.fresh_id tracer in
+  with_daemon ~jobs:1 ~tracer ~max_line_bytes:2048 dir (fun fd ->
+      (* a traced submit inflated past the line budget *)
+      let fat =
+        submit_json
+          ~trace:{ Request.trace_id = trace; parent_span = Some croot }
+          ~mixes:(List.init 400 (fun i -> Printf.sprintf "M%04d" i))
+          ~seed:42L ~tag:"fat" ()
+      in
+      Alcotest.(check bool) "request really over budget" true
+        (String.length (J.to_string fat) > 2048);
+      send_line fd fat;
+      let err, _ = read_until fd (fun d -> member_str "error" d) in
+      Alcotest.(check bool) "oversized line rejected" true
+        (String.length err > 0);
+      (* same connection, same trace ids: a well-sized retry succeeds *)
+      send_line fd
+        (submit_json
+           ~trace:{ Request.trace_id = trace; parent_span = Some croot }
+           ~seed:42L ~tag:"retry" ());
+      let d, _ = read_until fd done_reply in
+      Alcotest.(check (option string))
+        "retry traced under the same trace"
+        (Some (Span.id_to_hex trace))
+        (member_str "trace" d));
+  (* the daemon's buffer holds exactly the retry job's spans — nothing
+     leaked in from the poisoned line *)
+  let spans = Span.spans tracer in
+  Alcotest.(check bool) "span buffer non-empty" true (List.length spans > 0);
+  Alcotest.(check bool) "only the surviving trace recorded" true
+    (List.for_all (fun s -> s.Span.trace = trace) spans);
+  match List.filter (fun s -> s.Span.kind = Span.Submit) spans with
+  | [ root ] ->
+    Alcotest.(check bool) "single root, client-parented" true
+      (root.Span.parent = Some croot)
+  | rs -> Alcotest.failf "expected one submit root, found %d" (List.length rs)
+
 let suite =
   ( "service",
     [
@@ -556,4 +773,9 @@ let suite =
         test_simulate_prepared_bit_identity;
       Alcotest.test_case "daemon: cold/warm end-to-end" `Quick
         test_daemon_end_to_end;
+      Alcotest.test_case "daemon: traced submit round-trip" `Quick
+        test_daemon_traced_submit;
+      QCheck_alcotest.to_alcotest test_tracing_observation_only;
+      Alcotest.test_case "daemon: oversized traced request poisoned" `Quick
+        test_traced_oversized_request;
     ] )

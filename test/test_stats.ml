@@ -65,6 +65,27 @@ let test_percentile () =
   check_f "p50" 3.0 (Stats.percentile xs 50.0);
   check_f "p25" 2.0 (Stats.percentile xs 25.0)
 
+(* The exact (nearest-rank) quantiles behind the latency summaries:
+   never interpolated, so every answer is an element of the sample. *)
+let test_quantile_exact () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.quantile_exact: empty array") (fun () ->
+      ignore (Stats.p50 [||]));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.quantile_exact: p = 101 not in [0, 100]")
+    (fun () -> ignore (Stats.quantile_exact [| 1.0 |] 101.0));
+  (* a single sample is every quantile of itself *)
+  check_f "n=1 p50" 4.5 (Stats.p50 [| 4.5 |]);
+  check_f "n=1 p99" 4.5 (Stats.p99 [| 4.5 |]);
+  (* p = 100 lands on the largest element, never past it *)
+  check_f "p100 = max" 9.0 (Stats.quantile_exact [| 9.0; 1.0; 3.0 |] 100.0);
+  (* nearest-rank on 1..10: p50 -> 5th, p95 -> 10th, p99 -> 10th *)
+  let xs = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  check_f "p50 of 1..10" 5.0 (Stats.p50 xs);
+  check_f "p95 of 1..10" 10.0 (Stats.p95 xs);
+  check_f "p99 of 1..10" 10.0 (Stats.p99 xs);
+  check_f "p0 = min" 1.0 (Stats.quantile_exact xs 0.0)
+
 let test_min_max () =
   let mn, mx = Stats.min_max [| 3.0; -1.0; 7.0 |] in
   check_f "min" (-1.0) mn;
@@ -82,6 +103,13 @@ let test_summary () =
 
 let nonempty_floats =
   Q.(array_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+
+let prop_quantile_is_sample =
+  Q.Test.make ~name:"exact quantile is a sample element" ~count:300
+    Q.(pair nonempty_floats (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let q = Stats.quantile_exact xs p in
+      Array.exists (fun x -> x = q) xs)
 
 let prop_median_between =
   Q.Test.make ~name:"median within min/max" ~count:300 nonempty_floats (fun xs ->
@@ -111,9 +139,11 @@ let suite =
       Alcotest.test_case "stddev" `Quick test_stddev;
       Alcotest.test_case "median" `Quick test_median;
       Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "exact quantiles" `Quick test_quantile_exact;
       Alcotest.test_case "min_max" `Quick test_min_max;
       Alcotest.test_case "pct_diff" `Quick test_pct_diff;
       Alcotest.test_case "summary" `Quick test_summary;
+      Tgen.to_alcotest prop_quantile_is_sample;
       Tgen.to_alcotest prop_median_between;
       Tgen.to_alcotest prop_percentile_monotone;
       Tgen.to_alcotest prop_geomean_le_mean;

@@ -316,6 +316,154 @@ let test_sweep_telemetry_exports () =
   Alcotest.(check bool) "counter csv writes" true
     (String.length (Vliw_util.Csv.to_string ~header:h2 r2) > 0)
 
+(* --- Spans ----------------------------------------------------------- *)
+
+module Span = T.Span
+module J = Vliw_util.Json
+
+(* Ids come from the collector's SplitMix64 stream, timestamps from its
+   injectable clock — same seed and clock, same span tree, no [Random]
+   or wall-clock dependence. *)
+let test_span_deterministic () =
+  let mk () =
+    let t = ref 0.0 in
+    let clock () =
+      t := !t +. 0.25;
+      !t
+    in
+    Span.collector ~clock ~seed:42L ()
+  in
+  let c1 = mk () and c2 = mk () in
+  let ids c = List.init 5 (fun _ -> Span.fresh_id c) in
+  Alcotest.(check (list int64)) "same seed, same id stream" (ids c1) (ids c2);
+  Alcotest.(check bool) "injected clock ticks" true
+    (Span.now c1 = 0.25 && Span.now c1 = 0.5)
+
+let test_span_codec () =
+  let c = Span.collector ~clock:(fun () -> 0.0) ~seed:7L () in
+  let trace = Span.fresh_id c in
+  let root =
+    Span.record c ~trace ~kind:Span.Submit ~name:"job" ~lane:"server"
+      ~start_s:1.0 ~dur_s:0x1.fffp-3 ()
+  in
+  let child =
+    Span.record c ~trace ~parent:root.Span.id ~kind:Span.Simulate_cell
+      ~name:"LLHH/C4" ~lane:"pool 0" ~start_s:1.1 ~dur_s:0.05 ()
+  in
+  List.iter
+    (fun s ->
+      match Span.of_json (Span.to_json s) with
+      | Ok s' -> Alcotest.(check bool) "bit-exact round trip" true (s = s')
+      | Error e -> Alcotest.fail ("round trip failed: " ^ e))
+    [ root; child ];
+  (match Span.list_of_json (Span.list_to_json (Span.spans c)) with
+  | Ok ss ->
+    Alcotest.(check bool) "list round trip" true (ss = Span.spans c)
+  | Error e -> Alcotest.fail ("list round trip failed: " ^ e));
+  (* hex ids survive, including the sign bit *)
+  (match Span.id_of_hex (Span.id_to_hex (-1L)) with
+  | Ok v -> Alcotest.(check int64) "hex id round trip" (-1L) v
+  | Error e -> Alcotest.fail e);
+  (* strict about field types: a numeric name is rejected, and absent
+     [parent] means a root span (old peers stay parseable) *)
+  (match Span.of_json (J.Obj [ ("name", J.Num 3.0) ]) with
+  | Ok _ -> Alcotest.fail "typed-field violation accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "absent parent = root" true (root.Span.parent = None)
+
+let test_span_validate () =
+  let mk ?parent ~id ~start_s ~dur_s () =
+    {
+      Span.trace = 1L;
+      id;
+      parent;
+      kind = Span.Shard;
+      name = "s";
+      lane = "w";
+      start_s;
+      dur_s;
+    }
+  in
+  let root = mk ~id:10L ~start_s:0.0 ~dur_s:1.0 () in
+  let child = mk ~parent:10L ~id:11L ~start_s:0.2 ~dur_s:0.5 () in
+  Alcotest.(check (list string))
+    "well-nested forest is clean" []
+    (Span.validate [ root; child ]);
+  Alcotest.(check bool) "orphan parent flagged" true
+    (Span.validate [ mk ~parent:99L ~id:12L ~start_s:0.0 ~dur_s:0.1 () ] <> []);
+  Alcotest.(check bool) "escaping child flagged" true
+    (Span.validate [ root; mk ~parent:10L ~id:13L ~start_s:0.9 ~dur_s:5.0 () ]
+    <> []);
+  Alcotest.(check bool) "slack forgives clock skew" true
+    (Span.validate ~slack_s:10.0
+       [ root; mk ~parent:10L ~id:13L ~start_s:0.9 ~dur_s:5.0 () ]
+    = []);
+  Alcotest.(check bool) "negative duration flagged" true
+    (Span.validate [ mk ~id:14L ~start_s:0.0 ~dur_s:(-1.0) () ] <> [])
+
+let test_span_gauges_and_chrome () =
+  let c = Span.collector ~clock:(fun () -> 0.0) ~seed:3L () in
+  let trace = Span.fresh_id c in
+  let root =
+    Span.record c ~trace ~kind:Span.Submit ~name:"job-1" ~lane:"server"
+      ~start_s:0.0 ~dur_s:1.0 ()
+  in
+  for i = 0 to 3 do
+    ignore
+      (Span.record c ~trace ~parent:root.Span.id ~kind:Span.Simulate_cell
+         ~name:(Printf.sprintf "cell-%d" i) ~lane:"pool 0"
+         ~start_s:(0.1 *. float_of_int i)
+         ~dur_s:(0.01 *. float_of_int (i + 1))
+         ())
+  done;
+  let spans = Span.spans c in
+  let g = Span.latency_gauges spans in
+  let get k = List.assoc k g in
+  Alcotest.(check (float 0.0)) "submit count" 1.0 (get "span.submit.count");
+  Alcotest.(check (float 0.0))
+    "simulate count" 4.0
+    (get "span.simulate_cell.count");
+  Alcotest.(check (float 1e-12))
+    "p50 is an observed duration" 0.02
+    (get "span.simulate_cell.p50");
+  Alcotest.(check (float 1e-12))
+    "p99 is the max sample" 0.04
+    (get "span.simulate_cell.p99");
+  (* histograms feed a lint-clean exposition *)
+  let reg = T.Counters.create () in
+  Span.observe_histograms reg spans;
+  let snap = T.Counters.snapshot reg in
+  Alcotest.(check bool) "histogram series present" true
+    (List.mem_assoc "span.submit.seconds" snap.T.Counters.histograms);
+  let text = T.Openmetrics.render ~snapshot:snap ~gauges:g () in
+  Alcotest.(check (list string)) "span exposition lints clean" []
+    (T.Openmetrics.lint text);
+  (* Chrome export: valid JSON, ids in args so the tree is rebuildable *)
+  let chrome = Span.to_chrome ~process_name:"test" spans in
+  (match J.parse chrome with
+  | Error e -> Alcotest.fail ("chrome trace not JSON: " ^ e)
+  | Ok doc -> (
+    match J.member "traceEvents" doc with
+    | Some (J.List evs) ->
+      let xs =
+        List.filter
+          (fun e -> J.member "ph" e = Some (J.Str "X"))
+          evs
+      in
+      Alcotest.(check int) "one slice per span" (List.length spans)
+        (List.length xs);
+      List.iter
+        (fun e ->
+          match J.member "args" e with
+          | Some (J.Obj args) ->
+            Alcotest.(check bool) "span id in args" true
+              (List.mem_assoc "span" args)
+          | _ -> Alcotest.fail "slice without args")
+        xs
+    | _ -> Alcotest.fail "no traceEvents list"));
+  Alcotest.(check bool) "server lane present" true
+    (contains ~needle:"server" chrome)
+
 let suite =
   ( "telemetry",
     [
@@ -334,4 +482,10 @@ let suite =
         test_chrome_trace_of_recorder;
       Alcotest.test_case "sweep telemetry exports" `Quick
         test_sweep_telemetry_exports;
+      Alcotest.test_case "span collector deterministic" `Quick
+        test_span_deterministic;
+      Alcotest.test_case "span wire codec" `Quick test_span_codec;
+      Alcotest.test_case "span validate" `Quick test_span_validate;
+      Alcotest.test_case "span gauges, histograms, chrome" `Quick
+        test_span_gauges_and_chrome;
     ] )

@@ -130,6 +130,22 @@ let test_table_unicode_alignment () =
     Alcotest.(check int) "bars start in the same column" (bar_col ms) (bar_col mu)
   | _ -> Alcotest.fail "expected two chart lines"
 
+let test_sparkline () =
+  Alcotest.(check string) "empty series" "" (C.sparkline []);
+  (* max maps to the full block, 0 to the baseline glyph *)
+  let s = C.sparkline [ 0.0; 4.0 ] in
+  Alcotest.(check bool) "baseline glyph" true (contains ~needle:"▁" s);
+  Alcotest.(check bool) "full glyph" true (contains ~needle:"█" s);
+  (* constant non-zero series renders at a single level, one glyph per
+     sample (each block glyph is 3 UTF-8 bytes) *)
+  let flat = C.sparkline [ 2.0; 2.0; 2.0 ] in
+  Alcotest.(check int) "one glyph per sample" 9 (String.length flat);
+  (* width keeps only the most recent samples *)
+  let recent = C.sparkline ~width:2 [ 9.0; 0.0; 0.0 ] in
+  Alcotest.(check int) "width truncates" 6 (String.length recent);
+  Alcotest.(check bool) "oldest sample dropped" true
+    (not (contains ~needle:"█" recent))
+
 let suite =
   ( "util-render",
     [
@@ -149,4 +165,5 @@ let suite =
       Alcotest.test_case "display width unicode" `Quick test_display_width_unicode;
       Alcotest.test_case "unicode label alignment" `Quick
         test_table_unicode_alignment;
+      Alcotest.test_case "sparkline" `Quick test_sparkline;
     ] )
